@@ -1,0 +1,142 @@
+"""E5 -- the headline run (paper section 5).
+
+The paper's table-in-prose:
+
+    N = 2,159,038 / 999 steps / 2.90e13 interactions / average list
+    13,431 / 30,141 s (8.37 h) / 36.4 Gflops raw / 4.69e12 original-
+    algorithm interactions / 5.92 Gflops effective / $7.0 per Mflops.
+
+Reproduction strategy (the paper's own, inverted): run the identical
+pipeline at a scale pure Python can execute, measure everything that
+is *scale-free* (the modified/original interaction ratio, group
+statistics, the GRAPE model's per-call behaviour), then evaluate the
+calibrated host+GRAPE machine model at the paper's N, steps and n_g to
+regenerate the headline row.  A live mini-run row is reported next to
+the paper row and the model row.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import emit
+from repro.core import TreeCode
+from repro.grape import GrapeBackend
+from repro.host.machine import ALPHASERVER_DS10
+from repro.perf.model import PAPER_N, PAPER_NG, PAPER_STEPS, PerformanceModel
+from repro.perf.opcount import original_interaction_count
+from repro.perf.report import HeadlineReport, PAPER_HEADLINE, format_table
+
+
+def test_e5_headline(benchmark, cosmo_snapshot, results_dir):
+    pos, mass, eps = cosmo_snapshot
+    n = len(pos)
+    theta = 0.5  # the ~0.1 % total-error operating point (see E2)
+
+    backend = GrapeBackend()
+    tc = TreeCode(theta=theta, n_crit=400, backend=backend)
+
+    def force_step():
+        backend.reset_stats()
+        tc.accelerations(pos, mass, eps)
+        return tc.last_stats
+
+    stats = benchmark.pedantic(force_step, rounds=2, iterations=1)
+    orig = original_interaction_count(pos, mass, theta=theta)
+    ratio = stats.total_interactions / orig
+
+    # --- live scaled row: one step blown up to a 999-step run --------
+    grape_s = backend.model_seconds * PAPER_STEPS
+    host_s = ALPHASERVER_DS10.step_time(
+        n, stats.n_groups, stats.mean_list_length) * PAPER_STEPS
+    live = HeadlineReport(
+        n_particles=n, n_steps=PAPER_STEPS,
+        modified_interactions=float(stats.total_interactions) * PAPER_STEPS,
+        original_interactions=float(orig) * PAPER_STEPS,
+        wall_seconds=grape_s + host_s)
+
+    # --- extrapolate the *original* algorithm's list length ----------
+    # BH per-particle work grows ~ log N at fixed theta.  Measure
+    # L_orig on random subsamples (mass rescaled so the density field
+    # is preserved), fit a + b ln N, extrapolate to the paper's N --
+    # our stand-in for the paper's own five-snapshot measurement.
+    rng = np.random.default_rng(55)
+    ns, ls = [], []
+    for frac in (0.125, 0.25, 0.5, 1.0):
+        m = max(64, int(frac * n))
+        pick = rng.choice(n, size=m, replace=False)
+        cnt = original_interaction_count(pos[pick], mass[pick] / frac,
+                                         theta=theta)
+        ns.append(m)
+        ls.append(cnt / m)
+    b, a = np.polyfit(np.log(ns), ls, 1)
+    l_orig_paper = a + b * np.log(PAPER_N)
+
+    # --- model row at full paper scale --------------------------------
+    pm = PerformanceModel()
+    pred = pm.run_prediction(PAPER_N, PAPER_STEPS, PAPER_NG)
+    model = HeadlineReport(
+        n_particles=PAPER_N, n_steps=PAPER_STEPS,
+        modified_interactions=pred["total_interactions"],
+        original_interactions=PAPER_N * PAPER_STEPS * l_orig_paper,
+        wall_seconds=pred["total_seconds"])
+    # same model, but corrected with the paper's own measured original
+    # count (isolates our wall-clock model from our L_orig estimate)
+    model_pc = HeadlineReport(
+        n_particles=PAPER_N, n_steps=PAPER_STEPS,
+        modified_interactions=pred["total_interactions"],
+        original_interactions=4.69e12,
+        wall_seconds=pred["total_seconds"])
+
+    rows = [PAPER_HEADLINE.as_row("paper"),
+            model.as_row("model (our L_orig extrap.)"),
+            model_pc.as_row("model (paper's correction)"),
+            live.as_row(f"live x999 (N={n})")]
+    extra = (f"extrapolated original list length at N=2.1M: "
+             f"{l_orig_paper:.0f} (paper measured: 2172)")
+    emit(results_dir, "e5_headline", format_table(rows) + "\n" + extra)
+
+    # shape checks: who wins and by what factor
+    assert model.mean_list_length == pytest.approx(13_431, rel=0.02)
+    assert model.wall_seconds == pytest.approx(30_141, rel=0.10)
+    assert model.raw_gflops == pytest.approx(36.4, rel=0.10)
+    # live overhead ratio behaves like the paper's 6.18x, softened by
+    # the scaled N
+    assert 2.0 < ratio < 12.0
+    # extrapolated original list length brackets the paper's 2172
+    assert 1000 < l_orig_paper < 4500
+    # effective speed and price land in the paper's neighbourhood
+    assert model.effective_gflops == pytest.approx(5.92, rel=0.7)
+    assert model_pc.effective_gflops == pytest.approx(5.92, rel=0.12)
+    assert round(model_pc.price_per_mflops) in (6, 7, 8)
+
+
+def test_e5_ratio_vs_ng(benchmark, cosmo_snapshot, results_dir):
+    """The overhead ratio grows with n_g: the correction the paper
+    applies is exactly the price of its own host-offload knob."""
+    pos, mass, eps = cosmo_snapshot
+    theta = 0.5
+    orig = original_interaction_count(pos, mass, theta=theta)
+
+    def sweep():
+        rows = []
+        for ncrit in (50, 200, 800, 3200):
+            tc = TreeCode(theta=theta, n_crit=ncrit)
+            tc.accelerations(pos, mass, eps)
+            s = tc.last_stats
+            rows.append({
+                "n_crit": ncrit,
+                "n_g": round(s.mean_group_size, 0),
+                "modified interactions": s.total_interactions,
+                "ratio vs original": round(
+                    s.total_interactions / orig, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows.append({"n_crit": "paper @ N=2.1M, n_g~2000", "n_g": 2000,
+                 "modified interactions": "2.90e13",
+                 "ratio vs original": 6.18})
+    emit(results_dir, "e5_ratio_vs_ng", format_table(rows))
+    ratios = [r["ratio vs original"] for r in rows[:-1]]
+    assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+    assert ratios[0] > 1.0

@@ -1,0 +1,92 @@
+"""The paper's headline experiment, scaled to laptop size.
+
+Generates SCDM initial conditions (the COSMICS-substitute pipeline),
+carves the 50 Mpc comoving sphere, evolves it from z = 24 to z = 0
+with the GRAPE-backed treecode, and prints:
+
+* the figure-4 slab of the final snapshot as ASCII art (and a PGM
+  image next to this script);
+* the section-5 style performance accounting for the scaled run plus
+  the calibrated model's prediction at the paper's full scale.
+
+Run:  python examples/cosmological_sphere.py [ngrid] [steps]
+      (defaults: ngrid=20 -> ~4200 particles, 40 steps; the paper ran
+       2,159,038 particles for 999 steps on the real hardware)
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import TreeCode
+from repro.cosmo import SCDM, ZeldovichIC, carve_sphere
+from repro.grape import GrapeBackend
+from repro.host.machine import ALPHASERVER_DS10
+from repro.perf.model import PerformanceModel
+from repro.perf.report import HeadlineReport, PAPER_HEADLINE, format_table
+from repro.sim import Simulation, lagrangian_radii, paper_schedule, slab
+from repro.viz import ascii_render, surface_density, write_pgm
+
+
+def main(ngrid: int = 20, steps: int = 40):
+    print(f"IC: SCDM realisation, box 100 Mpc, ngrid {ngrid}")
+    ic = ZeldovichIC(box=100.0, ngrid=ngrid, seed=1999)
+    region = carve_sphere(ic, radius=50.0, z_init=24.0)
+    print(f"sphere: {region.n_particles} particles of "
+          f"{region.mass[0]:.3g} M_sun (paper: 2,159,038 of 1.7e10)\n")
+
+    backend = GrapeBackend()
+    sim = Simulation.from_sphere(
+        region, force=TreeCode(theta=0.75, n_crit=256, backend=backend))
+    sim.t = SCDM.age(24.0)
+
+    sched = paper_schedule(SCDM, 24.0, 0.0, steps)
+    for i, dt in enumerate(sched):
+        rec = sim.step(float(dt))
+        if (i + 1) % max(1, steps // 8) == 0:
+            a = SCDM.a_of_t(sim.t)
+            print(f"  step {rec.step:4d}  z = {1 / a - 1:5.2f}  "
+                  f"list = {rec.mean_list_length:6.0f}  "
+                  f"wall = {rec.wall_seconds:5.2f} s")
+
+    # ---- figure 4 ----------------------------------------------------
+    xy = slab(sim.pos, width=45.0, thickness=2.5,
+              center=sim.center_of_mass())
+    art = ascii_render(surface_density(xy, width=45.0, bins=48))
+    pgm = write_pgm(Path(__file__).parent / "figure4.pgm",
+                    surface_density(xy, width=45.0, bins=128))
+    r10, r50, r90 = lagrangian_radii(sim.pos, sim.mass)
+    print(f"\nfigure 4 (45 x 45 x 2.5 Mpc slab at z = 0, "
+          f"{len(xy)} particles; PGM: {pgm}):\n")
+    print(art)
+    print(f"\nLagrangian radii r10/r50/r90: "
+          f"{r10:.1f} / {r50:.1f} / {r90:.1f} Mpc")
+
+    # ---- section-5 accounting ----------------------------------------
+    host_s = sum(
+        ALPHASERVER_DS10.step_time(sim.n_particles, r.n_groups,
+                                   r.mean_list_length)
+        for r in sim.history)
+    live = HeadlineReport(
+        n_particles=sim.n_particles, n_steps=steps,
+        modified_interactions=float(sim.total_interactions),
+        original_interactions=float(sim.total_interactions) / 5.0,
+        wall_seconds=backend.model_seconds + host_s)
+    pred = PerformanceModel().run_prediction()
+    model = HeadlineReport(
+        n_particles=2_159_038, n_steps=999,
+        modified_interactions=pred["total_interactions"],
+        original_interactions=4.69e12,
+        wall_seconds=pred["total_seconds"])
+    print("\nperformance accounting "
+          "(live = this run on the emulated machine):\n")
+    print(format_table([PAPER_HEADLINE.as_row("paper"),
+                        model.as_row("model @ paper scale"),
+                        live.as_row("this run (modelled)")]))
+
+
+if __name__ == "__main__":
+    ngrid = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 40
+    main(ngrid, steps)

@@ -1,0 +1,73 @@
+"""A classic treecode demo beyond the paper's workload: two Plummer
+'galaxies' on a collision orbit, run on the emulated GRAPE-5.
+
+Demonstrates the library on the other canonical use of GRAPE machines
+(galaxy interaction studies), and exercises the pieces the
+cosmological run does not: virialised initial conditions, energy
+bookkeeping over a violent event, and Lagrangian-radius tracking of a
+merger remnant.
+
+Run:  python examples/galaxy_collision.py
+"""
+
+import numpy as np
+
+from repro.core import TreeCode
+from repro.grape import GrapeBackend
+from repro.perf.report import format_table
+from repro.sim import EnergyLedger, Simulation, lagrangian_radii
+from repro.sim.models import plummer_model
+from repro.viz import ascii_render, surface_density
+
+
+def make_collision(rng):
+    """Two equal Plummer spheres, approaching with an impact parameter."""
+    p1, v1, m1 = plummer_model(2000, rng, total_mass=0.5)
+    p2, v2, m2 = plummer_model(2000, rng, total_mass=0.5)
+    sep, b, vrel = 6.0, 1.0, 0.35
+    p1 += np.array([-sep / 2, -b / 2, 0.0])
+    p2 += np.array([+sep / 2, +b / 2, 0.0])
+    v1 += np.array([+vrel / 2, 0.0, 0.0])
+    v2 += np.array([-vrel / 2, 0.0, 0.0])
+    return (np.concatenate([p1, p2]), np.concatenate([v1, v2]),
+            np.concatenate([m1, m2]))
+
+
+def main():
+    rng = np.random.default_rng(1995)
+    pos, vel, mass = make_collision(rng)
+
+    backend = GrapeBackend()
+    sim = Simulation(pos=pos, vel=vel, mass=mass, eps=0.02, G=1.0,
+                     force=TreeCode(theta=0.7, n_crit=256,
+                                    backend=backend))
+    ledger = EnergyLedger.empty()
+    ledger.record(sim)
+
+    rows = []
+    n_steps, dt = 600, 0.02
+    for i in range(n_steps):
+        sim.step(dt)
+        if (i + 1) % 100 == 0:
+            ledger.record(sim)
+            r10, r50, r90 = lagrangian_radii(sim.pos, sim.mass)
+            rows.append({
+                "t": round(sim.t, 1),
+                "E_total": round(ledger.total[-1], 4),
+                "r10": round(r10, 2), "r50": round(r50, 2),
+                "r90": round(r90, 2),
+            })
+    print(format_table(rows))
+    print(f"\nenergy drift over the merger: "
+          f"{100 * ledger.max_relative_drift():.2f} % "
+          f"(leapfrog + tree forces)")
+    print(f"modelled GRAPE-5 time for {n_steps} steps: "
+          f"{backend.model_seconds:.2f} s\n")
+
+    xy = sim.pos[:, :2] - sim.center_of_mass()[:2]
+    print("merger remnant (face-on):\n")
+    print(ascii_render(surface_density(xy, width=8.0, bins=44)))
+
+
+if __name__ == "__main__":
+    main()

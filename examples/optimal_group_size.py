@@ -1,0 +1,90 @@
+"""Tuning the group size n_g (paper section 3).
+
+Sweeps n_crit on a live clustered snapshot, measures how the mean
+interaction-list length grows with group size, fits the Makino-1991
+form, and evaluates the host+GRAPE time model at the paper's scale to
+locate the optimum -- "around 2000" for the paper's host/GRAPE speed
+ratio, and visibly elsewhere for faster or slower hosts.
+
+Run:  python examples/optimal_group_size.py
+"""
+
+import numpy as np
+
+from repro.core import TreeCode
+from repro.cosmo import SCDM, ZeldovichIC, carve_sphere
+from repro.host.machine import HostMachine
+from repro.perf.model import (FittedListLength, PAPER_LIST_LENGTH, PAPER_N,
+                              PAPER_NG, PerformanceModel)
+from repro.perf.report import format_table
+from repro.sim import Simulation, paper_schedule
+
+
+def cosmological_snapshot():
+    """A small clustered sphere -- the paper's kind of workload (the
+    list-length growth law is workload-dependent, so the measurement
+    must run on cosmological clustering, not an isolated model)."""
+    ic = ZeldovichIC(box=100.0, ngrid=24, seed=31)
+    region = carve_sphere(ic, radius=50.0, z_init=24.0)
+    sim = Simulation.from_sphere(
+        region, force=TreeCode(theta=0.75, n_crit=256))
+    sim.t = SCDM.age(24.0)
+    sim.run(paper_schedule(SCDM, 24.0, 3.0, 10))
+    return sim.pos, sim.mass, sim.eps
+
+
+def main():
+    print("evolving a small cosmological sphere to z = 3 "
+          "(clustered snapshot)...")
+    pos, mass, eps = cosmological_snapshot()
+    print(f"snapshot: N = {len(pos)}\n")
+
+    print("measuring interaction-list growth on the snapshot...\n")
+    ngs, lls = [], []
+    rows = []
+    for ncrit in (64, 128, 256, 512, 1024, 2048, 4096):
+        tc = TreeCode(theta=0.75, n_crit=ncrit)
+        tc.accelerations(pos, mass, eps)
+        s = tc.last_stats
+        ngs.append(s.mean_group_size)
+        lls.append(s.interactions_per_particle)
+        rows.append({"n_crit": ncrit, "mean n_g": round(s.mean_group_size),
+                     "mean list": round(s.interactions_per_particle),
+                     "host terms": s.cell_terms + s.part_terms,
+                     "pipelined": s.total_interactions})
+    print(format_table(rows))
+
+    fit = FittedListLength.fit(ngs, lls).anchored(PAPER_NG,
+                                                  PAPER_LIST_LENGTH)
+    print(f"\nfit (anchored to the paper's L(2000) = 13,431): "
+          f"L = {fit.c0:.0f} + {fit.c1:.2f} n_g + "
+          f"{fit.c2:.1f} n_g^(2/3)\n")
+
+    print("modelled seconds/step at N = 2,159,038, for three hosts:\n")
+    hosts = [
+        ("paper host (AlphaServer DS10)", HostMachine()),
+        ("4x faster host", HostMachine(t_tree_build=0.75e-6,
+                                       t_walk_term=1.25e-7,
+                                       t_integrate=1.25e-7)),
+        ("4x slower host", HostMachine(t_tree_build=12e-6,
+                                       t_walk_term=2e-6,
+                                       t_integrate=2e-6)),
+    ]
+    rows = []
+    for name, host in hosts:
+        pm = PerformanceModel(host=host, list_length=fit)
+        ng_opt, t_opt = pm.optimal_ng(PAPER_N)
+        rows.append({
+            "host": name,
+            "optimal n_g": round(ng_opt),
+            "s/step at optimum": round(t_opt, 1),
+            "s/step at n_g=2000": round(pm.step_time(PAPER_N, 2000.0), 1),
+        })
+    print(format_table(rows))
+    print("\npaper: 'The optimal n_g strongly depends on the ratio of "
+          "the speed of the host computer and GRAPE. For the present "
+          "configuration, the optimal n_g is around 2000.'")
+
+
+if __name__ == "__main__":
+    main()

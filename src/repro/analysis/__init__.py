@@ -1,0 +1,13 @@
+"""Post-processing analysis of simulation output.
+
+The paper presents its result visually (figure 4); this subpackage
+provides the standard quantitative companions: a friends-of-friends
+halo finder and (with :mod:`repro.cosmo.massfunction`) the comparison
+against the Press--Schechter prediction (experiment E11).
+"""
+
+from .fof import FofCatalog, friends_of_friends, linking_length
+from .profile import NFWProfile, fit_nfw, radial_density_profile
+
+__all__ = ["FofCatalog", "friends_of_friends", "linking_length",
+           "NFWProfile", "fit_nfw", "radial_density_profile"]

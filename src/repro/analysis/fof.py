@@ -1,0 +1,163 @@
+"""Friends-of-friends (FoF) halo finder.
+
+The standard structure finder for cosmological N-body output (Davis et
+al. 1985): particles closer than a linking length ``b`` times the mean
+interparticle separation are friends; haloes are the connected
+components of the friendship graph.  Applied to the evolved sphere it
+turns the figure-4 picture into a halo catalogue, which experiment E11
+compares against the Press--Schechter mass function.
+
+Implementation: neighbour pairs from a ``scipy.spatial.cKDTree``
+(the one place the repository leans on compiled spatial search;
+pure-NumPy pair enumeration would be O(N^2) and the tree-based
+alternative would duplicate scipy), fed into a vectorised union-find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import spatial
+
+__all__ = ["FofCatalog", "friends_of_friends", "linking_length"]
+
+
+def linking_length(pos: np.ndarray, b: float = 0.2,
+                   volume: Optional[float] = None) -> float:
+    """The comoving linking length: ``b`` times the mean interparticle
+    separation ``(V / N)^(1/3)``.
+
+    ``volume`` defaults to the bounding-sphere volume of the particle
+    cloud about its median center (robust for the sphere geometry).
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    n = pos.shape[0]
+    if n < 2:
+        raise ValueError("need at least two particles")
+    if b <= 0:
+        raise ValueError("b must be positive")
+    if volume is None:
+        center = np.median(pos, axis=0)
+        r = np.sqrt(np.einsum("ij,ij->i", pos - center, pos - center))
+        radius = np.percentile(r, 95)
+        volume = 4.0 / 3.0 * np.pi * float(radius) ** 3
+    return b * (volume / n) ** (1.0 / 3.0)
+
+
+class _UnionFind:
+    """Array-based union-find with path halving."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = np.arange(n, dtype=np.int64)
+
+    def find(self, i: int) -> int:
+        p = self.parent
+        while p[i] != i:
+            p[i] = p[p[i]]
+            i = p[i]
+        return int(i)
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+    def labels(self) -> np.ndarray:
+        # flatten fully, vectorised-ish: iterate until stable
+        p = self.parent
+        while True:
+            q = p[p]
+            if np.array_equal(q, p):
+                break
+            p = q
+        self.parent = p
+        return p
+
+
+@dataclass(frozen=True)
+class FofCatalog:
+    """A halo catalogue.
+
+    ``group`` labels every particle with its halo id (0..n_halos-1,
+    ordered by descending membership); haloes smaller than
+    ``min_members`` are labelled -1 (field particles).
+    """
+
+    group: np.ndarray          # (N,) halo id per particle, -1 = field
+    sizes: np.ndarray          # (H,) members per halo, descending
+    centers: np.ndarray        # (H, 3) center of mass per halo
+    masses: np.ndarray         # (H,) total mass per halo
+    link: float                # linking length used
+
+    @property
+    def n_halos(self) -> int:
+        return int(self.sizes.shape[0])
+
+    def members(self, h: int) -> np.ndarray:
+        return np.flatnonzero(self.group == h)
+
+
+def friends_of_friends(pos: np.ndarray, mass: Optional[np.ndarray] = None,
+                       *, link: Optional[float] = None, b: float = 0.2,
+                       min_members: int = 10) -> FofCatalog:
+    """Run FoF and return the halo catalogue.
+
+    Parameters
+    ----------
+    pos, mass:
+        Particle positions (and masses; unit masses when omitted).
+    link:
+        Linking length; derived from ``b`` via :func:`linking_length`
+        when omitted.
+    min_members:
+        Haloes below this membership count become field particles
+        (the standard catalogue floor; tiny groups are noise).
+    """
+    pos = np.ascontiguousarray(pos, dtype=np.float64)
+    n = pos.shape[0]
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError("pos must have shape (N, 3)")
+    if mass is None:
+        mass = np.ones(n, dtype=np.float64)
+    mass = np.asarray(mass, dtype=np.float64)
+    if mass.shape != (n,):
+        raise ValueError("mass must have shape (N,)")
+    if min_members < 1:
+        raise ValueError("min_members must be >= 1")
+    if link is None:
+        link = linking_length(pos, b)
+    if link <= 0:
+        raise ValueError("link must be positive")
+
+    tree = spatial.cKDTree(pos)
+    pairs = tree.query_pairs(float(link), output_type="ndarray")
+    uf = _UnionFind(n)
+    for a, b_ in pairs:  # pair count ~ N * <neighbours>, loop is fine
+        uf.union(int(a), int(b_))
+    roots = uf.labels()
+
+    # relabel roots to compact ids ordered by size
+    uniq, inverse, counts = np.unique(roots, return_inverse=True,
+                                      return_counts=True)
+    order = np.argsort(-counts, kind="stable")
+    rank_of = np.empty_like(order)
+    rank_of[order] = np.arange(len(order))
+    compact = rank_of[inverse]
+    sizes_sorted = counts[order]
+
+    keep = sizes_sorted >= min_members
+    n_halos = int(keep.sum())
+    group = np.where(compact < n_halos, compact, -1).astype(np.int64)
+
+    centers = np.zeros((n_halos, 3), dtype=np.float64)
+    masses = np.zeros(n_halos, dtype=np.float64)
+    if n_halos:
+        sel = group >= 0
+        np.add.at(masses, group[sel], mass[sel])
+        np.add.at(centers, group[sel], mass[sel, None] * pos[sel])
+        centers /= masses[:, None]
+
+    return FofCatalog(group=group, sizes=sizes_sorted[:n_halos],
+                      centers=centers, masses=masses, link=float(link))

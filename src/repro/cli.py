@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands
+-----------
+``info``
+    Print the emulated GRAPE-5 configuration and the section-4 price
+    ledger.
+``run``
+    A scaled version of the paper's experiment: generate SCDM initial
+    conditions, carve the sphere, evolve with the (optionally
+    GRAPE-backed) treecode, and report performance statistics.
+    Supports checkpointing (``--checkpoint``) and figure-4 output
+    (``--figure4 out.pgm``).
+``resume``
+    Continue a checkpointed run for more steps.
+``sweep``
+    The section-3 group-size sweep on a quick synthetic snapshot.
+``halos``
+    Friends-of-friends halo catalogue of a checkpointed state, with
+    the Press--Schechter reference counts.
+
+All subcommands are deterministic for a fixed ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description=("Reproduction of the SC'99 GRAPE-5 treecode "
+                     "Gordon Bell entry"))
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="machine configuration + price ledger")
+
+    r = sub.add_parser("run", help="scaled paper run")
+    r.add_argument("--ngrid", type=int, default=16,
+                   help="IC mesh per dimension (particles ~ pi/6 n^3)")
+    r.add_argument("--steps", type=int, default=20)
+    r.add_argument("--z-init", type=float, default=24.0)
+    r.add_argument("--z-final", type=float, default=0.0)
+    r.add_argument("--theta", type=float, default=0.75)
+    r.add_argument("--ncrit", type=int, default=256)
+    r.add_argument("--seed", type=int, default=1999)
+    r.add_argument("--backend", choices=("grape", "host"),
+                   default="grape")
+    r.add_argument("--checkpoint", type=Path, default=None,
+                   help="write a checkpoint here when done")
+    r.add_argument("--figure4", type=Path, default=None,
+                   help="write the 45x45x2.5 slab as a PGM here")
+
+    c = sub.add_parser("resume", help="continue a checkpointed run")
+    c.add_argument("checkpoint", type=Path)
+    c.add_argument("--steps", type=int, default=20)
+    c.add_argument("--z-final", type=float, default=0.0)
+    c.add_argument("--backend", choices=("grape", "host"),
+                   default="grape")
+    c.add_argument("--theta", type=float, default=0.75)
+    c.add_argument("--ncrit", type=int, default=256)
+    c.add_argument("--checkpoint-out", type=Path, default=None)
+
+    s = sub.add_parser("sweep", help="group-size (n_g) sweep")
+    s.add_argument("--n", type=int, default=8192)
+    s.add_argument("--theta", type=float, default=0.75)
+    s.add_argument("--seed", type=int, default=3)
+
+    h = sub.add_parser("halos", help="FoF halo catalogue of a checkpoint")
+    h.add_argument("checkpoint", type=Path)
+    h.add_argument("--b", type=float, default=0.2,
+                   help="linking length in mean-separation units")
+    h.add_argument("--min-members", type=int, default=10)
+    return p
+
+
+def _make_force(args):
+    from repro.core import TreeCode
+    from repro.grape import GrapeBackend
+    backend = GrapeBackend() if args.backend == "grape" else None
+    tc = TreeCode(theta=args.theta, n_crit=args.ncrit, backend=backend)
+    return tc, (backend if args.backend == "grape" else None)
+
+
+def _report_run(sim, backend, out) -> None:
+    from repro.perf.report import format_table
+    from repro.sim.diagnostics import interaction_totals
+    d = interaction_totals(sim)
+    rows = [{
+        "N": sim.n_particles,
+        "steps": d["steps"],
+        "interactions": f"{d['interactions']:.4g}",
+        "mean list": round(d["mean_list_length"], 1),
+        "host wall [s]": round(d["wall_seconds_host"], 1),
+        "GRAPE model [s]": (round(backend.model_seconds, 2)
+                            if backend else "-"),
+    }]
+    print(format_table(rows), file=out)
+
+
+def cmd_info(args, out) -> int:
+    from repro.grape import Grape5System
+    from repro.host.cost import PAPER_SYSTEM_COST
+    from repro.perf.report import format_table
+    s = Grape5System()
+    print("GRAPE-5 system (emulated):", file=out)
+    for k, v in s.describe().items():
+        print(f"  {k}: {v}", file=out)
+    print("\nprice ledger (paper section 4):", file=out)
+    print(format_table(PAPER_SYSTEM_COST.ledger()), file=out)
+    print(f"\ntotal: ${PAPER_SYSTEM_COST.total_usd:,.0f} "
+          f"@ {PAPER_SYSTEM_COST.jpy_per_usd:.0f} JPY/USD", file=out)
+    return 0
+
+
+def cmd_run(args, out) -> int:
+    from repro.cosmo import SCDM, ZeldovichIC, carve_sphere
+    from repro.sim import Simulation, paper_schedule, slab
+    from repro.sim.checkpoint import save_checkpoint
+    from repro.viz import surface_density, write_pgm
+
+    ic = ZeldovichIC(box=100.0, ngrid=args.ngrid, seed=args.seed)
+    region = carve_sphere(ic, radius=50.0, z_init=args.z_init)
+    print(f"N = {region.n_particles} particles of "
+          f"{region.mass[0]:.3g} M_sun", file=out)
+    force, backend = _make_force(args)
+    sim = Simulation.from_sphere(region, force=force)
+    sim.t = SCDM.age(args.z_init)
+    sched = paper_schedule(SCDM, args.z_init, args.z_final, args.steps)
+    for i, dt in enumerate(sched):
+        rec = sim.step(float(dt))
+        if (i + 1) % max(1, args.steps // 5) == 0:
+            print(f"  step {rec.step}: list = "
+                  f"{rec.mean_list_length:.0f}, "
+                  f"{rec.wall_seconds:.2f} s", file=out)
+    _report_run(sim, backend, out)
+
+    if args.figure4 is not None:
+        xy = slab(sim.pos, width=45.0, thickness=2.5,
+                  center=sim.center_of_mass())
+        write_pgm(args.figure4, surface_density(xy, width=45.0,
+                                                bins=128))
+        print(f"figure-4 slab written to {args.figure4}", file=out)
+    if args.checkpoint is not None:
+        save_checkpoint(args.checkpoint, sim)
+        print(f"checkpoint written to {args.checkpoint}", file=out)
+    return 0
+
+
+def cmd_resume(args, out) -> int:
+    from repro.cosmo import SCDM
+    from repro.sim import paper_schedule
+    from repro.sim.checkpoint import load_checkpoint, save_checkpoint
+
+    force, backend = _make_force(args)
+    sim = load_checkpoint(args.checkpoint, force=force)
+    z_now = SCDM.z_of_a(SCDM.a_of_t(sim.t))
+    print(f"resumed at t = {sim.t:.3g} (z = {float(z_now):.2f}), "
+          f"{len(sim.history)} steps done", file=out)
+    if float(z_now) <= args.z_final + 1e-9:
+        print("already past requested redshift; nothing to do",
+              file=out)
+        return 0
+    sched = paper_schedule(SCDM, float(z_now), args.z_final, args.steps)
+    sim.run(sched)
+    _report_run(sim, backend, out)
+    if args.checkpoint_out is not None:
+        save_checkpoint(args.checkpoint_out, sim)
+        print(f"checkpoint written to {args.checkpoint_out}", file=out)
+    return 0
+
+
+def cmd_sweep(args, out) -> int:
+    from repro.core import TreeCode
+    from repro.perf.report import format_table
+    from repro.sim.models import plummer_model
+
+    rng = np.random.default_rng(args.seed)
+    pos, _, mass = plummer_model(args.n, rng)
+    rows = []
+    for ncrit in (64, 256, 1024, 4096):
+        tc = TreeCode(theta=args.theta, n_crit=ncrit)
+        tc.accelerations(pos, mass, 0.01)
+        s = tc.last_stats
+        rows.append({"n_crit": ncrit,
+                     "n_g": round(s.mean_group_size, 1),
+                     "mean list": round(s.interactions_per_particle),
+                     "interactions": s.total_interactions})
+    print(format_table(rows), file=out)
+    return 0
+
+
+def cmd_halos(args, out) -> int:
+    from repro.analysis.fof import friends_of_friends
+    from repro.core import DirectSummation
+    from repro.cosmo.massfunction import PressSchechter
+    from repro.perf.report import format_table
+    from repro.sim.checkpoint import load_checkpoint
+
+    sim = load_checkpoint(args.checkpoint, force=DirectSummation())
+    cat = friends_of_friends(sim.pos, sim.mass, b=args.b,
+                             min_members=args.min_members)
+    print(f"N = {sim.n_particles}, linking length = {cat.link:.3g}, "
+          f"halos = {cat.n_halos}", file=out)
+    rows = [{"rank": i + 1, "members": int(cat.sizes[i]),
+             "mass": f"{cat.masses[i]:.3g}",
+             "center": np.array2string(cat.centers[i], precision=1)}
+            for i in range(min(10, cat.n_halos))]
+    if rows:
+        print(format_table(rows), file=out)
+    if cat.n_halos:
+        ps = PressSchechter()
+        expect = ps.number_in_sphere(
+            float(cat.masses.min()), float(cat.masses.max()) * 1.5,
+            50.0)
+        print(f"Press-Schechter reference (50 Mpc sphere, same mass "
+              f"range): ~{expect:.0f}", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    args = build_parser().parse_args(argv)
+    handler = {"info": cmd_info, "run": cmd_run,
+               "resume": cmd_resume, "sweep": cmd_sweep,
+               "halos": cmd_halos}[args.command]
+    return handler(args, out)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

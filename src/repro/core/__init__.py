@@ -1,0 +1,36 @@
+"""The paper's primary algorithmic contribution substrate: a Barnes--Hut
+treecode with Barnes' (1990) modified (grouped) traversal, structured so
+the force kernel can be offloaded to the GRAPE-5 emulator.
+
+Public API
+----------
+:class:`~repro.core.treecode.TreeCode`
+    One-call force evaluation (tree build + traversal + kernel).
+:class:`~repro.core.direct.DirectSummation`
+    O(N^2) exact baseline with the same interface.
+:class:`~repro.core.mac.BarnesHutMAC`, :class:`~repro.core.mac.AbsoluteErrorMAC`
+    Acceptance criteria.
+:class:`~repro.core.kernels.Float64Backend`
+    Host-precision force kernel backend.
+
+Lower-level pieces (octree, grouping, traversal) are importable from
+their submodules for tests, ablations and custom drivers.
+"""
+
+from .direct import DirectSummation, direct_accelerations
+from .groups import GroupSet, make_groups
+from .kernels import Float64Backend, ForceBackend, pairwise_accpot
+from .mac import AbsoluteErrorMAC, BarnesHutMAC, MAC
+from .multipole import compute_moments
+from .octree import Octree, build_octree
+from .traversal import (InteractionLists, build_interaction_lists,
+                        count_interactions)
+from .treecode import TreeCode, TreeStats
+
+__all__ = [
+    "TreeCode", "TreeStats", "DirectSummation", "direct_accelerations",
+    "GroupSet", "make_groups", "Float64Backend", "ForceBackend",
+    "pairwise_accpot", "MAC", "BarnesHutMAC", "AbsoluteErrorMAC",
+    "compute_moments", "Octree", "build_octree", "InteractionLists",
+    "build_interaction_lists", "count_interactions",
+]

@@ -1,0 +1,260 @@
+"""High-level treecode API.
+
+:class:`TreeCode` packages the whole force pipeline the paper's host
+code runs each step -- tree construction, multipole computation, Barnes
+grouping, interaction-list traversal, and kernel evaluation -- behind a
+single ``accelerations(pos, mass, eps)`` call.  The kernel evaluation is
+delegated to a :class:`~repro.core.kernels.ForceBackend`, so the same
+object drives either the host float64 path or the GRAPE-5 emulator.
+
+Both algorithm variants are exposed:
+
+* ``algorithm="modified"`` (default) -- Barnes' (1990) grouped lists,
+  the variant run on GRAPE-5.  Work on the host shrinks by ~n_g while
+  the pipelined interaction count grows (longer shared lists); the
+  trade is the subject of experiment E3.
+* ``algorithm="original"`` -- one list per particle, used by the paper
+  only to *correct* the operation count (section 5) and by us for
+  accuracy/count ablations (E2, E7).
+
+After every call, :attr:`TreeCode.last_stats` holds the interaction
+statistics the paper reports: total interaction count, average list
+length, group population, and phase wall-clock times.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .groups import GroupSet, make_groups
+from .kernels import Float64Backend, ForceBackend, self_potential_correction
+from .mac import MAC, BarnesHutMAC
+from .multipole import compute_moments
+from .quadkernel import quadrupole_accpot
+from .octree import Octree, build_octree
+from .traversal import InteractionLists, build_interaction_lists
+
+__all__ = ["TreeCode", "TreeStats"]
+
+
+@dataclass
+class TreeStats:
+    """Per-call statistics of one force evaluation.
+
+    ``total_interactions`` counts every (sink particle, source term)
+    pair, i.e. for the modified algorithm each group's list length times
+    its population -- the quantity whose total over a run the paper
+    reports as 2.90e13.  ``interactions_per_particle`` is the paper's
+    "average length of the interaction list" (13,431 for the headline
+    run).
+    """
+
+    algorithm: str
+    n_particles: int
+    n_cells: int
+    depth: int
+    n_groups: int
+    mean_group_size: float
+    cell_terms: int
+    part_terms: int
+    total_interactions: int
+    interactions_per_particle: float
+    mean_list_length: float
+    max_list_length: int
+    times: Dict[str, float] = field(default_factory=dict)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat dict for report tables."""
+        row = {
+            "algorithm": self.algorithm,
+            "N": self.n_particles,
+            "cells": self.n_cells,
+            "depth": self.depth,
+            "groups": self.n_groups,
+            "n_g": round(self.mean_group_size, 1),
+            "interactions": self.total_interactions,
+            "list_len": round(self.interactions_per_particle, 1),
+        }
+        row.update({f"t_{k}": round(v, 4) for k, v in self.times.items()})
+        return row
+
+
+class TreeCode:
+    """Barnes--Hut treecode with Barnes' modified (grouped) traversal.
+
+    Parameters
+    ----------
+    theta:
+        Opening-angle accuracy parameter of the default
+        :class:`~repro.core.mac.BarnesHutMAC`.
+    n_crit:
+        Maximum particles per group; sets the paper's ``n_g`` knob.
+    leaf_size:
+        Maximum particles per tree leaf.
+    backend:
+        Force backend; host float64 when omitted.
+    mac:
+        Custom acceptance criterion (overrides ``theta``).
+    quadrupole:
+        Evaluate cell terms with monopole + traceless quadrupole on
+        the host (extension; the GRAPE pipeline is monopole-only, so
+        with this enabled only the *direct* particle terms go through
+        the backend -- exactly what a hybrid host/GRAPE quadrupole
+        scheme would do).
+    """
+
+    def __init__(self, *, theta: float = 0.75, n_crit: int = 2000,
+                 leaf_size: int = 8,
+                 backend: Optional[ForceBackend] = None,
+                 mac: Optional[MAC] = None,
+                 quadrupole: bool = False) -> None:
+        if n_crit < 1:
+            raise ValueError("n_crit must be >= 1")
+        self.theta = float(theta)
+        self.n_crit = int(n_crit)
+        self.leaf_size = int(leaf_size)
+        self.backend = backend if backend is not None else Float64Backend()
+        self.mac = mac if mac is not None else BarnesHutMAC(theta=theta)
+        self.quadrupole = bool(quadrupole)
+        self.last_stats: Optional[TreeStats] = None
+        self.last_tree: Optional[Octree] = None
+        self.last_groups: Optional[GroupSet] = None
+        self.last_lists: Optional[InteractionLists] = None
+
+    # ------------------------------------------------------------------
+    def build(self, pos: np.ndarray, mass: np.ndarray) -> Octree:
+        """Build the octree and its monopole moments.
+
+        Also re-announces the root cube to the backend (the GRAPE's
+        fixed-point coordinate window must track the particle extent).
+        """
+        tree = build_octree(pos, mass, leaf_size=self.leaf_size)
+        compute_moments(tree, quadrupole=self.quadrupole)
+        lo = float(np.min(tree.corner))
+        hi = float(np.max(tree.corner + tree.size))
+        self.backend.set_domain(lo, hi)
+        return tree
+
+    # ------------------------------------------------------------------
+    def accelerations(self, pos: np.ndarray, mass: np.ndarray,
+                      eps: float = 0.0, *, algorithm: str = "modified",
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Accelerations and potentials on every particle.
+
+        Returns ``(acc, pot)`` in the *original* particle order.
+        """
+        if algorithm not in ("modified", "original"):
+            raise ValueError(f"unknown algorithm {algorithm!r}")
+        t0 = time.perf_counter()
+        tree = self.build(pos, mass)
+        t_build = time.perf_counter() - t0
+
+        if algorithm == "modified":
+            t0 = time.perf_counter()
+            groups = make_groups(tree, self.n_crit)
+            t_group = time.perf_counter() - t0
+            sink_center, sink_radius = groups.center, groups.radius
+        else:
+            t_group = 0.0
+            groups = None
+            sink_center = tree.pos_sorted
+            sink_radius = np.zeros(tree.n_particles, dtype=np.float64)
+
+        t0 = time.perf_counter()
+        lists = build_interaction_lists(tree, sink_center, sink_radius,
+                                        self.mac)
+        t_traverse = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        acc_s = np.empty((tree.n_particles, 3), dtype=np.float64)
+        pot_s = np.empty(tree.n_particles, dtype=np.float64)
+        if algorithm == "modified":
+            sink_weights = groups.count
+            for g in range(groups.n_groups):
+                s, n = int(groups.start[g]), int(groups.count[g])
+                xi = tree.pos_sorted[s:s + n]
+                a, p = self._eval_sink(tree, lists, g, xi, eps)
+                acc_s[s:s + n] = a
+                pot_s[s:s + n] = p
+        else:
+            sink_weights = np.ones(tree.n_particles, dtype=np.int64)
+            for i in range(tree.n_particles):
+                a, p = self._eval_sink(tree, lists, i,
+                                       tree.pos_sorted[i:i + 1], eps)
+                acc_s[i] = a[0]
+                pot_s[i] = p[0]
+        # remove the Plummer self term picked up from the direct list
+        pot_s += self_potential_correction(tree.mass_sorted, eps)
+        t_eval = time.perf_counter() - t0
+
+        acc = np.empty_like(acc_s)
+        pot = np.empty_like(pot_s)
+        acc[tree.order] = acc_s
+        pot[tree.order] = pot_s
+
+        lengths = lists.list_lengths
+        total = int(np.sum(lengths * sink_weights))
+        self.last_tree = tree
+        self.last_groups = groups
+        self.last_lists = lists
+        self.last_stats = TreeStats(
+            algorithm=algorithm,
+            n_particles=tree.n_particles,
+            n_cells=tree.n_cells,
+            depth=tree.depth,
+            n_groups=(groups.n_groups if groups is not None
+                      else tree.n_particles),
+            mean_group_size=(groups.mean_size if groups is not None else 1.0),
+            cell_terms=int(lists.cell_off[-1]),
+            part_terms=int(lists.part_off[-1]),
+            total_interactions=total,
+            interactions_per_particle=total / tree.n_particles,
+            mean_list_length=float(lengths.mean()),
+            max_list_length=int(lengths.max()) if len(lengths) else 0,
+            times={"build": t_build, "group": t_group,
+                   "traverse": t_traverse, "eval": t_eval},
+        )
+        return acc, pot
+
+    # ------------------------------------------------------------------
+    def _eval_sink(self, tree: Octree, lists: InteractionLists, sink: int,
+                   xi: np.ndarray, eps: float
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate one sink\'s list through the configured path.
+
+        Monopole mode ships cells and particles together to the
+        backend (one point-mass list, as on the hardware).  Quadrupole
+        mode evaluates cell terms on the host with the
+        monopole+quadrupole kernel and only the direct particles on
+        the backend.
+        """
+        if not self.quadrupole:
+            xj, mj = self._sources(tree, lists, sink)
+            return self.backend.compute(xi, xj, mj, eps)
+        cells = lists.cells_of(sink)
+        parts = lists.parts_of(sink)
+        a_c, p_c = quadrupole_accpot(xi, tree.com[cells],
+                                     tree.mass[cells], tree.quad[cells],
+                                     eps)
+        a_p, p_p = self.backend.compute(xi, tree.pos_sorted[parts],
+                                        tree.mass_sorted[parts], eps)
+        return a_c + a_p, p_c + p_p
+
+    @staticmethod
+    def _sources(tree: Octree, lists: InteractionLists, sink: int
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble the (positions, masses) source list of one sink.
+
+        Cell monopoles and direct particles are concatenated into one
+        point-mass list -- precisely the array the host ships to the
+        GRAPE-5 particle data memory (``g5_set_xmj``).
+        """
+        cells = lists.cells_of(sink)
+        parts = lists.parts_of(sink)
+        xj = np.concatenate([tree.com[cells], tree.pos_sorted[parts]])
+        mj = np.concatenate([tree.mass[cells], tree.mass_sorted[parts]])
+        return xj, mj

@@ -1,0 +1,122 @@
+"""Two-point correlation function -- the quantitative face of figure 4.
+
+The paper shows its result as a picture (fig. 4); the standard
+quantitative statistic of the same content is the two-point correlation
+function xi(r): the excess probability over Poisson of finding a
+particle pair at separation r.  For CDM-like clustering at z = 0,
+xi(r) is a steep power law (xi ~ (r/r0)^-1.8 with r0 ~ 5/h Mpc on
+observed scales), and its emergence from near-zero initial amplitude is
+exactly what the simulation is for.
+
+Estimators:
+
+* :func:`pair_counts` -- exact pair histogram by tiled direct
+  distance counting (fine for the scaled N <= a few 10^4);
+* :func:`correlation_function` -- the natural estimator
+  ``xi = DD / RR - 1`` against the analytic RR of the sampled
+  geometry (a sphere), so no random catalogue is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["pair_counts", "sphere_rr", "correlation_function",
+           "power_law_fit"]
+
+#: Tile bound for the (n_i, n_j) distance blocks.
+_TILE = 1 << 22
+
+
+def pair_counts(pos: np.ndarray, edges: np.ndarray, *,
+                tile: int = _TILE) -> np.ndarray:
+    """Histogram of distinct pair separations into ``edges`` bins.
+
+    Exact O(N^2/2) counting, tiled to bound memory.  Returns the
+    ``len(edges) - 1`` counts of unordered pairs.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    edges = np.asarray(edges, dtype=np.float64)
+    if pos.ndim != 2 or pos.shape[1] != 3:
+        raise ValueError("pos must have shape (N, 3)")
+    if len(edges) < 2 or np.any(np.diff(edges) <= 0):
+        raise ValueError("edges must be increasing with >= 2 entries")
+    n = pos.shape[0]
+    counts = np.zeros(len(edges) - 1, dtype=np.int64)
+    step = max(1, int(tile) // max(n, 1))
+    for i0 in range(0, n, step):
+        i1 = min(i0 + step, n)
+        d = pos[i0:i1, None, :] - pos[None, :, :]
+        r = np.sqrt(np.einsum("ijk,ijk->ij", d, d))
+        # keep each unordered pair once: j > i
+        jj = np.arange(n)[None, :]
+        ii = np.arange(i0, i1)[:, None]
+        r = r[jj > ii]
+        counts += np.histogram(r, bins=edges)[0]
+    return counts
+
+
+def sphere_rr(n: int, radius: float, edges: np.ndarray,
+              n_random: int = 200_000,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Expected unordered pair counts for ``n`` *uniform* points in a
+    sphere, estimated by Monte-Carlo sampling of the pair-separation
+    distribution (exact closed forms exist but are unwieldy).
+
+    Returns expected counts scaled to ``n (n-1) / 2`` pairs.
+    """
+    if rng is None:
+        rng = np.random.default_rng(12345)
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    # sample pairs of uniform points in the sphere
+    def uniform_sphere(m):
+        v = rng.standard_normal((m, 3))
+        v /= np.linalg.norm(v, axis=1)[:, None]
+        r = radius * rng.uniform(0.0, 1.0, m) ** (1.0 / 3.0)
+        return r[:, None] * v
+
+    a = uniform_sphere(n_random)
+    b = uniform_sphere(n_random)
+    r = np.linalg.norm(a - b, axis=1)
+    frac = np.histogram(r, bins=edges)[0] / n_random
+    return frac * (n * (n - 1) / 2.0)
+
+
+def correlation_function(pos: np.ndarray, radius: float,
+                         edges: np.ndarray, *,
+                         rng: Optional[np.random.Generator] = None
+                         ) -> Tuple[np.ndarray, np.ndarray]:
+    """xi(r) of particles inside a sphere of ``radius``.
+
+    Returns ``(r_centers, xi)``; bins with no expected pairs yield NaN.
+    """
+    pos = np.asarray(pos, dtype=np.float64)
+    dd = pair_counts(pos, edges)
+    rr = sphere_rr(pos.shape[0], radius, edges, rng=rng)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        xi = np.where(rr > 0, dd / rr - 1.0, np.nan)
+    centers = np.sqrt(edges[:-1] * edges[1:])  # log-centered
+    return centers, xi
+
+
+def power_law_fit(r: np.ndarray, xi: np.ndarray, *,
+                  rmin: float = 0.0, rmax: float = np.inf
+                  ) -> Tuple[float, float]:
+    """Fit ``xi = (r / r0)^(-gamma)`` over the positive-xi range.
+
+    Returns ``(r0, gamma)``; raises if fewer than two usable bins.
+    """
+    r = np.asarray(r, dtype=np.float64)
+    xi = np.asarray(xi, dtype=np.float64)
+    ok = (np.isfinite(xi) & (xi > 0.0) & (r >= rmin) & (r <= rmax))
+    if ok.sum() < 2:
+        raise ValueError("not enough positive-xi bins for a fit")
+    slope, intercept = np.polyfit(np.log(r[ok]), np.log(xi[ok]), 1)
+    gamma = -slope
+    if gamma <= 0:
+        raise ValueError("xi does not decay; no power-law fit")
+    r0 = float(np.exp(intercept / gamma))
+    return r0, float(gamma)

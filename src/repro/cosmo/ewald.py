@@ -1,0 +1,264 @@
+"""Ewald summation for periodic gravity (extension substrate).
+
+The paper's run uses an isolated sphere, but the treecode lineage it
+belongs to (and essentially every later cosmological treecode, e.g.
+Hernquist, Bouchet & Suto 1991) handles periodic boxes by Ewald
+summation: the conditionally-convergent lattice sum of 1/r^2 forces is
+split into a short-range real-space part (erfc-screened, summed over a
+few image boxes) and a smooth reciprocal-space part (Gaussian-damped,
+summed over a few k-vectors), with the uniform background subtracted
+(gravity has no neutralising charge; the k = 0 term is dropped and a
+constant enters the potential).
+
+For a unit point mass replicated on a cubic lattice of side L, minus
+the mean background, the potential and acceleration kernels at
+displacement ``d`` (source minus sink) are
+
+    psi(d) = sum_n erfc(a r_n)/r_n  - pi/(a^2 L^3)
+             + (4 pi / L^3) sum_k exp(-k^2/4a^2) cos(k.d) / k^2
+    g(d)   = sum_n (d_n / r_n^3) [erfc(a r_n)
+             + (2 a r_n/sqrt(pi)) exp(-a^2 r_n^2)]
+             + (4 pi / L^3) sum_k (k/k^2) exp(-k^2/4a^2) sin(k.d)
+
+with ``d_n = d + n L``, both reducing to ``1/r`` and ``d/r^3`` as
+``d -> 0`` (the near image dominates).  The class
+:class:`EwaldCorrectionTable` tabulates the *difference* between these
+and the bare nearest-image kernels on a grid over the fundamental
+octant, so a periodic force evaluation is a minimum-image direct sum
+plus a cheap interpolated correction -- exactly the classic treecode
+recipe.
+
+Validation (see ``tests/cosmo/test_ewald.py``): the force inside a
+perfect particle lattice vanishes; results are independent of the
+splitting parameter; the NaCl Madelung constant is recovered to 5+
+digits (the kernels are linear in mass, so alternating-sign "masses"
+compute electrostatic lattice sums too).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import special
+
+__all__ = ["ewald_kernels", "EwaldCorrectionTable",
+           "PeriodicDirectSummation", "minimum_image"]
+
+
+def ewald_kernels(d: np.ndarray, box: float, *, alpha: Optional[float]
+                  = None, nreal: int = 3, nk: int = 3
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact periodic kernels ``(g, psi)`` at displacements ``d``.
+
+    Parameters
+    ----------
+    d:
+        ``(M, 3)`` displacement vectors; wrapped to the primary cell
+        internally (the truncated image sums are only symmetric about
+        it, so wrapping makes the result exactly periodic).
+    box:
+        Lattice period L.
+    alpha:
+        Ewald splitting parameter; default ``2 / L`` balances the two
+        sums at the defaults ``nreal = nk = 3``.
+    """
+    d = np.asarray(d, dtype=np.float64)
+    if d.ndim != 2 or d.shape[1] != 3:
+        raise ValueError("d must have shape (M, 3)")
+    if box <= 0:
+        raise ValueError("box must be positive")
+    d = minimum_image(d, box)
+    if alpha is None:
+        alpha = 2.0 / box
+    a = float(alpha)
+
+    g = np.zeros_like(d)
+    psi = np.full(d.shape[0], -math.pi / (a * a * box**3))
+
+    rng = np.arange(-nreal, nreal + 1)
+    for nx in rng:
+        for ny in rng:
+            for nz in rng:
+                dn = d + box * np.array([nx, ny, nz], dtype=np.float64)
+                r2 = np.einsum("ij,ij->i", dn, dn)
+                # exclude exact self-images (r = 0): no self force; the
+                # substituted r2 = 1 avoids overflow in the masked lanes
+                mask = r2 > 1e-24
+                r2s = np.where(mask, r2, 1.0)
+                r = np.sqrt(r2s)
+                erfc = special.erfc(a * r)
+                gauss = (2.0 * a / math.sqrt(math.pi)
+                         * np.exp(-a * a * r2s))
+                w = (erfc / r + gauss) / r2s
+                psi += np.where(mask, erfc / r, 0.0)
+                g += np.where(mask[:, None], w[:, None] * dn, 0.0)
+
+    two_pi_l = 2.0 * math.pi / box
+    krange = np.arange(-nk, nk + 1)
+    for mx in krange:
+        for my in krange:
+            for mz in krange:
+                if mx == 0 and my == 0 and mz == 0:
+                    continue
+                k = two_pi_l * np.array([mx, my, mz], dtype=np.float64)
+                k2 = float(k @ k)
+                amp = (4.0 * math.pi / box**3
+                       * math.exp(-k2 / (4.0 * a * a)) / k2)
+                phase = d @ k
+                psi += amp * np.cos(phase)
+                g += (amp * np.sin(phase))[:, None] * k[None, :]
+    return g, psi
+
+
+def minimum_image(d: np.ndarray, box: float) -> np.ndarray:
+    """Wrap displacements into the primary cell ``[-L/2, L/2)``."""
+    return d - box * np.round(np.asarray(d, dtype=np.float64) / box)
+
+
+@dataclass
+class EwaldCorrectionTable:
+    """Tabulated (periodic - nearest-image) kernel corrections.
+
+    The correction is smooth over the fundamental domain, so a modest
+    grid (default 24^3 over the octant ``[0, L/2]^3``) with trilinear
+    interpolation reproduces the exact Ewald kernels to ~1e-4 of the
+    typical force -- the accuracy budget treecodes allot to periodicity.
+
+    The odd (force) / even (potential) parity in each coordinate maps
+    arbitrary displacements onto the octant.
+    """
+
+    box: float
+    n: int = 24
+    alpha: Optional[float] = None
+    nreal: int = 3
+    nk: int = 3
+    _gtab: np.ndarray = field(default=None, repr=False)
+    _ptab: np.ndarray = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if self.box <= 0:
+            raise ValueError("box must be positive")
+        if self.n < 2:
+            raise ValueError("table needs n >= 2")
+        axis = np.linspace(0.0, 0.5 * self.box, self.n)
+        gx, gy, gz = np.meshgrid(axis, axis, axis, indexing="ij")
+        pts = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=-1)
+        g, psi = ewald_kernels(pts, self.box, alpha=self.alpha,
+                               nreal=self.nreal, nk=self.nk)
+        # subtract the bare nearest-image kernel (the direct part the
+        # caller computes itself); guard the r -> 0 singular point,
+        # where the correction tends to a finite limit
+        r2 = np.einsum("ij,ij->i", pts, pts)
+        r = np.sqrt(np.maximum(r2, 1e-300))
+        bare_g = np.where((r2 > 1e-24)[:, None],
+                          pts / np.maximum(r2, 1e-300)[:, None]
+                          / r[:, None], 0.0)
+        bare_p = np.where(r2 > 1e-24, 1.0 / r, 0.0)
+        corr_g = g - bare_g
+        corr_p = psi - bare_p
+        # r = 0: finite limits (zero force by symmetry; psi constant)
+        corr_g[0] = 0.0
+        self._gtab = corr_g.reshape(self.n, self.n, self.n, 3)
+        self._ptab = corr_p.reshape(self.n, self.n, self.n)
+
+    # ------------------------------------------------------------------
+    def correction(self, d: np.ndarray
+                   ) -> Tuple[np.ndarray, np.ndarray]:
+        """Interpolated ``(g_corr, psi_corr)`` at displacements ``d``.
+
+        ``d`` should be minimum-image wrapped; the parity maps handle
+        the octant reduction.
+        """
+        d = minimum_image(np.asarray(d, dtype=np.float64), self.box)
+        sign = np.where(d >= 0.0, 1.0, -1.0)
+        q = np.abs(d) / (0.5 * self.box) * (self.n - 1)
+        q = np.clip(q, 0.0, self.n - 1 - 1e-9)
+        i0 = q.astype(np.int64)
+        f = q - i0
+
+        g = np.zeros_like(d)
+        p = np.zeros(d.shape[0], dtype=np.float64)
+        for cx in (0, 1):
+            wx = np.where(cx, f[:, 0], 1.0 - f[:, 0])
+            ix = i0[:, 0] + cx
+            for cy in (0, 1):
+                wy = np.where(cy, f[:, 1], 1.0 - f[:, 1])
+                iy = i0[:, 1] + cy
+                for cz in (0, 1):
+                    wz = np.where(cz, f[:, 2], 1.0 - f[:, 2])
+                    iz = i0[:, 2] + cz
+                    w = wx * wy * wz
+                    g += w[:, None] * self._gtab[ix, iy, iz]
+                    p += w * self._ptab[ix, iy, iz]
+        return sign * g, p
+
+
+@dataclass
+class PeriodicDirectSummation:
+    """O(N^2) periodic force solver: minimum image + Ewald correction.
+
+    The periodic counterpart of
+    :class:`repro.core.direct.DirectSummation`, with the same
+    ``accelerations(pos, mass, eps)`` interface (Plummer softening is
+    applied to the *nearest image* part only; the correction is
+    softening-insensitive by construction since it is smooth).
+    """
+
+    box: float
+    table: Optional[EwaldCorrectionTable] = None
+    #: particles per sink tile
+    tile: int = 1 << 22
+    last_stats: Optional[dict] = None
+
+    def __post_init__(self):
+        if self.table is None:
+            self.table = EwaldCorrectionTable(self.box)
+        elif abs(self.table.box - self.box) > 1e-12:
+            raise ValueError("table box does not match solver box")
+
+    def accelerations(self, pos: np.ndarray, mass: np.ndarray,
+                      eps: float = 0.0
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        pos = np.asarray(pos, dtype=np.float64)
+        mass = np.asarray(mass, dtype=np.float64)
+        n = pos.shape[0]
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError("pos must have shape (N, 3)")
+        if mass.shape != (n,):
+            raise ValueError("mass must have shape (N,)")
+        acc = np.zeros((n, 3), dtype=np.float64)
+        pot = np.zeros(n, dtype=np.float64)
+        eps2 = float(eps) ** 2
+        tiny = np.finfo(np.float64).tiny
+
+        step = max(1, int(self.tile) // max(n, 1))
+        for i0 in range(0, n, step):
+            i1 = min(i0 + step, n)
+            d = pos[None, i0:i1, :] - pos[:, None, :]  # (N, c, 3): j - i
+            d = minimum_image(d.reshape(-1, 3), self.box)
+            # nearest-image softened kernel
+            r2 = np.einsum("ij,ij->i", d, d) + eps2
+            rinv = 1.0 / np.sqrt(np.maximum(r2, tiny))
+            if eps2 == 0.0:
+                rinv = np.where(r2 > 0.0, rinv, 0.0)
+            self_pair = np.einsum("ij,ij->i", d, d) < 1e-24
+            rinv = np.where(self_pair, 0.0, rinv)
+            mj = np.repeat(mass[i0:i1][None, :], n, axis=0).ravel()
+            # NOTE: d runs over (sink=all, source=i0:i1) after reshape
+            g_near = (rinv**3)[:, None] * d
+            p_near = rinv
+            # self pairs keep only the correction term: a particle
+            # feels its own periodic images, not itself
+            gc, pc = self.table.correction(d)
+            contrib_a = mj[:, None] * (g_near + gc)
+            contrib_p = -mj * (p_near + pc)
+            acc += contrib_a.reshape(n, i1 - i0, 3).sum(axis=1)
+            pot += contrib_p.reshape(n, i1 - i0).sum(axis=1)
+
+        self.last_stats = {"n_particles": n, "interactions": n * n,
+                           "algorithm": "periodic-direct"}
+        return acc, pot

@@ -1,0 +1,36 @@
+"""GRAPE-5 hardware emulator.
+
+The paper's machine, in software: the reduced-precision G5 force
+pipeline, the chip/board/system hierarchy, a cycle-level timing model
+(peak 109.44 Gflops for the paper's 2-board installation), and a
+libg5-style procedural API.
+
+Quick use::
+
+    from repro.core import TreeCode
+    from repro.grape import GrapeBackend
+
+    backend = GrapeBackend()                 # paper configuration
+    backend.system.set_range(-50.0, 50.0)    # announce the domain
+    tc = TreeCode(theta=0.75, n_crit=2000, backend=backend)
+    acc, pot = tc.accelerations(pos, mass, eps)
+    print(backend.model_seconds)             # modelled GRAPE wall time
+"""
+
+from .board import BoardMemoryError, ProcessorBoard
+from .chip import G5Chip
+from .cluster import ClusterConfig, GrapeCluster
+from .erroranalysis import (ErrorSample, pairwise_error_sample,
+                            required_fraction_bits, summed_error_sample)
+from .numerics import FixedPointFormat, G5Numerics, G5_NUMERICS, round_mantissa
+from .pipeline import G5Pipeline
+from .system import Grape5System, GrapeBackend
+from .timing import GrapeTimingModel, OPS_PER_INTERACTION
+
+__all__ = [
+    "ErrorSample", "pairwise_error_sample", "required_fraction_bits",
+    "summed_error_sample", "ClusterConfig", "GrapeCluster", "BoardMemoryError", "ProcessorBoard", "G5Chip", "FixedPointFormat",
+    "G5Numerics", "G5_NUMERICS", "round_mantissa", "G5Pipeline",
+    "Grape5System", "GrapeBackend", "GrapeTimingModel",
+    "OPS_PER_INTERACTION",
+]

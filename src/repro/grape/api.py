@@ -1,0 +1,163 @@
+"""libg5-style procedural API.
+
+The real GRAPE-5 is driven through a small C library whose call
+sequence, for one force evaluation, is::
+
+    g5_open();
+    g5_set_range(xmin, xmax, mmin);
+    g5_set_eps_to_all(eps);
+    g5_set_n(nj);  g5_set_xmj(0, nj, xj, mj);
+    g5_set_xi(ni, xi);
+    g5_run();
+    g5_get_force(ni, a, p);
+    g5_close();
+
+This module reproduces that interface over the emulator so that code
+written against libg5 (and the paper's treecode driver, which calls it
+per interaction list) ports line-for-line.  State lives in a module
+default :class:`~repro.grape.system.Grape5System`; ``g5_open`` may also
+be given an explicit system (e.g. a single-board configuration).
+
+All functions raise :class:`G5Error` when called out of order, mirroring
+the library's hard failure on protocol misuse.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .system import Grape5System
+
+__all__ = [
+    "G5Error", "g5_open", "g5_close", "g5_set_range", "g5_set_eps_to_all",
+    "g5_set_n", "g5_set_xmj", "g5_set_xi", "g5_run", "g5_get_force",
+    "g5_get_number_of_pipelines", "g5_get_peak_flops",
+]
+
+
+class G5Error(RuntimeError):
+    """Protocol misuse of the g5 API (call sequence violation)."""
+
+
+class _G5State:
+    def __init__(self) -> None:
+        self.system: Optional[Grape5System] = None
+        self.eps: float = 0.0
+        self.nj: int = 0
+        self.xj: Optional[np.ndarray] = None
+        self.mj: Optional[np.ndarray] = None
+        self.xi: Optional[np.ndarray] = None
+        self.acc: Optional[np.ndarray] = None
+        self.pot: Optional[np.ndarray] = None
+        self.ran: bool = False
+
+
+_state = _G5State()
+
+
+def _require_open() -> _G5State:
+    if _state.system is None:
+        raise G5Error("g5_open() has not been called")
+    return _state
+
+
+def g5_open(system: Optional[Grape5System] = None) -> Grape5System:
+    """Attach the (emulated) GRAPE-5; returns the system handle."""
+    if _state.system is not None:
+        raise G5Error("GRAPE-5 already open; call g5_close() first")
+    _state.system = system if system is not None else Grape5System()
+    cap = _state.system.boards[0].jmem_capacity
+    _state.xj = np.zeros((cap, 3), dtype=np.float64)
+    _state.mj = np.zeros(cap, dtype=np.float64)
+    _state.nj = 0
+    _state.ran = False
+    return _state.system
+
+
+def g5_close() -> None:
+    """Detach the GRAPE-5 and clear all staged state."""
+    _require_open()
+    _state.system = None
+    _state.xj = _state.mj = _state.xi = None
+    _state.acc = _state.pot = None
+    _state.nj = 0
+    _state.ran = False
+
+
+def g5_set_range(xmin: float, xmax: float, mmin: float = 0.0) -> None:
+    """Announce coordinate window (and minimum mass, accepted for API
+    fidelity; the emulator's mass format needs no floor)."""
+    s = _require_open()
+    s.system.set_range(xmin, xmax)
+
+
+def g5_set_eps_to_all(eps: float) -> None:
+    """Set the Plummer softening used by every pipeline."""
+    s = _require_open()
+    if eps < 0.0:
+        raise G5Error("eps must be non-negative")
+    s.eps = float(eps)
+
+
+def g5_set_n(nj: int) -> None:
+    """Declare the number of resident j-particles."""
+    s = _require_open()
+    if nj < 0 or nj > s.xj.shape[0]:
+        raise G5Error(f"nj={nj} exceeds particle memory")
+    s.nj = int(nj)
+
+
+def g5_set_xmj(adr: int, nj: int, xj: np.ndarray, mj: np.ndarray) -> None:
+    """Write ``nj`` j-particles at address ``adr`` of the j-memory."""
+    s = _require_open()
+    xj = np.asarray(xj, dtype=np.float64)
+    mj = np.asarray(mj, dtype=np.float64)
+    if xj.shape != (nj, 3) or mj.shape != (nj,):
+        raise G5Error("xj must be (nj, 3) and mj (nj,)")
+    if adr < 0 or adr + nj > s.xj.shape[0]:
+        raise G5Error("j-set exceeds particle memory")
+    s.xj[adr:adr + nj] = xj
+    s.mj[adr:adr + nj] = mj
+    if adr + nj > s.nj:
+        s.nj = adr + nj
+
+
+def g5_set_xi(ni: int, xi: np.ndarray) -> None:
+    """Stage ``ni`` i-particles for the next run."""
+    s = _require_open()
+    xi = np.asarray(xi, dtype=np.float64)
+    if xi.shape != (ni, 3):
+        raise G5Error("xi must have shape (ni, 3)")
+    s.xi = xi.copy()
+    s.ran = False
+
+
+def g5_run() -> None:
+    """Fire the pipelines on the staged i-set against the j-memory."""
+    s = _require_open()
+    if s.xi is None:
+        raise G5Error("g5_set_xi() must precede g5_run()")
+    if s.nj == 0:
+        raise G5Error("no j-particles loaded (g5_set_xmj/g5_set_n)")
+    s.acc, s.pot = s.system.compute(s.xi, s.xj[:s.nj], s.mj[:s.nj], s.eps)
+    s.ran = True
+
+
+def g5_get_force(ni: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Read back ``(acc, pot)`` of the last run's first ``ni`` sinks."""
+    s = _require_open()
+    if not s.ran or s.acc is None:
+        raise G5Error("g5_run() must precede g5_get_force()")
+    if ni > s.acc.shape[0]:
+        raise G5Error(f"only {s.acc.shape[0]} forces available")
+    return s.acc[:ni].copy(), s.pot[:ni].copy()
+
+
+def g5_get_number_of_pipelines() -> int:
+    return _require_open().system.n_pipelines
+
+
+def g5_get_peak_flops() -> float:
+    return _require_open().system.peak_flops

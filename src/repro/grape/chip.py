@@ -1,0 +1,52 @@
+"""The G5 chip: two force pipelines on one custom LSI.
+
+Each G5 chip houses **2 pipelines** clocked at **90 MHz** (paper
+section 2).  Functionally both pipelines are identical instances of the
+reduced-precision datapath in :mod:`repro.grape.pipeline`; the chip's
+job in the emulator is bookkeeping -- it owns its pipelines and reports
+its share of the machine's peak.
+
+Because the pipelines are *functionally deterministic* (same inputs,
+same rounded outputs), the emulator evaluates a whole (i, j) tile with
+one vectorised pipeline call rather than round-robining interactions
+over pipeline objects; which physical pipeline computed which
+interaction is unobservable in the results, exactly as on the hardware.
+The pipeline *count* matters only to the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .numerics import G5Numerics, G5_NUMERICS
+from .pipeline import G5Pipeline
+from .timing import OPS_PER_INTERACTION
+
+__all__ = ["G5Chip"]
+
+
+@dataclass
+class G5Chip:
+    """One G5 LSI: 2 pipelines at 90 MHz."""
+
+    numerics: G5Numerics = G5_NUMERICS
+    n_pipelines: int = 2
+    clock_hz: float = 90.0e6
+    pipelines: List[G5Pipeline] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.n_pipelines < 1:
+            raise ValueError("a chip needs at least one pipeline")
+        if not self.pipelines:
+            self.pipelines = [G5Pipeline(numerics=self.numerics)
+                              for _ in range(self.n_pipelines)]
+
+    def set_range(self, xmin: float, xmax: float) -> None:
+        for p in self.pipelines:
+            p.set_range(xmin, xmax)
+
+    @property
+    def peak_flops(self) -> float:
+        """Chip peak under the 38-op convention (6.84 Gflops)."""
+        return self.n_pipelines * self.clock_hz * OPS_PER_INTERACTION

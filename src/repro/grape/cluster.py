@@ -1,0 +1,146 @@
+"""Multi-node GRAPE-5 cluster model (extension).
+
+The paper's configuration is a single host with two boards.  Its
+lineage went on to win price/performance Gordon Bell entries with
+*clusters* of GRAPE hosts; this module models that scale-out so the
+cost-optimality of the paper's configuration can be examined (bench
+E10): given board and host prices, network costs and the treecode's
+communication structure, which (nodes x boards/node) minimises
+$/Mflops at a given problem size?
+
+Model assumptions (standard treecode domain decomposition):
+
+* particles are space-partitioned evenly: each node owns N/p;
+* each node builds the tree for its domain plus a halo; the halo is a
+  surface effect, ``halo ~ h * (N/p)^(2/3)`` particles exchanged per
+  step per node, plus an all-gather of the top of the tree (a small
+  constant per node pair, modelled as latency * log2 p);
+* per-node host and GRAPE times follow the single-node
+  :class:`~repro.perf.model.PerformanceModel` at the node's share;
+* the step time is the slowest node's compute plus communication
+  (perfect balance assumed -- the model gives a *lower* bound on wall
+  time, i.e. an optimistic case for clustering; the paper's 1-node
+  choice looks even better under imbalance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..host.cost import CostItem, SystemCost
+from .timing import GrapeTimingModel, OPS_PER_INTERACTION
+
+# NOTE: repro.perf.model is imported lazily inside GrapeCluster to keep
+# the package import graph acyclic (perf.model itself uses the grape
+# timing constants).
+
+__all__ = ["ClusterConfig", "GrapeCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """A cluster shape plus its interconnect parameters."""
+
+    n_nodes: int = 1
+    boards_per_node: int = 2
+    #: sustained point-to-point bandwidth, bytes/s (100 Mbit ethernet
+    #: era ~ 10 MB/s; Myrinet ~ 100 MB/s)
+    network_bandwidth: float = 10.0e6
+    #: per-message latency, seconds
+    network_latency: float = 100.0e-6
+    #: halo coefficient: halo particles = halo_coeff * (N/p)^(2/3)
+    halo_coeff: float = 6.0
+    #: bytes exchanged per halo particle (position + mass)
+    bytes_per_halo: float = 16.0
+
+    def __post_init__(self):
+        if self.n_nodes < 1 or self.boards_per_node < 1:
+            raise ValueError("need at least one node and one board")
+
+
+@dataclass
+class GrapeCluster:
+    """Performance and cost of a GRAPE-5 cluster configuration."""
+
+    config: ClusterConfig = field(default_factory=ClusterConfig)
+    node_model: "PerformanceModel" = field(default=None)
+    #: prices (paper section 4 values by default)
+    board_price_jpy: float = 1.65e6
+    host_price_jpy: float = 1.4e6
+    #: network gear per node (NIC + switch share), JPY
+    network_price_jpy: float = 0.1e6
+
+    def __post_init__(self):
+        from ..perf.model import PerformanceModel
+        if self.node_model is None:
+            timing = GrapeTimingModel(
+                n_boards=self.config.boards_per_node)
+            self.node_model = PerformanceModel(grape=timing)
+        else:
+            self.node_model.grape = GrapeTimingModel(
+                n_boards=self.config.boards_per_node)
+
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        return (self.config.n_nodes
+                * self.node_model.grape.peak_flops)
+
+    def cost(self) -> SystemCost:
+        """The configuration's price ledger."""
+        p = self.config.n_nodes
+        items = [
+            CostItem("GRAPE-5 processor board", self.board_price_jpy,
+                     p * self.config.boards_per_node),
+            CostItem("host computer", self.host_price_jpy, p),
+        ]
+        if p > 1:
+            items.append(CostItem("network (NIC + switch share)",
+                                  self.network_price_jpy, p))
+        return SystemCost(items=tuple(items))
+
+    # ------------------------------------------------------------------
+    def comm_time(self, n: int) -> float:
+        """Per-step communication seconds (halo + tree-top gather)."""
+        cfg = self.config
+        p = cfg.n_nodes
+        if p == 1:
+            return 0.0
+        n_node = n / p
+        halo = cfg.halo_coeff * n_node ** (2.0 / 3.0)
+        t_halo = halo * cfg.bytes_per_halo / cfg.network_bandwidth
+        t_gather = cfg.network_latency * math.ceil(math.log2(p)) * 4
+        return t_halo + t_gather
+
+    def step_time(self, n: int, ng: float) -> float:
+        """Modelled wall-clock seconds per simulation step."""
+        n_node = max(1, int(round(n / self.config.n_nodes)))
+        return (self.node_model.step_time(n_node, ng)
+                + self.comm_time(n))
+
+    # ------------------------------------------------------------------
+    def report(self, n: int, ng: float, steps: int,
+               effective_fraction: float) -> Dict[str, float]:
+        """Price/performance of a full run on this configuration.
+
+        ``effective_fraction`` converts raw interaction counts to the
+        original-algorithm (corrected) count -- 1/6.18 for the paper's
+        operating point.
+        """
+        t = steps * self.step_time(n, ng)
+        l = float(self.node_model.list_length(ng))
+        raw = OPS_PER_INTERACTION * steps * n * l / t
+        eff = raw * effective_fraction
+        cost = self.cost()
+        return {
+            "nodes": self.config.n_nodes,
+            "boards/node": self.config.boards_per_node,
+            "peak_Gflops": self.peak_flops / 1e9,
+            "total_hours": t / 3600.0,
+            "raw_Gflops": raw / 1e9,
+            "eff_Gflops": eff / 1e9,
+            "cost_usd": cost.total_usd,
+            "usd_per_Mflops": cost.total_usd / (eff / 1e6),
+        }

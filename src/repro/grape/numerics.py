@@ -1,0 +1,126 @@
+"""Reduced-precision number formats of the G5 pipeline.
+
+GRAPE-5 achieves its cost/performance by *not* using IEEE double
+precision in the force pipeline.  Like its ancestor GRAPE-3, the G5 chip
+uses a mix of fixed-point and short logarithmic-format arithmetic,
+giving a pair-wise force with a relative error of about **0.3 %**
+(paper, section 2).  Makino, Ito & Ebisuzaki (1990) -- the paper's
+ref. [12] -- showed analytically, and Hernquist, Hut & Makino (1993)
+numerically, that this is more than enough for collisionless N-body
+simulation: the total force error stays dominated by the tree
+approximation (~0.1 % in the paper's run).
+
+This module models the arithmetic, not the gate-level encodings:
+
+* **Fixed-point coordinates.** Host coordinates are quantised onto a
+  uniform grid spanning the range announced via ``g5_set_range``
+  (:class:`FixedPointFormat`).  Coordinate *differences* are then exact
+  differences of grid values, as in the hardware subtractor.
+* **Short-mantissa rounding.** Every pipeline stage (squaring, the r^2
+  sum, the r^-3/2 lookup, the mass multiply) rounds its result to a
+  ``fraction_bits``-bit mantissa (:func:`round_mantissa`), emulating the
+  log-format datapath whose fraction length bounds each stage's relative
+  error by ``2**-(fraction_bits+1)``.
+* **Wide accumulation.** The per-component force sum runs in a wide
+  fixed-point accumulator on the real chip; we accumulate in float64,
+  which is faithful (no accumulation error at realistic list lengths).
+
+The default :data:`G5_NUMERICS` is calibrated (see
+``tests/grape/test_numerics.py``) so the RMS pairwise force error is
+~0.3 %, the figure the paper quotes for the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["round_mantissa", "FixedPointFormat", "G5Numerics", "G5_NUMERICS"]
+
+
+def round_mantissa(x: np.ndarray, bits: int) -> np.ndarray:
+    """Round ``x`` to a ``bits``-bit mantissa (round-to-nearest).
+
+    The exponent range is unlimited (the hardware's log format covers a
+    far wider dynamic range than any force in a sane simulation), so the
+    only effect is a relative rounding error uniform in
+    ``+-2**-(bits+1)``.  ``bits`` <= 0 disables rounding.
+    """
+    if bits <= 0:
+        return np.asarray(x, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    m, e = np.frexp(x)
+    scale = float(1 << int(bits))
+    return np.ldexp(np.round(m * scale) / scale, e)
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """Signed fixed-point grid over ``[xmin, xmax)`` with ``bits`` bits.
+
+    Mirrors the coordinate format the host writes through
+    ``g5_set_range(xmin, xmax)``: positions outside the range saturate
+    (the real library clamps, and well-behaved callers re-announce the
+    range when the system expands).
+    """
+
+    bits: int
+    xmin: float
+    xmax: float
+
+    def __post_init__(self):
+        if self.bits < 2 or self.bits > 62:
+            raise ValueError(f"bits must be in [2, 62], got {self.bits}")
+        if not self.xmax > self.xmin:
+            raise ValueError("xmax must exceed xmin")
+
+    @property
+    def resolution(self) -> float:
+        """Grid spacing (the quantum of representable positions)."""
+        return (self.xmax - self.xmin) / float(1 << self.bits)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round to the nearest grid integer, saturating at the range."""
+        x = np.asarray(x, dtype=np.float64)
+        q = np.round((x - self.xmin) / self.resolution)
+        return np.clip(q, 0, float((1 << self.bits) - 1))
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """Grid integers back to coordinates (grid-cell centers)."""
+        return self.xmin + np.asarray(q, dtype=np.float64) * self.resolution
+
+    def roundtrip(self, x: np.ndarray) -> np.ndarray:
+        """Quantise then dequantise: the position the pipeline sees."""
+        return self.dequantize(self.quantize(x))
+
+
+@dataclass(frozen=True)
+class G5Numerics:
+    """Precision parameters of the emulated G5 datapath.
+
+    Attributes
+    ----------
+    position_bits:
+        Fixed-point bits per coordinate (per dimension, over the range
+        set by ``g5_set_range``).
+    force_fraction_bits:
+        Mantissa length of the log-format stages (squares, r^2 sum,
+        r^-3/2, mass multiply).  9 bits reproduces the paper's ~0.3 %
+        RMS pairwise error (calibrated in
+        ``tests/grape/test_numerics.py``); larger values model a
+        hypothetical higher-precision pipeline (used in ablation E2 to
+        confirm the "same result in 64-bit" claim -- set <= 0 to
+        disable rounding).
+    """
+
+    position_bits: int = 24
+    force_fraction_bits: int = 9
+
+    def exact(self) -> "G5Numerics":
+        """A copy with all rounding disabled (64-bit reference pipe)."""
+        return G5Numerics(position_bits=0, force_fraction_bits=0)
+
+
+#: Default numerics calibrated to the paper's 0.3 % pairwise error.
+G5_NUMERICS = G5Numerics()

@@ -1,0 +1,217 @@
+"""The full GRAPE-5 system: processor boards + host interface.
+
+This is the top of the emulator hierarchy (paper figure 1): two
+processor boards, each behind a host interface board, attached to the
+host.  It exposes:
+
+* the **functional** path -- :meth:`Grape5System.compute` evaluates a
+  force call in the hardware's reduced precision, splitting the j-set
+  over the boards and summing partial forces on the host, exactly as
+  the real library does;
+* the **performance** path -- every call is charged to the
+  :class:`~repro.grape.timing.GrapeTimingModel`, accumulating the
+  *modelled* wall-clock seconds the physical machine would have spent
+  (:attr:`Grape5System.model_seconds`), plus interaction and byte
+  counters;
+* :class:`GrapeBackend` -- the :class:`~repro.core.kernels.ForceBackend`
+  adapter that lets :class:`~repro.core.treecode.TreeCode` offload its
+  kernel to the emulator, mirroring how the paper's host code drives
+  the hardware through libg5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.kernels import ForceBackend
+from .board import ProcessorBoard
+from .numerics import G5Numerics, G5_NUMERICS
+from .timing import GrapeTimingModel, OPS_PER_INTERACTION
+
+__all__ = ["Grape5System", "GrapeBackend"]
+
+
+@dataclass
+class Grape5System:
+    """An emulated GRAPE-5 installation.
+
+    The default configuration is the paper's: 2 boards x 8 chips x 2
+    pipelines, 109.44 Gflops peak.
+    """
+
+    numerics: G5Numerics = G5_NUMERICS
+    timing: GrapeTimingModel = field(default_factory=GrapeTimingModel)
+    boards: List[ProcessorBoard] = field(default_factory=list)
+    #: when True, every force call's (n_i, n_j) shape is appended to
+    #: :attr:`call_log` -- the raw material for validating the timing
+    #: model against a real run's call-size distribution
+    record_calls: bool = False
+
+    # accumulated performance counters
+    n_calls: int = field(default=0, repr=False)
+    interactions: int = field(default=0, repr=False)
+    model_seconds: float = field(default=0.0, repr=False)
+    call_log: List[Tuple[int, int]] = field(default_factory=list,
+                                            repr=False)
+
+    _range: Optional[Tuple[float, float]] = field(default=None, repr=False)
+
+    def __post_init__(self):
+        if not self.boards:
+            self.boards = [
+                ProcessorBoard(numerics=self.numerics,
+                               n_chips=self.timing.chips_per_board)
+                for _ in range(self.timing.n_boards)
+            ]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_pipelines(self) -> int:
+        return sum(b.n_pipelines for b in self.boards)
+
+    @property
+    def peak_flops(self) -> float:
+        """Theoretical peak under the 38-op convention."""
+        return sum(b.peak_flops for b in self.boards)
+
+    def describe(self) -> Dict[str, object]:
+        """Configuration summary -- the block-diagram data of figure 1."""
+        return {
+            "boards": len(self.boards),
+            "chips_per_board": self.boards[0].n_chips,
+            "pipelines_per_chip": self.boards[0].chips[0].n_pipelines,
+            "pipelines_total": self.n_pipelines,
+            "pipeline_clock_MHz": self.timing.pipeline_clock_hz / 1e6,
+            "memory_clock_MHz": self.timing.memory_clock_hz / 1e6,
+            "virtual_multiplexing": self.timing.vmp,
+            "i_particles_per_pass": self.timing.i_per_pass,
+            "ops_per_interaction": OPS_PER_INTERACTION,
+            "peak_Gflops": self.peak_flops / 1e9,
+            "pairwise_rel_error_target": 3e-3,
+            "jmem_capacity_per_board": self.boards[0].jmem_capacity,
+        }
+
+    # ------------------------------------------------------------------
+    def set_range(self, xmin: float, xmax: float) -> None:
+        """Announce the coordinate window to every pipeline
+        (the ``g5_set_range`` call of libg5)."""
+        self._range = (float(xmin), float(xmax))
+        for b in self.boards:
+            b.set_range(xmin, xmax)
+
+    @property
+    def coordinate_range(self) -> Optional[Tuple[float, float]]:
+        return self._range
+
+    def reset_stats(self) -> None:
+        self.n_calls = 0
+        self.interactions = 0
+        self.model_seconds = 0.0
+        self.call_log.clear()
+
+    # ------------------------------------------------------------------
+    def compute(self, xi: np.ndarray, xj: np.ndarray, mj: np.ndarray,
+                eps: float) -> Tuple[np.ndarray, np.ndarray]:
+        """One force call: forces on ``xi`` from sources ``(xj, mj)``.
+
+        The j-set is split into contiguous blocks over the boards (the
+        library's multi-board scatter); each board computes a partial
+        force against its block, and the host sums the partials in
+        double precision.  The call is charged to the timing model.
+        """
+        xi = np.asarray(xi, dtype=np.float64)
+        xj = np.asarray(xj, dtype=np.float64)
+        mj = np.asarray(mj, dtype=np.float64)
+        n_i, n_j = xi.shape[0], xj.shape[0]
+
+        acc = np.zeros((n_i, 3), dtype=np.float64)
+        pot = np.zeros(n_i, dtype=np.float64)
+        if n_i == 0 or n_j == 0:
+            return acc, pot
+
+        if self._range is None:
+            # Hosts normally announce the simulation box once; absent
+            # that, emulate a cautious library default covering the call.
+            lo = min(xi.min(), xj.min())
+            hi = max(xi.max(), xj.max())
+            pad = 0.5 * (hi - lo) + 1e-12
+            self.set_range(lo - pad, hi + pad)
+
+        # A j-set larger than the combined particle memory is split
+        # into sequential passes, exactly as the library does: each
+        # pass loads, runs and accumulates, and each is charged to the
+        # timing model as a separate call.
+        capacity = sum(b.jmem_capacity for b in self.boards)
+        for c0 in range(0, n_j, capacity):
+            c1 = min(c0 + capacity, n_j)
+            self._compute_resident(xi, xj[c0:c1], mj[c0:c1], eps,
+                                   acc, pot)
+        return acc, pot
+
+    def _compute_resident(self, xi, xj, mj, eps, acc, pot) -> None:
+        """One memory-resident pass: scatter j over boards, sum."""
+        n_i, n_j = xi.shape[0], xj.shape[0]
+        nb = len(self.boards)
+        bounds = np.linspace(0, n_j, nb + 1).astype(np.int64)
+        for b, board in enumerate(self.boards):
+            j0, j1 = int(bounds[b]), int(bounds[b + 1])
+            if j1 <= j0:
+                continue
+            board.set_n(0)
+            board.load_j(xj[j0:j1], mj[j0:j1])
+            a, p = board.compute(xi, eps)
+            acc += a
+            pot += p
+
+        self.n_calls += 1
+        self.interactions += n_i * n_j
+        self.model_seconds += self.timing.force_call_time(n_i, n_j)
+        if self.record_calls:
+            self.call_log.append((n_i, n_j))
+
+    # ------------------------------------------------------------------
+    @property
+    def model_flops(self) -> float:
+        """Average modelled speed since the last reset (38-op count)."""
+        if self.model_seconds <= 0.0:
+            return 0.0
+        return OPS_PER_INTERACTION * self.interactions / self.model_seconds
+
+
+@dataclass
+class GrapeBackend(ForceBackend):
+    """Adapter: drive a :class:`Grape5System` through the generic
+    :class:`~repro.core.kernels.ForceBackend` interface.
+
+    Construct one around a system (or let it build the default paper
+    configuration) and hand it to :class:`~repro.core.treecode.TreeCode`
+    -- the treecode then behaves like the paper's host code, shipping
+    every group's interaction list to the emulated hardware.
+    """
+
+    system: Grape5System = field(default_factory=Grape5System)
+
+    name = "grape5"
+
+    def compute(self, xi, xj, mj, eps):
+        return self.system.compute(xi, xj, mj, eps)
+
+    def reset_stats(self):
+        self.system.reset_stats()
+
+    def set_domain(self, lo: float, hi: float) -> None:
+        """Re-announce the coordinate window (forwarded to
+        ``g5_set_range``); called by the treecode per tree build."""
+        self.system.set_range(lo, hi)
+
+    @property
+    def interactions(self) -> int:
+        return self.system.interactions
+
+    @property
+    def model_seconds(self) -> float:
+        """Modelled GRAPE wall-clock seconds since the last reset."""
+        return self.system.model_seconds

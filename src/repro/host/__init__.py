@@ -1,0 +1,14 @@
+"""Host-computer model and system cost accounting.
+
+The paper's host -- a COMPAQ AlphaServer DS10 -- performs tree
+construction, traversal and integration while GRAPE-5 computes forces;
+:class:`~repro.host.machine.HostMachine` models its per-operation costs
+and :class:`~repro.host.cost.SystemCost` reproduces the section-4 price
+ledger ($40,900 total, the denominator of $7.0/Mflops).
+"""
+
+from .cost import CostItem, PAPER_SYSTEM_COST, SystemCost
+from .machine import ALPHASERVER_DS10, HostMachine
+
+__all__ = ["CostItem", "PAPER_SYSTEM_COST", "SystemCost",
+           "ALPHASERVER_DS10", "HostMachine"]

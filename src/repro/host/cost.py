@@ -1,0 +1,100 @@
+"""System cost accounting (paper section 4).
+
+The Gordon Bell **price/performance** category divides the total system
+cost by the *effective* sustained speed.  The paper's ledger:
+
+=========================  ==============
+item                       price
+=========================  ==============
+GRAPE-5 board (x2)         1.65 M JPY each
+host (AlphaServer DS10,
+512 MB, C++ compiler)      1.4 M JPY
+total                      4.7 M JPY
+exchange rate              115 JPY/USD
+total (USD)                ~$40,900
+=========================  ==============
+
+$40,900 / 5.92 Gflops = **$6.9/Mflops**, reported as $7.0/Mflops.
+Experiment E4 regenerates this table; E5 combines it with the measured
+effective speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+__all__ = ["CostItem", "SystemCost", "PAPER_SYSTEM_COST"]
+
+
+@dataclass(frozen=True)
+class CostItem:
+    """One line of the price ledger."""
+
+    name: str
+    unit_price_jpy: float
+    quantity: int = 1
+
+    @property
+    def total_jpy(self) -> float:
+        return self.unit_price_jpy * self.quantity
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """A priced system configuration.
+
+    Parameters
+    ----------
+    items:
+        Ledger lines.
+    jpy_per_usd:
+        Exchange rate (the paper uses 115 JPY/USD, "the present
+        exchange rate" of 1999).
+    """
+
+    items: Tuple[CostItem, ...]
+    jpy_per_usd: float = 115.0
+
+    def __post_init__(self):
+        if self.jpy_per_usd <= 0:
+            raise ValueError("exchange rate must be positive")
+
+    @property
+    def total_jpy(self) -> float:
+        return sum(i.total_jpy for i in self.items)
+
+    @property
+    def total_usd(self) -> float:
+        return self.total_jpy / self.jpy_per_usd
+
+    def price_per_mflops(self, effective_flops: float) -> float:
+        """Dollars per sustained Mflops -- the headline metric."""
+        if effective_flops <= 0:
+            raise ValueError("effective speed must be positive")
+        return self.total_usd / (effective_flops / 1.0e6)
+
+    def ledger(self) -> List[Dict[str, object]]:
+        """Rows for the E4 cost table."""
+        rows: List[Dict[str, object]] = []
+        for i in self.items:
+            rows.append({
+                "item": i.name,
+                "quantity": i.quantity,
+                "unit_MJPY": i.unit_price_jpy / 1e6,
+                "total_MJPY": i.total_jpy / 1e6,
+            })
+        rows.append({
+            "item": "TOTAL",
+            "quantity": "",
+            "unit_MJPY": "",
+            "total_MJPY": self.total_jpy / 1e6,
+        })
+        return rows
+
+
+#: The paper's priced configuration (section 4).
+PAPER_SYSTEM_COST = SystemCost(items=(
+    CostItem("GRAPE-5 processor board", 1.65e6, 2),
+    CostItem("COMPAQ AlphaServer DS10 (512 MB, C++ compiler)", 1.4e6, 1),
+))

@@ -1,0 +1,118 @@
+"""Standard particle models for tests, examples and ablations.
+
+The paper's workload is the cosmological sphere of :mod:`repro.cosmo`,
+but accuracy and performance ablations (E2, E7, E8) also need classic
+isolated systems.  These samplers are deterministic given a
+``numpy.random.Generator`` and fully vectorised.
+
+Units are caller's choice: with ``G = 1``-style code units pass
+``total_mass = 1`` and interpret lengths in the model's scale radius.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["plummer_model", "hernquist_model", "uniform_sphere",
+           "cold_lattice_sphere"]
+
+
+def _isotropic_directions(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Unit vectors uniform on the sphere."""
+    v = rng.standard_normal((n, 3))
+    norm = np.sqrt(np.einsum("ij,ij->i", v, v))
+    norm = np.where(norm > 0, norm, 1.0)
+    return v / norm[:, None]
+
+
+def plummer_model(n: int, rng: np.random.Generator, *,
+                  total_mass: float = 1.0, scale_radius: float = 1.0,
+                  virial: bool = True, G: float = 1.0
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample a Plummer (1911) sphere: the standard N-body test model.
+
+    Positions follow the exact Plummer density; velocities are drawn
+    from the self-consistent isotropic distribution function via the
+    classic Aarseth--Henon--Wielen rejection sampling, so the system
+    starts in virial equilibrium when ``virial`` is set (otherwise
+    cold).
+
+    Returns ``(pos, vel, mass)``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    # radius from the inverse cumulative mass profile
+    u = rng.uniform(0.0, 1.0, n)
+    u = np.clip(u, 1e-10, 1.0 - 1e-10)
+    r = scale_radius / np.sqrt(u ** (-2.0 / 3.0) - 1.0)
+    pos = r[:, None] * _isotropic_directions(n, rng)
+
+    vel = np.zeros((n, 3), dtype=np.float64)
+    if virial:
+        # escape speed at r: v_e = sqrt(2 G M) (r^2 + a^2)^{-1/4}
+        v_esc = (np.sqrt(2.0 * G * total_mass)
+                 * (r**2 + scale_radius**2) ** -0.25)
+        # q = v/v_e with g(q) = q^2 (1 - q^2)^{7/2}: rejection sample
+        q = np.empty(n)
+        todo = np.arange(n)
+        while len(todo):
+            x1 = rng.uniform(0.0, 1.0, len(todo))
+            x2 = rng.uniform(0.0, 0.1, len(todo))
+            ok = x2 < x1**2 * (1.0 - x1**2) ** 3.5
+            q[todo[ok]] = x1[ok]
+            todo = todo[~ok]
+        vel = (q * v_esc)[:, None] * _isotropic_directions(n, rng)
+
+    mass = np.full(n, total_mass / n, dtype=np.float64)
+    return pos, vel, mass
+
+
+def hernquist_model(n: int, rng: np.random.Generator, *,
+                    total_mass: float = 1.0, scale_radius: float = 1.0
+                    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Hernquist (1990) sphere positions (cold): a cuspy galaxy-like
+    profile, a sterner tree-accuracy test than Plummer's soft core.
+
+    ``M(r) = M r^2 / (r + a)^2`` inverts to
+    ``r = a sqrt(u) / (1 - sqrt(u))``.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    u = np.clip(rng.uniform(0.0, 1.0, n), 1e-10, 1.0 - 1e-6)
+    s = np.sqrt(u)
+    r = scale_radius * s / (1.0 - s)
+    pos = r[:, None] * _isotropic_directions(n, rng)
+    vel = np.zeros((n, 3), dtype=np.float64)
+    mass = np.full(n, total_mass / n, dtype=np.float64)
+    return pos, vel, mass
+
+
+def uniform_sphere(n: int, rng: np.random.Generator, *,
+                   total_mass: float = 1.0, radius: float = 1.0
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cold uniform-density sphere (top-hat collapse initial state)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    r = radius * rng.uniform(0.0, 1.0, n) ** (1.0 / 3.0)
+    pos = r[:, None] * _isotropic_directions(n, rng)
+    vel = np.zeros((n, 3), dtype=np.float64)
+    mass = np.full(n, total_mass / n, dtype=np.float64)
+    return pos, vel, mass
+
+
+def cold_lattice_sphere(ngrid: int, *, total_mass: float = 1.0,
+                        radius: float = 1.0
+                        ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Deterministic sphere carved from a cubic lattice (no RNG): used
+    by property tests that need reproducible degenerate geometry."""
+    edge = (np.arange(ngrid) + 0.5) / ngrid * 2.0 - 1.0
+    qx, qy, qz = np.meshgrid(edge, edge, edge, indexing="ij")
+    q = np.stack([qx.ravel(), qy.ravel(), qz.ravel()], axis=-1) * radius
+    inside = np.einsum("ij,ij->i", q, q) <= radius**2
+    pos = q[inside]
+    n = pos.shape[0]
+    vel = np.zeros((n, 3), dtype=np.float64)
+    mass = np.full(n, total_mass / n, dtype=np.float64)
+    return pos, vel, mass

@@ -1,0 +1,6 @@
+"""Text/PGM rendering of simulation snapshots (the figure-4 view)."""
+
+from .asciiplot import line_plot
+from .projection import ascii_render, surface_density, write_pgm
+
+__all__ = ["line_plot", "ascii_render", "surface_density", "write_pgm"]

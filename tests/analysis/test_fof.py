@@ -1,0 +1,100 @@
+"""Friends-of-friends halo-finder tests."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fof import (FofCatalog, friends_of_friends,
+                                linking_length)
+
+
+class TestLinkingLength:
+    def test_scales_with_b(self, rng):
+        pos = rng.uniform(-1, 1, (500, 3))
+        assert linking_length(pos, 0.4) == pytest.approx(
+            2.0 * linking_length(pos, 0.2))
+
+    def test_explicit_volume(self):
+        pos = np.random.default_rng(1).uniform(0, 1, (1000, 3))
+        l = linking_length(pos, 0.2, volume=1.0)
+        assert l == pytest.approx(0.2 * (1.0 / 1000) ** (1 / 3))
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            linking_length(np.zeros((1, 3)))
+        with pytest.raises(ValueError):
+            linking_length(rng.uniform(0, 1, (10, 3)), b=0.0)
+
+
+class TestFriendsOfFriends:
+    def test_two_clumps_found(self, rng):
+        a = rng.normal(0.0, 0.05, (200, 3))
+        b = rng.normal(5.0, 0.05, (120, 3))
+        cat = friends_of_friends(np.concatenate([a, b]), link=0.3,
+                                 min_members=20)
+        assert cat.n_halos == 2
+        assert cat.sizes.tolist() == [200, 120]
+        # halo 0 is the bigger clump at the origin
+        assert np.linalg.norm(cat.centers[0]) < 0.05
+        assert np.allclose(cat.centers[1], 5.0, atol=0.05)
+
+    def test_chain_percolates(self):
+        """A chain of particles each within the linking length is one
+        group (FoF's defining transitivity)."""
+        pos = np.zeros((50, 3))
+        pos[:, 0] = np.arange(50) * 0.09
+        cat = friends_of_friends(pos, link=0.1, min_members=2)
+        assert cat.n_halos == 1
+        assert cat.sizes[0] == 50
+
+    def test_chain_breaks_beyond_link(self):
+        pos = np.zeros((50, 3))
+        pos[:, 0] = np.arange(50) * 0.11
+        cat = friends_of_friends(pos, link=0.1, min_members=2)
+        assert cat.n_halos == 0
+        assert np.all(cat.group == -1)
+
+    def test_min_members_filter(self, rng):
+        big = rng.normal(0, 0.05, (100, 3))
+        small = rng.normal(4, 0.01, (5, 3))
+        cat = friends_of_friends(np.concatenate([big, small]),
+                                 link=0.3, min_members=10)
+        assert cat.n_halos == 1
+        assert np.all(cat.group[100:] == -1)
+
+    def test_group_labels_consistent(self, rng):
+        pos = np.concatenate([rng.normal(0, 0.05, (60, 3)),
+                              rng.normal(3, 0.05, (40, 3))])
+        cat = friends_of_friends(pos, link=0.3, min_members=5)
+        assert len(cat.members(0)) == cat.sizes[0]
+        assert len(cat.members(1)) == cat.sizes[1]
+        assert set(cat.members(0)) == set(range(60))
+
+    def test_masses_weighted(self, rng):
+        pos = rng.normal(0, 0.05, (50, 3))
+        mass = rng.uniform(1.0, 2.0, 50)
+        cat = friends_of_friends(pos, mass, link=0.5, min_members=5)
+        assert cat.masses[0] == pytest.approx(mass.sum())
+        com = (mass[:, None] * pos).sum(axis=0) / mass.sum()
+        assert np.allclose(cat.centers[0], com)
+
+    def test_field_particles_unlabelled(self, rng):
+        pos = rng.uniform(-10, 10, (200, 3))  # sparse: no halos
+        cat = friends_of_friends(pos, link=0.05, min_members=3)
+        assert cat.n_halos == 0
+
+    def test_validation(self, rng):
+        pos = rng.uniform(0, 1, (10, 3))
+        with pytest.raises(ValueError):
+            friends_of_friends(np.zeros((5, 2)))
+        with pytest.raises(ValueError):
+            friends_of_friends(pos, mass=np.ones(5))
+        with pytest.raises(ValueError):
+            friends_of_friends(pos, link=-1.0)
+        with pytest.raises(ValueError):
+            friends_of_friends(pos, link=1.0, min_members=0)
+
+    def test_deterministic(self, rng):
+        pos = rng.normal(0, 1.0, (300, 3))
+        a = friends_of_friends(pos, link=0.5, min_members=5)
+        b = friends_of_friends(pos, link=0.5, min_members=5)
+        assert np.array_equal(a.group, b.group)

@@ -1,0 +1,50 @@
+"""Shared fixtures: deterministic particle sets of several shapes.
+
+Every stochastic fixture takes its entropy from a fixed seed so the
+whole suite is reproducible run-to-run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.models import plummer_model, uniform_sphere
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20260705)
+
+
+@pytest.fixture
+def plummer_1k(rng):
+    """A 1024-particle virialised Plummer sphere (pos, vel, mass)."""
+    return plummer_model(1024, rng)
+
+
+@pytest.fixture
+def plummer_pos_mass(plummer_1k):
+    pos, _, mass = plummer_1k
+    return pos, mass
+
+
+@pytest.fixture
+def uniform_500(rng):
+    """A cold uniform sphere of 500 particles."""
+    return uniform_sphere(500, rng)
+
+
+@pytest.fixture
+def clustered_2k(rng):
+    """A deliberately clumpy distribution: three Plummer clumps plus a
+    diffuse background -- exercises deep, uneven trees."""
+    parts = []
+    for center, n, a in (((0, 0, 0), 900, 0.1),
+                         ((1.5, 0.3, -0.2), 600, 0.05),
+                         ((-0.8, -1.1, 0.5), 400, 0.2)):
+        p, _, m = plummer_model(n, rng, scale_radius=a)
+        parts.append((p + np.asarray(center, dtype=float), m))
+    bg = rng.uniform(-2.5, 2.5, (100, 3))
+    parts.append((bg, np.full(100, 1.0 / 2000)))
+    pos = np.concatenate([p for p, _ in parts])
+    mass = np.concatenate([m for _, m in parts])
+    return pos, mass

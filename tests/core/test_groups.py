@@ -1,0 +1,117 @@
+"""Barnes grouping tests: partition, maximality, bounding spheres."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.groups import make_groups
+from repro.core.multipole import compute_moments
+from repro.core.octree import build_octree
+
+
+def _tree(pos, mass, leaf_size=8):
+    return compute_moments(build_octree(pos, mass, leaf_size=leaf_size))
+
+
+class TestMakeGroups:
+    def test_groups_tile_sorted_order(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        g = make_groups(tree, 64)
+        assert g.start[0] == 0
+        assert np.all(g.start[1:] == g.start[:-1] + g.count[:-1])
+        assert g.start[-1] + g.count[-1] == tree.n_particles
+
+    def test_every_particle_in_exactly_one_group(self, clustered_2k):
+        pos, mass = clustered_2k
+        tree = _tree(pos, mass)
+        g = make_groups(tree, 100)
+        assert g.count.sum() == tree.n_particles
+
+    def test_group_sizes_bounded(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        for ncrit in (1, 8, 50, 500):
+            g = make_groups(tree, ncrit)
+            # bound can only be exceeded by un-splittable deep leaves
+            over = g.count > ncrit
+            assert np.all(tree.is_leaf[g.cell[over]])
+
+    def test_maximality(self, plummer_pos_mass):
+        """Each group's parent cell holds more than n_crit particles."""
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        g = make_groups(tree, 64)
+        parents = tree.parent[g.cell]
+        nonroot = parents >= 0
+        assert np.all(tree.count[parents[nonroot]] > 64)
+
+    def test_whole_set_one_group_when_ncrit_large(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        g = make_groups(tree, 10**6)
+        assert g.n_groups == 1
+        assert g.cell[0] == 0
+
+    def test_ncrit_one_gives_leaves(self, uniform_500):
+        pos, _, mass = uniform_500
+        tree = _tree(pos, mass, leaf_size=1)
+        g = make_groups(tree, 1)
+        assert np.all(tree.is_leaf[g.cell])
+
+    def test_bounding_sphere_contains_members(self, clustered_2k):
+        pos, mass = clustered_2k
+        tree = _tree(pos, mass)
+        g = make_groups(tree, 128)
+        for i in range(g.n_groups):
+            s, n = int(g.start[i]), int(g.count[i])
+            d = tree.pos_sorted[s:s + n] - g.center[i]
+            r = np.sqrt(np.einsum("ij,ij->i", d, d))
+            assert np.all(r <= g.radius[i] + 1e-12)
+
+    def test_bounding_sphere_is_tight(self, plummer_pos_mass):
+        """Radius equals the max member distance (not the cube bound)."""
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        g = make_groups(tree, 64)
+        i = int(np.argmax(g.count))
+        s, n = int(g.start[i]), int(g.count[i])
+        d = tree.pos_sorted[s:s + n] - g.center[i]
+        r = np.sqrt(np.einsum("ij,ij->i", d, d))
+        assert g.radius[i] == pytest.approx(r.max())
+
+    def test_members_round_trip(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        g = make_groups(tree, 64)
+        all_members = np.concatenate(
+            [g.members(i, tree) for i in range(g.n_groups)])
+        assert np.array_equal(np.sort(all_members),
+                              np.arange(tree.n_particles))
+
+    def test_mean_size_reflects_ncrit(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        small = make_groups(tree, 16).mean_size
+        large = make_groups(tree, 256).mean_size
+        assert large > small
+
+    def test_invalid_ncrit(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tree = _tree(pos, mass)
+        with pytest.raises(ValueError):
+            make_groups(tree, 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 300), st.integers(1, 64), st.integers(0, 2**31 - 1))
+    def test_property_partition(self, n, ncrit, seed):
+        rng = np.random.default_rng(seed)
+        pos = rng.standard_normal((n, 3))
+        mass = rng.uniform(0.1, 1.0, n)
+        tree = _tree(pos, mass, leaf_size=4)
+        g = make_groups(tree, ncrit)
+        assert g.count.sum() == n
+        assert np.all(g.count >= 1)
+        # slices are disjoint and ordered
+        assert np.all(g.start[1:] == g.start[:-1] + g.count[:-1])

@@ -1,0 +1,117 @@
+"""Acceptance-criterion tests: geometry, monotonicity, group safety."""
+
+import numpy as np
+import pytest
+
+from repro.core.mac import AbsoluteErrorMAC, BarnesHutMAC
+from repro.core.multipole import compute_moments
+from repro.core.octree import build_octree
+
+
+@pytest.fixture
+def tree(plummer_pos_mass):
+    pos, mass = plummer_pos_mass
+    return compute_moments(build_octree(pos, mass))
+
+
+def _far_sink(tree, dist):
+    center = tree.com[0] + np.array([dist, 0.0, 0.0])
+    return center[None, :], np.zeros(1)
+
+
+class TestBarnesHutMAC:
+    def test_far_cell_accepted(self, tree):
+        mac = BarnesHutMAC(theta=0.75)
+        c, r = _far_sink(tree, 100.0 * tree.size)
+        assert mac.accept(tree, np.array([0]), c, r)[0]
+
+    def test_containing_cell_rejected(self, tree):
+        """A sink inside the root must open it (d_min = 0)."""
+        mac = BarnesHutMAC(theta=10.0)
+        c = tree.com[0][None, :]
+        assert not mac.accept(tree, np.array([0]), c, np.zeros(1))[0]
+
+    def test_smaller_theta_is_stricter(self, tree):
+        cells = np.arange(tree.n_cells)
+        center = tree.com[0] + np.array([2.0 * tree.size, 0, 0])
+        centers = np.tile(center, (tree.n_cells, 1))
+        radii = np.zeros(tree.n_cells)
+        loose = BarnesHutMAC(theta=1.0).accept(tree, cells, centers, radii)
+        tight = BarnesHutMAC(theta=0.3).accept(tree, cells, centers, radii)
+        # everything accepted by the tight test is accepted by the loose
+        assert np.all(loose[tight])
+
+    def test_group_radius_is_stricter_than_point(self, tree):
+        cells = np.arange(tree.n_cells)
+        center = tree.com[0] + np.array([1.5 * tree.size, 0, 0])
+        centers = np.tile(center, (tree.n_cells, 1))
+        point = BarnesHutMAC(0.75).accept(tree, cells, centers,
+                                          np.zeros(tree.n_cells))
+        group = BarnesHutMAC(0.75).accept(
+            tree, cells, centers, np.full(tree.n_cells, 0.4 * tree.size))
+        assert np.all(point[group])
+        assert group.sum() <= point.sum()
+
+    def test_threshold_distance_scaling(self, tree):
+        """Acceptance turns on once d_min exceeds l/theta + delta."""
+        mac = BarnesHutMAC(theta=0.5)
+        edge = 2.0 * tree.half[0]
+        delta = np.linalg.norm(tree.com[0] - tree.center[0])
+        d_crit = edge / 0.5 + delta
+        direction = np.array([1.0, 0.0, 0.0])
+        near = tree.com[0] + (0.9 * d_crit) * direction
+        far = tree.com[0] + (1.1 * d_crit) * direction
+        assert not mac.accept(tree, np.array([0]), near[None], np.zeros(1))[0]
+        assert mac.accept(tree, np.array([0]), far[None], np.zeros(1))[0]
+
+    def test_invalid_theta(self):
+        with pytest.raises(ValueError):
+            BarnesHutMAC(theta=0.0)
+        with pytest.raises(ValueError):
+            BarnesHutMAC(theta=-1.0)
+
+
+class TestAbsoluteErrorMAC:
+    def test_far_cell_accepted(self, tree):
+        mac = AbsoluteErrorMAC(eps_abs=1e-3)
+        c, r = _far_sink(tree, 100.0 * tree.size)
+        assert mac.accept(tree, np.array([0]), c, r)[0]
+
+    def test_containing_cell_rejected(self, tree):
+        mac = AbsoluteErrorMAC(eps_abs=1e9)
+        c = tree.com[0][None, :]
+        assert not mac.accept(tree, np.array([0]), c, np.zeros(1))[0]
+
+    def test_tighter_tolerance_is_stricter(self, tree):
+        cells = np.arange(tree.n_cells)
+        center = tree.com[0] + np.array([2.0 * tree.size, 0, 0])
+        centers = np.tile(center, (tree.n_cells, 1))
+        radii = np.zeros(tree.n_cells)
+        loose = AbsoluteErrorMAC(1e-1).accept(tree, cells, centers, radii)
+        tight = AbsoluteErrorMAC(1e-7).accept(tree, cells, centers, radii)
+        assert np.all(loose[tight])
+
+    def test_error_bound_holds(self, tree, plummer_pos_mass):
+        """Accepted cells' true monopole error must respect the bound's
+        order of magnitude (the estimate is the leading tidal term)."""
+        from repro.core.kernels import pairwise_accpot
+        pos, mass = plummer_pos_mass
+        eps_abs = 1e-4
+        mac = AbsoluteErrorMAC(eps_abs=eps_abs)
+        sink = tree.com[0] + np.array([3.0, 1.0, 0.5]) * tree.size
+        cells = np.arange(tree.n_cells)
+        ok = mac.accept(tree, cells, np.tile(sink, (tree.n_cells, 1)),
+                        np.zeros(tree.n_cells))
+        picked = cells[ok][:20]
+        for c in picked:
+            s, n = int(tree.start[c]), int(tree.count[c])
+            a_true, _ = pairwise_accpot(sink[None], tree.pos_sorted[s:s + n],
+                                        tree.mass_sorted[s:s + n], 0.0)
+            a_mono, _ = pairwise_accpot(sink[None], tree.com[c][None],
+                                        tree.mass[c][None], 0.0)
+            err = np.linalg.norm(a_true[0] - a_mono[0])
+            assert err < 10.0 * eps_abs
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            AbsoluteErrorMAC(eps_abs=0.0)

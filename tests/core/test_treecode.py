@@ -1,0 +1,175 @@
+"""End-of-core tests: TreeCode accuracy, statistics, both algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core import (AbsoluteErrorMAC, BarnesHutMAC, DirectSummation,
+                        TreeCode)
+
+
+def _rms_rel_err(a, ref):
+    e = np.linalg.norm(a - ref, axis=1) / np.linalg.norm(ref, axis=1)
+    return float(np.sqrt(np.mean(e**2)))
+
+
+@pytest.fixture
+def reference(plummer_pos_mass):
+    pos, mass = plummer_pos_mass
+    acc, pot = DirectSummation().accelerations(pos, mass, 0.01)
+    return pos, mass, acc, pot
+
+
+class TestAccuracy:
+    def test_paper_level_error(self, reference):
+        """theta = 0.75 must give a sub-percent force error (the paper
+        reports ~0.1 % on its workload)."""
+        pos, mass, acc_d, _ = reference
+        tc = TreeCode(theta=0.75, n_crit=64)
+        acc_t, _ = tc.accelerations(pos, mass, 0.01)
+        assert _rms_rel_err(acc_t, acc_d) < 5e-3
+
+    def test_error_decreases_with_theta(self, reference):
+        pos, mass, acc_d, _ = reference
+        errs = []
+        for theta in (1.2, 0.8, 0.4):
+            tc = TreeCode(theta=theta, n_crit=64)
+            acc_t, _ = tc.accelerations(pos, mass, 0.01)
+            errs.append(_rms_rel_err(acc_t, acc_d))
+        assert errs[0] > errs[1] > errs[2]
+
+    def test_tiny_theta_converges_to_direct(self, reference):
+        pos, mass, acc_d, pot_d = reference
+        tc = TreeCode(theta=0.05, n_crit=32)
+        acc_t, pot_t = tc.accelerations(pos, mass, 0.01)
+        assert _rms_rel_err(acc_t, acc_d) < 1e-6
+        assert np.allclose(pot_t, pot_d, rtol=1e-5)
+
+    def test_potential_accuracy(self, reference):
+        pos, mass, _, pot_d = reference
+        tc = TreeCode(theta=0.75, n_crit=64)
+        _, pot_t = tc.accelerations(pos, mass, 0.01)
+        rel = np.abs((pot_t - pot_d) / pot_d)
+        assert np.sqrt(np.mean(rel**2)) < 2e-3
+
+    def test_modified_more_accurate_than_original(self, reference):
+        """Paper section 3: 'our modified tree algorithm is more
+        accurate than the original tree algorithm for the same accuracy
+        parameter' (Barnes 1990)."""
+        pos, mass, acc_d, _ = reference
+        tc = TreeCode(theta=0.9, n_crit=64)
+        acc_m, _ = tc.accelerations(pos, mass, 0.01, algorithm="modified")
+        acc_o, _ = tc.accelerations(pos, mass, 0.01, algorithm="original")
+        assert _rms_rel_err(acc_m, acc_d) < _rms_rel_err(acc_o, acc_d)
+
+    def test_absolute_error_mac(self, reference):
+        pos, mass, acc_d, _ = reference
+        amean = np.mean(np.linalg.norm(acc_d, axis=1))
+        tc = TreeCode(n_crit=64, mac=AbsoluteErrorMAC(eps_abs=1e-3 * amean))
+        acc_t, _ = tc.accelerations(pos, mass, 0.01)
+        assert _rms_rel_err(acc_t, acc_d) < 5e-3
+
+    def test_clustered_distribution(self, clustered_2k):
+        pos, mass = clustered_2k
+        acc_d, _ = DirectSummation().accelerations(pos, mass, 0.01)
+        tc = TreeCode(theta=0.7, n_crit=128)
+        acc_t, _ = tc.accelerations(pos, mass, 0.01)
+        assert _rms_rel_err(acc_t, acc_d) < 5e-3
+
+
+class TestStats:
+    def test_stats_populated(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tc = TreeCode(theta=0.75, n_crit=64)
+        tc.accelerations(pos, mass, 0.01)
+        s = tc.last_stats
+        assert s.n_particles == len(pos)
+        assert s.algorithm == "modified"
+        assert s.n_groups >= 1
+        # total weights each group's list by its population, so it
+        # dominates the raw term count
+        assert s.total_interactions >= s.cell_terms + s.part_terms
+        assert s.total_interactions > 0
+        assert s.interactions_per_particle == pytest.approx(
+            s.total_interactions / s.n_particles)
+        assert set(s.times) == {"build", "group", "traverse", "eval"}
+
+    def test_total_interactions_consistent_with_backend(self,
+                                                        plummer_pos_mass):
+        """The stats' interaction count is exactly what the backend
+        evaluated (stats drive the paper's Gflops accounting)."""
+        pos, mass = plummer_pos_mass
+        tc = TreeCode(theta=0.75, n_crit=64)
+        tc.backend.reset_stats()
+        tc.accelerations(pos, mass, 0.01)
+        assert tc.backend.interactions == tc.last_stats.total_interactions
+
+    def test_original_stats(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tc = TreeCode(theta=0.75, n_crit=64)
+        tc.accelerations(pos[:300], mass[:300], 0.01, algorithm="original")
+        s = tc.last_stats
+        assert s.algorithm == "original"
+        assert s.n_groups == 300
+        assert s.mean_group_size == 1.0
+
+    def test_modified_does_more_interactions(self, plummer_pos_mass):
+        """The grouped algorithm's raw interaction count exceeds the
+        original's -- the overhead the paper corrects for."""
+        pos, mass = plummer_pos_mass
+        tc = TreeCode(theta=0.75, n_crit=128)
+        tc.accelerations(pos, mass, 0.01, algorithm="modified")
+        modified = tc.last_stats.total_interactions
+        tc.accelerations(pos, mass, 0.01, algorithm="original")
+        original = tc.last_stats.total_interactions
+        assert modified > original
+
+    def test_as_row_keys(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        tc = TreeCode(theta=0.75, n_crit=64)
+        tc.accelerations(pos, mass, 0.01)
+        row = tc.last_stats.as_row()
+        for k in ("algorithm", "N", "interactions", "list_len"):
+            assert k in row
+
+
+class TestInterface:
+    def test_results_in_original_order(self, rng):
+        """Shuffling the input must shuffle the output identically."""
+        pos = rng.standard_normal((500, 3))
+        mass = rng.uniform(0.5, 1.0, 500)
+        tc = TreeCode(theta=0.5, n_crit=50)
+        acc, pot = tc.accelerations(pos, mass, 0.01)
+        perm = rng.permutation(500)
+        acc_p, pot_p = tc.accelerations(pos[perm], mass[perm], 0.01)
+        assert np.allclose(acc_p, acc[perm], rtol=1e-12)
+        assert np.allclose(pot_p, pot[perm], rtol=1e-12)
+
+    def test_unknown_algorithm(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        with pytest.raises(ValueError):
+            TreeCode().accelerations(pos, mass, 0.01, algorithm="fmm")
+
+    def test_invalid_ncrit(self):
+        with pytest.raises(ValueError):
+            TreeCode(n_crit=0)
+
+    def test_single_group_equals_direct(self, rng):
+        """n_crit >= N: one group, whole tree opened onto itself ->
+        exact forces."""
+        pos = rng.standard_normal((200, 3))
+        mass = rng.uniform(0.5, 1.0, 200)
+        tc = TreeCode(theta=0.7, n_crit=10**6)
+        acc_t, pot_t = tc.accelerations(pos, mass, 0.05)
+        acc_d, pot_d = DirectSummation().accelerations(pos, mass, 0.05)
+        assert np.allclose(acc_t, acc_d, rtol=1e-10)
+        assert np.allclose(pot_t, pot_d, rtol=1e-10)
+
+    def test_grape_backend_integration(self, plummer_pos_mass):
+        from repro.grape import GrapeBackend
+        pos, mass = plummer_pos_mass
+        backend = GrapeBackend()
+        tc = TreeCode(theta=0.75, n_crit=64, backend=backend)
+        acc_g, _ = tc.accelerations(pos, mass, 0.01)
+        acc_d, _ = DirectSummation().accelerations(pos, mass, 0.01)
+        assert _rms_rel_err(acc_g, acc_d) < 0.02
+        assert backend.model_seconds > 0

@@ -1,0 +1,104 @@
+"""Two-point correlation function tests."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.correlation import (correlation_function, pair_counts,
+                                     power_law_fit, sphere_rr)
+
+
+class TestPairCounts:
+    def test_small_exact(self):
+        pos = np.array([[0.0, 0, 0], [1.0, 0, 0], [0, 2.0, 0]])
+        edges = np.array([0.5, 1.5, 2.5])
+        # pairs: (0,1) r=1; (0,2) r=2; (1,2) r=sqrt(5)~2.24
+        counts = pair_counts(pos, edges)
+        assert counts.tolist() == [1, 2]
+
+    def test_total_pairs(self, rng):
+        pos = rng.uniform(0, 1, (50, 3))
+        edges = np.array([0.0, 10.0])
+        assert pair_counts(pos, edges)[0] == 50 * 49 // 2
+
+    def test_tile_invariance(self, rng):
+        pos = rng.uniform(0, 1, (80, 3))
+        edges = np.linspace(0.0, 2.0, 10)
+        a = pair_counts(pos, edges)
+        b = pair_counts(pos, edges, tile=128)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            pair_counts(np.zeros((3, 2)), np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            pair_counts(np.zeros((3, 3)), np.array([1.0, 0.5]))
+
+
+class TestSphereRR:
+    def test_total_matches_pair_count(self, rng):
+        n = 200
+        edges = np.array([0.0, 3.0])  # diameter bin: all pairs
+        rr = sphere_rr(n, 1.5, edges, rng=rng)
+        assert rr[0] == pytest.approx(n * (n - 1) / 2, rel=1e-6)
+
+    def test_uniform_points_give_zero_xi(self, rng):
+        """xi of actually-uniform points must vanish within noise."""
+        n = 3000
+        v = rng.standard_normal((n, 3))
+        v /= np.linalg.norm(v, axis=1)[:, None]
+        pos = (rng.uniform(0, 1, n) ** (1 / 3))[:, None] * v * 2.0
+        edges = np.geomspace(0.2, 1.5, 8)
+        r, xi = correlation_function(pos, 2.0, edges, rng=rng)
+        assert np.nanmax(np.abs(xi)) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sphere_rr(10, 0.0, np.array([0.0, 1.0]))
+
+
+class TestCorrelationFunction:
+    def test_clustered_points_positive_xi(self, rng):
+        """Clumped points show strong small-scale excess."""
+        centers = rng.uniform(-1.0, 1.0, (20, 3))
+        pts = (centers[:, None, :]
+               + 0.03 * rng.standard_normal((20, 100, 3))).reshape(-1, 3)
+        r = np.linalg.norm(pts, axis=1)
+        pts = pts[r < 2.0]
+        edges = np.geomspace(0.01, 1.0, 10)
+        rc, xi = correlation_function(pts, 2.0, edges, rng=rng)
+        assert np.nanmax(xi[:4]) > 5.0  # big clumping signal
+        # and it decays outward
+        inner = np.nanmean(xi[:3])
+        outer = np.nanmean(xi[-3:])
+        assert inner > outer
+
+    def test_bin_centers_geometric(self, rng):
+        edges = np.geomspace(0.1, 10.0, 5)
+        pos = rng.uniform(-1, 1, (30, 3))
+        rc, _ = correlation_function(pos, 2.0, edges, rng=rng)
+        assert np.allclose(rc, np.sqrt(edges[:-1] * edges[1:]))
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_power_law(self):
+        r = np.geomspace(0.1, 10.0, 20)
+        xi = (r / 2.0) ** -1.8
+        r0, gamma = power_law_fit(r, xi)
+        assert r0 == pytest.approx(2.0, rel=1e-6)
+        assert gamma == pytest.approx(1.8, rel=1e-6)
+
+    def test_range_restriction(self):
+        r = np.geomspace(0.1, 10.0, 20)
+        xi = (r / 2.0) ** -1.8
+        xi[:5] = 100.0  # corrupt small scales
+        r0, gamma = power_law_fit(r, xi, rmin=0.5)
+        assert gamma == pytest.approx(1.8, rel=1e-6)
+
+    def test_rejects_insufficient_data(self):
+        with pytest.raises(ValueError):
+            power_law_fit(np.array([1.0, 2.0]), np.array([-1.0, np.nan]))
+
+    def test_rejects_rising_xi(self):
+        r = np.geomspace(0.1, 10.0, 10)
+        with pytest.raises(ValueError):
+            power_law_fit(r, r**2)

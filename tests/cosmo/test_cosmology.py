@@ -1,0 +1,88 @@
+"""Background cosmology tests: the paper's SCDM and the general model."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.cosmology import Cosmology, SCDM
+
+
+class TestSCDM:
+    def test_is_eds(self):
+        assert SCDM.is_eds
+        assert SCDM.h == 0.5
+        assert SCDM.H0 == 50.0
+
+    def test_age_of_universe(self):
+        """EdS, h = 0.5: t0 = 2/(3 H0) ~ 13.0 Gyr."""
+        from repro.cosmo.units import GYR_PER_TIME_UNIT
+        t0 = SCDM.age(0.0)
+        assert t0 == pytest.approx(2.0 / (3.0 * 50.0))
+        assert t0 * GYR_PER_TIME_UNIT == pytest.approx(13.0, abs=0.1)
+
+    def test_age_at_z24(self):
+        """t(z) = t0 (1+z)^{-3/2}: the paper's start is t0/125."""
+        assert SCDM.age(24.0) == pytest.approx(SCDM.age(0.0) / 125.0)
+
+    def test_a_of_t_inverts_age(self):
+        for z in (0.0, 1.0, 24.0):
+            a = float(SCDM.a_of_z(z))
+            assert SCDM.a_of_t(SCDM.age(z)) == pytest.approx(a, rel=1e-10)
+
+    def test_growth_is_scale_factor(self):
+        z = np.array([0.0, 1.0, 24.0])
+        assert np.allclose(SCDM.growth_factor(z), 1.0 / (1.0 + z))
+
+    def test_growth_rate_is_one(self):
+        assert float(SCDM.growth_rate(3.0)) == 1.0
+
+    def test_hubble_scaling(self):
+        """EdS: H(z) = H0 (1+z)^{3/2}."""
+        assert float(SCDM.H(SCDM.a_of_z(24.0))) == pytest.approx(
+            50.0 * 25.0**1.5)
+
+    def test_mean_density_matches_paper_particle_mass(self):
+        """rho_m * V(50 Mpc sphere) / 2,159,038 ~ 1.7e10 M_sun."""
+        rho = SCDM.mean_matter_density()
+        m = rho * (4.0 / 3.0) * np.pi * 50.0**3 / 2_159_038
+        assert m == pytest.approx(1.7e10, rel=0.02)
+
+
+class TestGeneralCosmology:
+    def test_lcdm_growth_suppressed(self):
+        """Lambda suppresses growth: D_LCDM(z)/D_LCDM(0) > a at z > 0
+        ... i.e. normalised growth at high z exceeds the EdS value."""
+        lcdm = Cosmology(h=0.7, omega_m=0.3, omega_l=0.7)
+        d = float(lcdm.growth_factor(2.0))
+        assert d > 1.0 / 3.0  # EdS would give exactly a = 1/3
+
+    def test_lcdm_age_exceeds_eds(self):
+        lcdm = Cosmology(h=0.5, omega_m=0.3, omega_l=0.7)
+        assert lcdm.age(0.0) > SCDM.age(0.0)
+
+    def test_e_function_at_a1(self):
+        c = Cosmology(h=0.7, omega_m=0.3, omega_l=0.7)
+        assert float(c.E(1.0)) == pytest.approx(1.0)
+
+    def test_growth_normalised_at_z0(self):
+        c = Cosmology(h=0.7, omega_m=0.3, omega_l=0.7)
+        assert float(c.growth_factor(0.0)) == pytest.approx(1.0, rel=1e-6)
+
+    def test_growth_rate_omega055(self):
+        c = Cosmology(h=0.7, omega_m=0.3, omega_l=0.7)
+        f0 = float(c.growth_rate(0.0))
+        assert f0 == pytest.approx(0.3**0.55, rel=1e-6)
+
+    def test_a_of_t_inverts_age_lcdm(self):
+        c = Cosmology(h=0.7, omega_m=0.3, omega_l=0.7)
+        t = c.age(1.0)
+        assert c.a_of_t(t) == pytest.approx(0.5, rel=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cosmology(h=0.0)
+        with pytest.raises(ValueError):
+            Cosmology(omega_m=0.0)
+
+    def test_a_of_t_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SCDM.a_of_t(0.0)

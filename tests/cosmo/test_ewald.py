@@ -1,0 +1,168 @@
+"""Ewald periodic-gravity tests: the classic validation battery."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.ewald import (EwaldCorrectionTable,
+                               PeriodicDirectSummation, ewald_kernels,
+                               minimum_image)
+
+
+class TestKernels:
+    def test_short_range_limit(self):
+        """Close pairs feel the bare Newtonian kernel."""
+        d = np.array([[0.01, 0.0, 0.0]])
+        g, psi = ewald_kernels(d, 1.0)
+        assert g[0, 0] == pytest.approx(1.0 / 0.01**2, rel=1e-4)
+        # psi = 1/r + lattice constant
+        assert psi[0] - 100.0 == pytest.approx(-2.837297, abs=1e-3)
+
+    def test_alpha_independence(self):
+        """The split is exact: results cannot depend on alpha."""
+        d = np.array([[0.3, 0.1, -0.2], [0.45, -0.4, 0.05]])
+        ref_g, ref_p = ewald_kernels(d, 1.0, alpha=2.0, nreal=4, nk=5)
+        for a in (1.5, 3.0):
+            g, p = ewald_kernels(d, 1.0, alpha=a, nreal=4, nk=5)
+            assert np.allclose(g, ref_g, rtol=1e-9)
+            assert np.allclose(p, ref_p, rtol=1e-9)
+
+    def test_symmetry_points_zero_force(self):
+        """Force vanishes at the body center and face centers."""
+        pts = np.array([[0.5, 0.5, 0.5], [0.5, 0.0, 0.0],
+                        [0.5, 0.5, 0.0]])
+        g, _ = ewald_kernels(pts, 1.0)
+        assert np.abs(g).max() < 1e-10
+
+    def test_periodicity(self):
+        d = np.array([[0.3, -0.2, 0.1]])
+        g1, p1 = ewald_kernels(d, 1.0)
+        g2, p2 = ewald_kernels(d + np.array([[1.0, -2.0, 3.0]]), 1.0)
+        assert np.allclose(g1, g2, atol=1e-9)
+        assert np.allclose(p1, p2, atol=1e-9)
+
+    def test_antisymmetry(self):
+        d = np.array([[0.31, -0.17, 0.22]])
+        g1, p1 = ewald_kernels(d, 1.0)
+        g2, p2 = ewald_kernels(-d, 1.0)
+        assert np.allclose(g1, -g2)
+        assert p1[0] == pytest.approx(p2[0])
+
+    def test_madelung_constant(self):
+        """NaCl Madelung constant 1.747565 from the 8-site cubic cell
+        (kernels are linear in 'mass', so signed charges work)."""
+        pos, q = [], []
+        for i in range(2):
+            for j in range(2):
+                for k in range(2):
+                    pos.append([i / 2, j / 2, k / 2])
+                    q.append((-1.0) ** (i + j + k))
+        pos, q = np.array(pos), np.array(q)
+        # self-lattice constant: psi(r) - 1/r as r -> 0
+        eps = np.array([[1e-4, 0, 0]])
+        _, p0 = ewald_kernels(eps, 1.0, nreal=4, nk=6)
+        phi = q[0] * (p0[0] - 1e4)
+        for j in range(1, 8):
+            _, pj = ewald_kernels((pos[j] - pos[0])[None], 1.0,
+                                  nreal=4, nk=6)
+            phi += q[j] * pj[0]
+        madelung = -phi * 0.5  # nearest-neighbour spacing 1/2
+        assert madelung == pytest.approx(1.747565, abs=2e-5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ewald_kernels(np.zeros((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            ewald_kernels(np.zeros((2, 3)), 0.0)
+
+
+class TestMinimumImage:
+    def test_wrap(self):
+        d = np.array([[0.7, -0.6, 0.2]])
+        w = minimum_image(d, 1.0)
+        assert np.allclose(w, [[-0.3, 0.4, 0.2]])
+
+    def test_idempotent(self, rng):
+        d = rng.uniform(-3, 3, (50, 3))
+        w = minimum_image(d, 1.0)
+        assert np.allclose(minimum_image(w, 1.0), w)
+        assert np.all(np.abs(w) <= 0.5 + 1e-12)
+
+
+class TestCorrectionTable:
+    def test_matches_exact_kernels(self, rng):
+        table = EwaldCorrectionTable(1.0, n=24)
+        d = minimum_image(rng.uniform(-0.5, 0.5, (50, 3)), 1.0)
+        gc, pc = table.correction(d)
+        g_ex, p_ex = ewald_kernels(d, 1.0)
+        r2 = np.einsum("ij,ij->i", d, d)
+        r = np.sqrt(r2)
+        bare_g = d / (r2 * r)[:, None]
+        bare_p = 1.0 / r
+        # interpolation error small relative to the typical force scale
+        scale = np.abs(g_ex).max()
+        assert np.abs((gc + bare_g) - g_ex).max() < 2e-3 * scale
+        assert np.abs((pc + bare_p) - p_ex).max() < 1e-2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EwaldCorrectionTable(0.0)
+        with pytest.raises(ValueError):
+            EwaldCorrectionTable(1.0, n=1)
+
+
+class TestPeriodicDirect:
+    @pytest.fixture(scope="class")
+    def solver(self):
+        return PeriodicDirectSummation(box=1.0)
+
+    def test_lattice_equilibrium(self, solver):
+        """A perfect lattice is a (unstable) equilibrium: forces ~ 0
+        up to table-interpolation error."""
+        edge = (np.arange(4) + 0.5) / 4
+        gx, gy, gz = np.meshgrid(edge, edge, edge, indexing="ij")
+        pos = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=-1)
+        acc, pot = solver.accelerations(pos, np.ones(64), 0.0)
+        # typical pair force scale at the lattice spacing
+        scale = 1.0 / (1.0 / 4.0) ** 2
+        assert np.abs(acc).max() < 5e-4 * scale
+        assert pot.std() < 1e-10  # uniform potential by symmetry
+
+    def test_momentum_conserved(self, solver, rng):
+        pos = rng.uniform(0, 1, (60, 3))
+        mass = rng.uniform(0.5, 1.5, 60)
+        acc, _ = solver.accelerations(pos, mass, 0.01)
+        p = (mass[:, None] * acc).sum(axis=0)
+        assert np.abs(p).max() < 1e-10 * np.abs(acc).max()
+
+    def test_matches_exact_ewald(self, solver, rng):
+        pos = rng.uniform(0, 1, (30, 3))
+        mass = rng.uniform(0.5, 1.5, 30)
+        acc, _ = solver.accelerations(pos, mass, 0.0)
+        d = pos[1:] - pos[0]
+        g, _ = ewald_kernels(d, 1.0, nreal=4, nk=5)
+        exact = (mass[1:, None] * g).sum(axis=0)
+        assert np.linalg.norm(acc[0] - exact) < 2e-3 * np.linalg.norm(
+            exact) + 1e-3
+
+    def test_translation_invariance(self, solver, rng):
+        """Periodic forces are invariant under a global shift."""
+        pos = rng.uniform(0, 1, (40, 3))
+        mass = rng.uniform(0.5, 1.5, 40)
+        a1, _ = solver.accelerations(pos, mass, 0.01)
+        a2, _ = solver.accelerations((pos + 0.37) % 1.0, mass, 0.01)
+        assert np.allclose(a1, a2, atol=1e-4 * np.abs(a1).max())
+
+    def test_tile_invariance(self, rng):
+        pos = rng.uniform(0, 1, (25, 3))
+        mass = np.ones(25)
+        big = PeriodicDirectSummation(box=1.0)
+        small = PeriodicDirectSummation(box=1.0, tile=64)
+        a1, p1 = big.accelerations(pos, mass, 0.01)
+        a2, p2 = small.accelerations(pos, mass, 0.01)
+        assert np.allclose(a1, a2, rtol=1e-12)
+        assert np.allclose(p1, p2, rtol=1e-12)
+
+    def test_box_mismatch_rejected(self):
+        t = EwaldCorrectionTable(2.0, n=4)
+        with pytest.raises(ValueError):
+            PeriodicDirectSummation(box=1.0, table=t)

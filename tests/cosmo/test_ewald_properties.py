@@ -1,0 +1,94 @@
+"""Hypothesis property tests for the periodic-gravity substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cosmo.ewald import ewald_kernels, minimum_image
+from repro.cosmo.pm import ParticleMesh
+
+COMMON = dict(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestEwaldProperties:
+    @settings(**COMMON)
+    @given(st.integers(0, 2**31 - 1), st.floats(1.2, 3.5),
+           st.floats(0.5, 8.0))
+    def test_alpha_and_box_scaling(self, seed, alpha_scale, box):
+        """Exactness in alpha, and the scaling law
+        g(s*d; s*L) = g(d; L) / s^2 (gravity is scale-free)."""
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(-0.45, 0.45, (6, 3))
+        g1, p1 = ewald_kernels(d, 1.0, alpha=2.0, nreal=4, nk=5)
+        g2, p2 = ewald_kernels(d, 1.0, alpha=alpha_scale, nreal=4, nk=5)
+        assert np.allclose(g1, g2, rtol=1e-7, atol=1e-9)
+        assert np.allclose(p1, p2, rtol=1e-7, atol=1e-9)
+        gs, ps = ewald_kernels(box * d, box, nreal=4, nk=5)
+        assert np.allclose(gs, g1 / box**2, rtol=1e-7, atol=1e-9)
+        assert np.allclose(ps, p1 / box, rtol=1e-7, atol=1e-9)
+
+    @settings(**COMMON)
+    @given(st.integers(0, 2**31 - 1))
+    def test_pair_antisymmetry_random(self, seed):
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(-0.49, 0.49, (8, 3))
+        g1, p1 = ewald_kernels(d, 1.0)
+        g2, p2 = ewald_kernels(-d, 1.0)
+        assert np.allclose(g1, -g2, atol=1e-10)
+        assert np.allclose(p1, p2, atol=1e-10)
+
+    @settings(**COMMON)
+    @given(st.integers(0, 2**31 - 1), st.integers(-3, 3),
+           st.integers(-3, 3), st.integers(-3, 3))
+    def test_lattice_periodicity_random(self, seed, nx, ny, nz):
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(-0.49, 0.49, (5, 3))
+        shift = np.array([nx, ny, nz], dtype=np.float64)
+        g1, p1 = ewald_kernels(d, 1.0)
+        g2, p2 = ewald_kernels(d + shift, 1.0)
+        assert np.allclose(g1, g2, atol=1e-10)
+        assert np.allclose(p1, p2, atol=1e-10)
+
+
+class TestMinimumImageProperties:
+    @settings(**COMMON)
+    @given(st.integers(0, 2**31 - 1), st.floats(0.5, 10.0))
+    def test_wrap_in_half_box(self, seed, box):
+        rng = np.random.default_rng(seed)
+        d = rng.uniform(-5 * box, 5 * box, (50, 3))
+        w = minimum_image(d, box)
+        assert np.all(np.abs(w) <= 0.5 * box * (1 + 1e-12))
+        # difference is an integer number of boxes
+        k = (d - w) / box
+        assert np.allclose(k, np.round(k), atol=1e-9)
+
+
+class TestPMProperties:
+    @settings(**COMMON)
+    @given(st.integers(0, 2**31 - 1), st.integers(8, 24))
+    def test_momentum_and_mass_any_config(self, seed, ngrid):
+        rng = np.random.default_rng(seed)
+        pm = ParticleMesh(box=1.0, ngrid=ngrid)
+        n = 50 + seed % 100
+        pos = rng.uniform(0, 1, (n, 3))
+        mass = rng.uniform(0.1, 2.0, n)
+        rho = pm.density(pos, mass)
+        assert rho.sum() * pm.cell**3 == pytest.approx(mass.sum(),
+                                                       rel=1e-10)
+        acc, _ = pm.accelerations(pos, mass)
+        p = np.abs((mass[:, None] * acc).sum(axis=0)).max()
+        assert p < 1e-8 * max(np.abs(acc).max(), 1e-300)
+
+    @settings(**COMMON)
+    @given(st.integers(0, 2**31 - 1))
+    def test_linearity_in_mass(self, seed):
+        rng = np.random.default_rng(seed)
+        pm = ParticleMesh(box=1.0, ngrid=16)
+        pos = rng.uniform(0, 1, (40, 3))
+        mass = rng.uniform(0.1, 1.0, 40)
+        a1, p1 = pm.accelerations(pos, mass)
+        a2, p2 = pm.accelerations(pos, 3.0 * mass)
+        assert np.allclose(a2, 3.0 * a1, rtol=1e-10)
+        assert np.allclose(p2, 3.0 * p1, rtol=1e-10)

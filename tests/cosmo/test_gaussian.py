@@ -1,0 +1,103 @@
+"""Gaussian random field tests: statistics match the input spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.gaussian import (displacement_field, gaussian_density_field,
+                                  grid_wavenumbers)
+from repro.cosmo.power import PowerSpectrum
+
+
+class TestWavenumbers:
+    def test_shapes_broadcast(self):
+        kx, ky, kz = grid_wavenumbers(8, 100.0)
+        assert kx.shape == (8, 1, 1)
+        assert ky.shape == (1, 8, 1)
+        assert kz.shape == (1, 1, 8)
+
+    def test_fundamental_mode(self):
+        kx, _, _ = grid_wavenumbers(16, 50.0)
+        assert kx[1, 0, 0] == pytest.approx(2.0 * np.pi / 50.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_wavenumbers(1, 10.0)
+        with pytest.raises(ValueError):
+            grid_wavenumbers(8, 0.0)
+
+
+class TestDensityField:
+    def test_real_and_zero_mean(self, rng):
+        ps = PowerSpectrum()
+        d = gaussian_density_field(ps, 16, 100.0, rng)
+        assert d.shape == (16, 16, 16)
+        assert d.dtype == np.float64
+        assert abs(d.mean()) < 1e-10  # DC mode removed exactly
+
+    def test_deterministic_given_seed(self):
+        ps = PowerSpectrum()
+        d1 = gaussian_density_field(ps, 8, 100.0,
+                                    np.random.default_rng(11))
+        d2 = gaussian_density_field(ps, 8, 100.0,
+                                    np.random.default_rng(11))
+        assert np.array_equal(d1, d2)
+
+    def test_variance_matches_spectrum(self):
+        """<delta^2> on the mesh = (1/V) sum_k P(k): check to ~15 %
+        over an ensemble of a few realisations."""
+        ps = PowerSpectrum()
+        ngrid, box = 16, 200.0
+        kx, ky, kz = grid_wavenumbers(ngrid, box)
+        kk = np.sqrt(kx**2 + ky**2 + kz**2)
+        p = ps(kk)
+        # the generator zeroes the DC mode and the Nyquist planes
+        p[0, 0, 0] = 0.0
+        p[ngrid // 2, :, :] = 0.0
+        p[:, ngrid // 2, :] = 0.0
+        p[:, :, ngrid // 2] = 0.0
+        expect = p.sum() / box**3
+        got = np.mean([
+            gaussian_density_field(ps, ngrid, box,
+                                   np.random.default_rng(s)).var()
+            for s in range(5)])
+        assert got == pytest.approx(expect, rel=0.15)
+
+    def test_amplitude_scales_with_power(self, rng):
+        ps1 = PowerSpectrum(sigma8=0.3)
+        ps2 = PowerSpectrum(sigma8=0.6)
+        d1 = gaussian_density_field(ps1, 8, 100.0,
+                                    np.random.default_rng(3))
+        d2 = gaussian_density_field(ps2, 8, 100.0,
+                                    np.random.default_rng(3))
+        assert np.allclose(d2, 2.0 * d1, rtol=1e-10)
+
+
+class TestDisplacementField:
+    def test_shapes(self, rng):
+        ps = PowerSpectrum()
+        delta, psi = displacement_field(ps, 8, 100.0, rng)
+        assert delta.shape == (8, 8, 8)
+        assert psi.shape == (8, 8, 8, 3)
+
+    def test_continuity_relation(self, rng):
+        """div psi = -delta (linear continuity), checked spectrally."""
+        ps = PowerSpectrum()
+        ngrid, box = 16, 100.0
+        delta, psi = displacement_field(ps, ngrid, box, rng)
+        kx, ky, kz = grid_wavenumbers(ngrid, box)
+        div_k = (1j * kx * np.fft.fftn(psi[..., 0])
+                 + 1j * ky * np.fft.fftn(psi[..., 1])
+                 + 1j * kz * np.fft.fftn(psi[..., 2]))
+        div = np.fft.ifftn(div_k).real
+        assert np.allclose(div, -delta, atol=1e-8 * np.abs(delta).max())
+
+    def test_displacement_is_curl_free(self, rng):
+        """psi = grad(phi): its curl must vanish (checked spectrally)."""
+        ps = PowerSpectrum()
+        ngrid, box = 16, 100.0
+        _, psi = displacement_field(ps, ngrid, box, rng)
+        kx, ky, kz = grid_wavenumbers(ngrid, box)
+        fx = np.fft.fftn(psi[..., 0])
+        fy = np.fft.fftn(psi[..., 1])
+        curl_z = np.fft.ifftn(1j * kx * fy - 1j * ky * fx).real
+        assert np.abs(curl_z).max() < 1e-8 * np.abs(psi).max()

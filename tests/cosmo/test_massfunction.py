@@ -1,0 +1,87 @@
+"""Press--Schechter mass-function tests."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.cosmology import Cosmology
+from repro.cosmo.massfunction import DELTA_C, PressSchechter
+from repro.cosmo.power import PowerSpectrum
+
+
+@pytest.fixture(scope="module")
+def ps():
+    return PressSchechter()
+
+
+class TestScales:
+    def test_lagrangian_radius_mass_relation(self, ps):
+        """R(M) inverts M = (4/3) pi rho R^3."""
+        m = 1e14
+        r = float(ps.lagrangian_radius(np.array([m]))[0])
+        rho = ps.cosmology.mean_matter_density()
+        assert 4.0 / 3.0 * np.pi * rho * r**3 == pytest.approx(m,
+                                                               rel=1e-9)
+
+    def test_sigma_decreases_with_mass(self, ps):
+        m = np.array([1e12, 1e13, 1e14, 1e15])
+        s = ps.sigma_m(m)
+        assert np.all(np.diff(s) < 0)
+
+    def test_nu_grows_with_mass_and_redshift(self, ps):
+        m = np.array([1e13])
+        assert float(ps.nu(m, 0.0)[0]) < float(ps.nu(m, 2.0)[0])
+        assert float(ps.nu(np.array([1e12]))[0]) < float(ps.nu(np.array([1e15]))[0])
+
+    def test_characteristic_mass_order(self, ps):
+        """M* for SCDM sigma8=0.6 sits at group scale, ~1e13-1e14."""
+        mstar = ps.characteristic_mass()
+        assert 1e12 < mstar < 1e14
+        assert float(ps.nu(np.array([mstar]))[0]) == pytest.approx(1.0,
+                                                                abs=0.01)
+
+    def test_characteristic_mass_falls_with_z(self, ps):
+        assert ps.characteristic_mass(2.0) < ps.characteristic_mass(0.0)
+
+
+class TestAbundance:
+    def test_exponential_cutoff(self, ps):
+        """Above M*, abundance falls faster than any power."""
+        m = np.array([1e14, 1e15, 1e16])
+        dn = ps.dn_dlnm(m)
+        assert dn[1] / dn[0] < 0.2
+        assert dn[2] / dn[1] < dn[1] / dn[0]
+
+    def test_mass_integral_accounts_for_all_matter(self, ps):
+        """With the famous factor of 2 included (as here), PS places
+        *all* matter in halos: the mass integral converges to rho_m.
+        Over [1e8, 1e17] M_sun most, but not quite all, of it is
+        captured (the remainder sits in still-smaller objects)."""
+        lnm = np.linspace(np.log(1e8), np.log(1e17), 120)
+        m = np.exp(lnm)
+        rho_in_halos = np.trapezoid(m * ps.dn_dlnm(m), lnm)
+        rho = ps.cosmology.mean_matter_density()
+        assert 0.7 * rho < rho_in_halos < 1.0 * rho
+
+    def test_number_in_sphere_scales_with_volume(self, ps):
+        n1 = ps.number_in_sphere(1e13, 1e15, 25.0)
+        n2 = ps.number_in_sphere(1e13, 1e15, 50.0)
+        assert n2 == pytest.approx(8.0 * n1, rel=1e-9)
+
+    def test_abundance_grows_with_time(self, ps):
+        m = np.array([1e14])
+        assert float(ps.dn_dlnm(m, 0.0)[0]) > float(ps.dn_dlnm(m, 2.0)[0])
+
+    def test_higher_sigma8_more_big_halos(self):
+        lo = PressSchechter(PowerSpectrum(sigma8=0.4))
+        hi = PressSchechter(PowerSpectrum(sigma8=0.8))
+        m = np.array([1e15])
+        assert float(hi.dn_dlnm(m)[0]) > float(lo.dn_dlnm(m)[0])
+
+    def test_validation(self, ps):
+        with pytest.raises(ValueError):
+            ps.dn_dlnm(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            ps.number_in_sphere(1e15, 1e13, 50.0)
+
+    def test_delta_c_value(self):
+        assert DELTA_C == pytest.approx(1.686, abs=1e-3)

@@ -1,0 +1,122 @@
+"""Periodic treecode tests."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.ewald import EwaldCorrectionTable, PeriodicDirectSummation
+from repro.cosmo.periodic_tree import PeriodicTreeCode
+
+
+@pytest.fixture(scope="module")
+def table():
+    return EwaldCorrectionTable(1.0)
+
+
+@pytest.fixture(scope="module")
+def workload(table):
+    rng = np.random.default_rng(77)
+    n = 600
+    pos = rng.uniform(0, 1, (n, 3))
+    mass = rng.uniform(0.5, 1.5, n) / n
+    eps = 0.01
+    acc, pot = PeriodicDirectSummation(
+        box=1.0, table=table).accelerations(pos, mass, eps)
+    return pos, mass, eps, acc, pot
+
+
+class TestAgainstPeriodicDirect:
+    def test_exact_at_tiny_theta(self, workload, table):
+        """theta -> 0 reproduces the periodic direct solver to
+        round-off: every image bookkeeping step is exact."""
+        pos, mass, eps, acc_ref, pot_ref = workload
+        tc = PeriodicTreeCode(box=1.0, theta=0.05, n_crit=32,
+                              ewald_table=table)
+        acc, pot = tc.accelerations(pos, mass, eps)
+        scale = np.abs(acc_ref).max()
+        assert np.allclose(acc, acc_ref, atol=1e-11 * scale)
+        assert np.allclose(pot, pot_ref, atol=1e-11 * np.abs(pot_ref).max())
+
+    def test_production_theta_accuracy(self, workload, table):
+        """At theta = 0.5 the error is a small fraction of the typical
+        force (periodic net forces partially cancel, so per-sink
+        relative errors overstate the approximation)."""
+        pos, mass, eps, acc_ref, _ = workload
+        tc = PeriodicTreeCode(box=1.0, theta=0.5, n_crit=64,
+                              ewald_table=table)
+        acc, _ = tc.accelerations(pos, mass, eps)
+        scale = np.mean(np.linalg.norm(acc_ref, axis=1))
+        err = np.linalg.norm(acc - acc_ref, axis=1) / scale
+        assert np.sqrt(np.mean(err**2)) < 0.02
+
+    def test_cheaper_than_direct(self, workload, table):
+        pos, mass, eps, _, _ = workload
+        tc = PeriodicTreeCode(box=1.0, theta=0.7, n_crit=64,
+                              ewald_table=table)
+        tc.accelerations(pos, mass, eps)
+        n = len(pos)
+        assert tc.last_stats.total_interactions < 0.7 * n * n
+
+
+class TestPeriodicBehaviour:
+    def test_translation_invariance_mod_box(self, workload, table):
+        pos, mass, eps, _, _ = workload
+        tc = PeriodicTreeCode(box=1.0, theta=0.5, n_crit=64,
+                              ewald_table=table)
+        a0, _ = tc.accelerations(pos, mass, eps)
+        a1, _ = tc.accelerations(np.mod(pos + 0.43, 1.0), mass, eps)
+        scale = np.abs(a0).max()
+        # the wrapped tree differs, so agreement is at the tree-error
+        # level, not round-off
+        err = np.abs(a1 - a0).max() / scale
+        assert err < 0.05
+
+    def test_unwrapped_input_accepted(self, workload, table):
+        """Positions outside [0, L) are wrapped internally."""
+        pos, mass, eps, _, _ = workload
+        tc = PeriodicTreeCode(box=1.0, theta=0.5, n_crit=64,
+                              ewald_table=table)
+        a0, p0 = tc.accelerations(pos, mass, eps)
+        a1, p1 = tc.accelerations(pos + 7.0, mass, eps)
+        assert np.allclose(a0, a1, rtol=1e-12)
+        assert np.allclose(p0, p1, rtol=1e-12)
+
+    def test_momentum_conserved_at_tiny_theta(self, workload, table):
+        pos, mass, eps, _, _ = workload
+        tc = PeriodicTreeCode(box=1.0, theta=0.05, n_crit=32,
+                              ewald_table=table)
+        acc, _ = tc.accelerations(pos, mass, eps)
+        p = (mass[:, None] * acc).sum(axis=0)
+        assert np.abs(p).max() < 1e-9 * np.abs(acc).max()
+
+    def test_lattice_forces_vanish(self, table):
+        edge = (np.arange(5) + 0.5) / 5
+        gx, gy, gz = np.meshgrid(edge, edge, edge, indexing="ij")
+        pos = np.stack([gx.ravel(), gy.ravel(), gz.ravel()], axis=-1)
+        tc = PeriodicTreeCode(box=1.0, theta=0.3, n_crit=16,
+                              ewald_table=table)
+        acc, _ = tc.accelerations(pos, np.ones(125), 0.0)
+        scale = 25.0  # pair force at the lattice spacing
+        assert np.abs(acc).max() < 2e-3 * scale
+
+
+class TestConstruction:
+    def test_validation(self, table):
+        with pytest.raises(ValueError):
+            PeriodicTreeCode(box=0.0)
+        with pytest.raises(ValueError):
+            PeriodicTreeCode(box=2.0, ewald_table=table)  # mismatch
+
+    def test_mac_gets_box(self):
+        tc = PeriodicTreeCode(box=1.0,
+                              ewald_table=EwaldCorrectionTable(1.0, n=4))
+        assert tc.mac.box == 1.0
+
+    def test_grape_backend_works(self, workload, table):
+        from repro.grape import GrapeBackend
+        pos, mass, eps, acc_ref, _ = workload
+        tc = PeriodicTreeCode(box=1.0, theta=0.5, n_crit=64,
+                              backend=GrapeBackend(), ewald_table=table)
+        acc, _ = tc.accelerations(pos, mass, eps)
+        scale = np.mean(np.linalg.norm(acc_ref, axis=1))
+        err = np.linalg.norm(acc - acc_ref, axis=1) / scale
+        assert np.sqrt(np.mean(err**2)) < 0.03

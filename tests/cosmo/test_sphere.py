@@ -1,0 +1,61 @@
+"""Sphere-carving tests: geometry, mass budget, the paper's region."""
+
+import numpy as np
+import pytest
+
+from repro.cosmo.cosmology import SCDM
+from repro.cosmo.sphere import carve_sphere
+from repro.cosmo.zeldovich import ZeldovichIC
+
+
+@pytest.fixture(scope="module")
+def ic():
+    return ZeldovichIC(box=100.0, ngrid=20, seed=5)
+
+
+class TestCarveSphere:
+    def test_selection_count_matches_volume_fraction(self, ic):
+        """N_sphere / N_box ~ (pi/6) for a sphere inscribed in the box."""
+        region = carve_sphere(ic, radius=50.0, z_init=24.0)
+        frac = region.n_particles / ic.n_particles
+        assert frac == pytest.approx(np.pi / 6.0, rel=0.02)
+
+    def test_total_mass_budget(self, ic):
+        """Selected mass ~ rho_m * (4/3) pi R^3."""
+        region = carve_sphere(ic, radius=50.0, z_init=24.0)
+        expect = (SCDM.mean_matter_density()
+                  * 4.0 / 3.0 * np.pi * 50.0**3)
+        assert region.total_mass == pytest.approx(expect, rel=0.02)
+
+    def test_positions_roughly_spherical(self, ic):
+        """At z=24 displacements are small: physical radius ~ a R."""
+        region = carve_sphere(ic, radius=50.0, z_init=24.0)
+        r = np.sqrt(np.einsum("ij,ij->i", region.pos, region.pos))
+        a = 1.0 / 25.0
+        assert r.max() < a * 50.0 * 1.2
+        assert np.percentile(r, 99) > a * 50.0 * 0.8
+
+    def test_uniform_particle_mass(self, ic):
+        region = carve_sphere(ic, radius=50.0, z_init=24.0)
+        assert np.all(region.mass == region.mass[0])
+        assert region.mass[0] == pytest.approx(ic.particle_mass)
+
+    def test_smaller_radius_fewer_particles(self, ic):
+        big = carve_sphere(ic, radius=50.0, z_init=24.0)
+        small = carve_sphere(ic, radius=25.0, z_init=24.0)
+        assert small.n_particles < big.n_particles
+        assert small.n_particles == pytest.approx(
+            big.n_particles / 8.0, rel=0.15)
+
+    def test_sphere_must_fit(self, ic):
+        with pytest.raises(ValueError):
+            carve_sphere(ic, radius=60.0, z_init=24.0)
+
+    def test_radius_positive(self, ic):
+        with pytest.raises(ValueError):
+            carve_sphere(ic, radius=0.0, z_init=24.0)
+
+    def test_metadata(self, ic):
+        region = carve_sphere(ic, radius=40.0, z_init=24.0)
+        assert region.radius_comoving == 40.0
+        assert region.z_init == 24.0

@@ -1,0 +1,66 @@
+"""Error-analysis tests (paper refs [12], [13] machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.grape.erroranalysis import (ErrorSample, pairwise_error_sample,
+                                       required_fraction_bits,
+                                       summed_error_sample)
+from repro.grape.numerics import G5Numerics
+
+
+class TestErrorSample:
+    def test_from_errors(self):
+        s = ErrorSample.from_errors(np.array([0.0, 0.1, 0.2]))
+        assert s.max == pytest.approx(0.2)
+        assert s.median == pytest.approx(0.1)
+        assert s.n == 3
+        assert s.mean <= s.rms <= s.max
+
+
+class TestPairwiseSample:
+    def test_default_near_paper_value(self):
+        s = pairwise_error_sample(n=800)
+        assert 1.5e-3 < s.rms < 6e-3  # ~0.3 %
+
+    def test_more_bits_less_error(self):
+        lo = pairwise_error_sample(G5Numerics(force_fraction_bits=6),
+                                   n=400)
+        hi = pairwise_error_sample(G5Numerics(force_fraction_bits=12),
+                                   n=400)
+        assert hi.rms < 0.3 * lo.rms
+
+    def test_exact_mode_tiny_error(self):
+        s = pairwise_error_sample(G5Numerics().exact(), n=200)
+        assert s.max < 1e-12
+
+
+class TestSummedSample:
+    def test_summed_below_pairwise(self):
+        """Uncorrelated pair errors average out: summed-force error is
+        well below the pairwise RMS (the refs [12]/[13] mechanism)."""
+        pair = pairwise_error_sample(n=800)
+        summed = summed_error_sample(n_sinks=128, n_sources=2048)
+        assert summed.rms < pair.rms
+
+    def test_deterministic(self):
+        a = summed_error_sample(n_sinks=32, n_sources=128)
+        b = summed_error_sample(n_sinks=32, n_sources=128)
+        assert a.rms == b.rms
+
+
+class TestRequiredBits:
+    def test_paper_target_needs_about_nine_bits(self):
+        bits = required_fraction_bits(3.5e-3, n=300)
+        assert 8 <= bits <= 11
+
+    def test_loose_target_needs_fewer_bits(self):
+        loose = required_fraction_bits(0.05, n=300)
+        tight = required_fraction_bits(3.5e-3, n=300)
+        assert loose < tight
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            required_fraction_bits(0.0)
+        with pytest.raises(ValueError):
+            required_fraction_bits(1e-12, n=100, max_bits=8)

@@ -1,0 +1,131 @@
+"""Reduced-precision format tests, including the 0.3 % calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kernels import pairwise_accpot
+from repro.grape.numerics import (FixedPointFormat, G5Numerics, G5_NUMERICS,
+                                  round_mantissa)
+from repro.grape.pipeline import G5Pipeline
+
+
+class TestRoundMantissa:
+    def test_exact_at_representable(self):
+        assert round_mantissa(np.array([0.5]), 8)[0] == 0.5
+        assert round_mantissa(np.array([1.0]), 8)[0] == 1.0
+        assert round_mantissa(np.array([-2.0]), 4)[0] == -2.0
+
+    def test_relative_error_bound(self, rng):
+        x = rng.uniform(-1e6, 1e6, 1000)
+        x = x[x != 0]
+        for bits in (4, 9, 16):
+            r = round_mantissa(x, bits)
+            rel = np.abs(r - x) / np.abs(x)
+            assert np.all(rel <= 2.0 ** -(bits) )  # <= ulp at worst
+
+    def test_zero_preserved(self):
+        assert round_mantissa(np.array([0.0]), 9)[0] == 0.0
+
+    def test_sign_preserved(self, rng):
+        x = rng.uniform(-10, 10, 100)
+        r = round_mantissa(x, 6)
+        assert np.all(np.sign(r) == np.sign(round_mantissa(x, 60)))
+
+    def test_disabled_rounding_identity(self, rng):
+        x = rng.standard_normal(50)
+        assert np.array_equal(round_mantissa(x, 0), x)
+        assert np.array_equal(round_mantissa(x, -3), x)
+
+    def test_idempotent(self, rng):
+        x = rng.standard_normal(100)
+        once = round_mantissa(x, 9)
+        twice = round_mantissa(once, 9)
+        assert np.array_equal(once, twice)
+
+    @given(st.floats(min_value=1e-10, max_value=1e10), st.integers(2, 30))
+    def test_property_error_bound(self, x, bits):
+        r = float(round_mantissa(np.array([x]), bits)[0])
+        assert abs(r - x) / x <= 2.0 ** -bits
+
+
+class TestFixedPointFormat:
+    def test_roundtrip_resolution(self, rng):
+        fmt = FixedPointFormat(bits=16, xmin=-2.0, xmax=2.0)
+        x = rng.uniform(-2.0, 2.0, 500)
+        back = fmt.roundtrip(x)
+        assert np.all(np.abs(back - x) <= 0.5 * fmt.resolution + 1e-15)
+
+    def test_quantize_monotone(self, rng):
+        fmt = FixedPointFormat(bits=12, xmin=0.0, xmax=1.0)
+        x = np.sort(rng.uniform(0, 1, 100))
+        q = fmt.quantize(x)
+        assert np.all(np.diff(q) >= 0)
+
+    def test_saturates_out_of_range(self):
+        fmt = FixedPointFormat(bits=8, xmin=-1.0, xmax=1.0)
+        q = fmt.quantize(np.array([-5.0, 5.0]))
+        assert q[0] == 0
+        assert q[1] == (1 << 8) - 1
+
+    def test_resolution(self):
+        fmt = FixedPointFormat(bits=10, xmin=0.0, xmax=1.0)
+        assert fmt.resolution == pytest.approx(1.0 / 1024.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(bits=1, xmin=0, xmax=1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(bits=70, xmin=0, xmax=1)
+        with pytest.raises(ValueError):
+            FixedPointFormat(bits=8, xmin=1.0, xmax=1.0)
+
+    @settings(max_examples=30)
+    @given(st.integers(4, 30), st.floats(-100, 99), st.floats(0.1, 100))
+    def test_property_roundtrip_bound(self, bits, lo, width):
+        fmt = FixedPointFormat(bits=bits, xmin=lo, xmax=lo + width)
+        x = np.linspace(lo, lo + width * (1 - 1e-9), 64)
+        back = fmt.roundtrip(x)
+        # half a grid cell in the interior; up to one cell at the top
+        # edge, where the last representable value is xmax - resolution
+        assert np.all(np.abs(back - x) <= fmt.resolution * (1 + 1e-9))
+
+
+class TestPaperCalibration:
+    def test_pairwise_error_near_paper_value(self, rng):
+        """The default numerics must land the RMS *pairwise* force error
+        at the paper's quoted ~0.3 % (section 2)."""
+        n = 1200
+        xi = rng.uniform(-1, 1, (n, 3))
+        xj = rng.uniform(-1, 1, (n, 3))
+        mj = rng.uniform(0.5, 1.5, n)
+        eps = 0.02
+        pipe = G5Pipeline()
+        pipe.set_range(-1.5, 1.5)
+        err = np.empty(n)
+        for i in range(n):
+            a, _ = pipe.compute(xi[i:i + 1], xj[i:i + 1], mj[i:i + 1], eps)
+            r, _ = pairwise_accpot(xi[i:i + 1], xj[i:i + 1], mj[i:i + 1],
+                                   eps)
+            err[i] = (np.linalg.norm(a[0] - r[0])
+                      / np.linalg.norm(r[0]))
+        rms = float(np.sqrt(np.mean(err**2)))
+        assert 1.5e-3 < rms < 6e-3  # ~0.3 %, the paper's figure
+
+    def test_exact_mode_is_float64(self, rng):
+        xi = rng.uniform(-1, 1, (50, 3))
+        xj = rng.uniform(-1, 1, (80, 3))
+        mj = rng.uniform(0.5, 1.5, 80)
+        pipe = G5Pipeline(numerics=G5_NUMERICS.exact())
+        pipe.set_range(-1.5, 1.5)
+        a, p = pipe.compute(xi, xj, mj, 0.02)
+        r, q = pairwise_accpot(xi, xj, mj, 0.02)
+        assert np.allclose(a, r, rtol=1e-13)
+        assert np.allclose(p, q, rtol=1e-13)
+
+    def test_numerics_defaults(self):
+        assert G5_NUMERICS.position_bits == 24
+        assert G5_NUMERICS.force_fraction_bits == 9
+        ex = G5_NUMERICS.exact()
+        assert ex.position_bits <= 0 and ex.force_fraction_bits <= 0

@@ -1,0 +1,116 @@
+"""G5 pipeline datapath tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import pairwise_accpot
+from repro.grape.numerics import G5Numerics
+from repro.grape.pipeline import G5Pipeline
+
+
+@pytest.fixture
+def pipe():
+    p = G5Pipeline()
+    p.set_range(-4.0, 4.0)
+    return p
+
+
+class TestPipelineFunctional:
+    def test_close_to_reference(self, pipe, rng):
+        xi = rng.standard_normal((64, 3))
+        xj = rng.standard_normal((256, 3))
+        mj = rng.uniform(0.1, 1.0, 256)
+        a, p = pipe.compute(xi, xj, mj, 0.05)
+        r, q = pairwise_accpot(xi, xj, mj, 0.05)
+        rel = np.linalg.norm(a - r, axis=1) / np.linalg.norm(r, axis=1)
+        assert np.sqrt(np.mean(rel**2)) < 5e-3
+        prel = np.abs((p - q) / q)
+        assert np.sqrt(np.mean(prel**2)) < 5e-3
+
+    def test_deterministic(self, pipe, rng):
+        xi = rng.standard_normal((16, 3))
+        xj = rng.standard_normal((32, 3))
+        mj = rng.uniform(0.1, 1.0, 32)
+        a1, p1 = pipe.compute(xi, xj, mj, 0.05)
+        a2, p2 = pipe.compute(xi, xj, mj, 0.05)
+        assert np.array_equal(a1, a2) and np.array_equal(p1, p2)
+
+    def test_tile_invariance(self, rng):
+        """Hardware semantics don't depend on the emulator's tiling."""
+        import repro.grape.pipeline as pl
+        xi = rng.standard_normal((7, 3))
+        xj = rng.standard_normal((501, 3))
+        mj = rng.uniform(0.1, 1.0, 501)
+        pipe = G5Pipeline()
+        pipe.set_range(-4, 4)
+        a1, p1 = pipe.compute(xi, xj, mj, 0.02)
+        old = pl._TILE
+        try:
+            pl._TILE = 64
+            a2, p2 = pipe.compute(xi, xj, mj, 0.02)
+        finally:
+            pl._TILE = old
+        assert np.array_equal(a1, a2) and np.array_equal(p1, p2)
+
+    def test_empty_inputs(self, pipe):
+        a, p = pipe.compute(np.zeros((0, 3)), np.zeros((4, 3)), np.ones(4),
+                            0.1)
+        assert a.shape == (0, 3)
+        a, p = pipe.compute(np.zeros((4, 3)), np.zeros((0, 3)), np.ones(0),
+                            0.1)
+        assert np.allclose(a, 0) and np.allclose(p, 0)
+
+    def test_self_pair_zero_force_softened(self, pipe):
+        x = np.array([[0.5, -0.25, 1.0]])
+        a, p = pipe.compute(x, x, np.ones(1), eps=0.1)
+        assert np.allclose(a, 0.0)
+        assert p[0] < 0  # -m/eps, as on hardware
+
+    def test_self_pair_unsoftened_skipped(self, pipe):
+        x = np.array([[0.5, -0.25, 1.0]])
+        a, p = pipe.compute(x, x, np.ones(1), eps=0.0)
+        assert np.allclose(a, 0.0) and p[0] == 0.0
+
+    def test_accumulation_is_wide(self, rng):
+        """Summation must not lose small contributions: adding many
+        tiny far-away sources shifts the force by their analytic sum."""
+        pipe = G5Pipeline(numerics=G5Numerics(position_bits=0,
+                                              force_fraction_bits=20))
+        xi = np.zeros((1, 3))
+        # one big near source + 10000 identical tiny far sources
+        xj = np.concatenate([np.array([[1.0, 0, 0]]),
+                             np.tile([[100.0, 0, 0]], (10000, 1))])
+        mj = np.concatenate([[1.0], np.full(10000, 1e-7)])
+        a, _ = pipe.compute(xi, xj, mj, 0.0)
+        expect = 1.0 + 10000 * 1e-7 / 100.0**2
+        assert a[0, 0] == pytest.approx(expect, rel=1e-4)
+
+
+class TestPositionQuantization:
+    def test_quantization_error_scales_with_range(self, rng):
+        """A wastefully wide g5_set_range degrades close-pair forces --
+        the real library pitfall the emulator must reproduce."""
+        xi = rng.uniform(-0.01, 0.01, (200, 3))
+        xj = rng.uniform(-0.01, 0.01, (200, 3))
+        mj = np.ones(200)
+        num = G5Numerics(position_bits=16, force_fraction_bits=0)
+        errs = []
+        for span in (0.02, 20.0):
+            pipe = G5Pipeline(numerics=num)
+            pipe.set_range(-span, span)
+            a, _ = pipe.compute(xi, xj, mj, 0.005)
+            r, _ = pairwise_accpot(xi, xj, mj, 0.005)
+            rel = np.linalg.norm(a - r, axis=1) / np.linalg.norm(r, axis=1)
+            errs.append(np.sqrt(np.mean(rel**2)))
+        assert errs[1] > 10.0 * errs[0]
+
+    def test_no_range_passthrough(self, rng):
+        """Without set_range the coordinates pass through exactly."""
+        pipe = G5Pipeline(numerics=G5Numerics(position_bits=24,
+                                              force_fraction_bits=0))
+        xi = rng.standard_normal((20, 3))
+        xj = rng.standard_normal((30, 3))
+        mj = rng.uniform(0.5, 1.0, 30)
+        a, p = pipe.compute(xi, xj, mj, 0.05)
+        r, q = pairwise_accpot(xi, xj, mj, 0.05)
+        assert np.allclose(a, r, rtol=1e-13)

@@ -1,0 +1,219 @@
+"""Chip/board/system hierarchy and backend-adapter tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import pairwise_accpot
+from repro.grape.board import BoardMemoryError, ProcessorBoard
+from repro.grape.chip import G5Chip
+from repro.grape.system import Grape5System, GrapeBackend
+
+
+class TestChip:
+    def test_two_pipelines(self):
+        assert G5Chip().n_pipelines == 2
+
+    def test_peak(self):
+        # 2 pipes x 90 MHz x 38 ops = 6.84 Gflops
+        assert G5Chip().peak_flops == pytest.approx(6.84e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            G5Chip(n_pipelines=0)
+
+
+class TestBoard:
+    def test_board_peak(self):
+        # 8 chips x 6.84 = 54.72 Gflops
+        assert ProcessorBoard().peak_flops == pytest.approx(54.72e9)
+
+    def test_load_and_compute(self, rng):
+        b = ProcessorBoard()
+        b.set_range(-6, 6)  # must cover the data: out-of-range saturates
+        xj = rng.standard_normal((100, 3))
+        mj = rng.uniform(0.5, 1.0, 100)
+        b.load_j(xj, mj)
+        assert b.nj == 100
+        xi = rng.standard_normal((10, 3))
+        # generous softening keeps any single near pair from dominating
+        # the total force, so the summed error tracks the pairwise one
+        a, p = b.compute(xi, 0.25)
+        r, q = pairwise_accpot(xi, xj, mj, 0.25)
+        rel = np.linalg.norm(a - r, axis=1) / np.linalg.norm(r, axis=1)
+        assert np.sqrt(np.mean(rel**2)) < 0.02
+
+    def test_partial_update_at_offset(self, rng):
+        b = ProcessorBoard()
+        b.set_range(-6, 6)
+        xj = rng.standard_normal((20, 3))
+        mj = rng.uniform(0.5, 1.0, 20)
+        b.load_j(xj[:10], mj[:10])
+        b.load_j(xj[10:], mj[10:], adr=10)
+        assert b.nj == 20
+        xi = rng.standard_normal((4, 3))
+        a1, _ = b.compute(xi, 0.05)
+        b2 = ProcessorBoard()
+        b2.set_range(-6, 6)
+        b2.load_j(xj, mj)
+        a2, _ = b2.compute(xi, 0.05)
+        assert np.array_equal(a1, a2)
+
+    def test_memory_overflow(self):
+        b = ProcessorBoard(jmem_capacity=16)
+        with pytest.raises(BoardMemoryError):
+            b.load_j(np.zeros((17, 3)), np.ones(17))
+        with pytest.raises(BoardMemoryError):
+            b.load_j(np.zeros((10, 3)), np.ones(10), adr=10)
+        with pytest.raises(BoardMemoryError):
+            b.set_n(17)
+
+    def test_empty_board_zero_force(self):
+        b = ProcessorBoard()
+        a, p = b.compute(np.zeros((3, 3)), 0.1)
+        assert np.allclose(a, 0) and np.allclose(p, 0)
+
+
+class TestSystem:
+    def test_paper_configuration(self):
+        s = Grape5System()
+        assert len(s.boards) == 2
+        assert s.n_pipelines == 32
+        assert s.peak_flops == pytest.approx(109.44e9)
+
+    def test_describe_matches_paper(self):
+        d = Grape5System().describe()
+        assert d["boards"] == 2
+        assert d["chips_per_board"] == 8
+        assert d["pipelines_per_chip"] == 2
+        assert d["pipelines_total"] == 32
+        assert d["pipeline_clock_MHz"] == 90.0
+        assert d["peak_Gflops"] == pytest.approx(109.44)
+
+    def test_board_split_matches_single_board_sum(self, rng):
+        """j split across boards + host sum == one-board computation."""
+        xi = rng.standard_normal((8, 3))
+        xj = rng.standard_normal((64, 3))
+        mj = rng.uniform(0.5, 1.0, 64)
+        s2 = Grape5System()
+        s2.set_range(-3, 3)
+        a2, p2 = s2.compute(xi, xj, mj, 0.05)
+        from repro.grape.timing import GrapeTimingModel
+        s1 = Grape5System(timing=GrapeTimingModel(n_boards=1))
+        s1.set_range(-3, 3)
+        a1, p1 = s1.compute(xi, xj, mj, 0.05)
+        assert np.allclose(a1, a2, rtol=1e-12)
+        assert np.allclose(p1, p2, rtol=1e-12)
+
+    def test_counters_accumulate(self, rng):
+        s = Grape5System()
+        s.set_range(-3, 3)
+        s.compute(rng.standard_normal((5, 3)), rng.standard_normal((7, 3)),
+                  np.ones(7), 0.1)
+        assert s.n_calls == 1
+        assert s.interactions == 35
+        assert s.model_seconds > 0
+        s.compute(rng.standard_normal((2, 3)), rng.standard_normal((3, 3)),
+                  np.ones(3), 0.1)
+        assert s.n_calls == 2
+        assert s.interactions == 41
+        s.reset_stats()
+        assert s.n_calls == 0 and s.interactions == 0
+        assert s.model_seconds == 0.0
+
+    def test_auto_range_on_first_call(self, rng):
+        s = Grape5System()
+        assert s.coordinate_range is None
+        s.compute(rng.standard_normal((4, 3)), rng.standard_normal((4, 3)),
+                  np.ones(4), 0.1)
+        lo, hi = s.coordinate_range
+        assert lo < hi
+
+    def test_model_flops_below_peak(self, rng):
+        s = Grape5System()
+        s.set_range(-3, 3)
+        s.compute(rng.standard_normal((200, 3)),
+                  rng.standard_normal((5000, 3)), np.ones(5000), 0.1)
+        assert 0 < s.model_flops < s.peak_flops
+
+    def test_empty_call(self):
+        s = Grape5System()
+        a, p = s.compute(np.zeros((0, 3)), np.zeros((5, 3)), np.ones(5), 0.1)
+        assert a.shape == (0, 3)
+        assert s.n_calls == 0
+
+
+class TestGrapeBackend:
+    def test_forcebackend_interface(self, rng):
+        b = GrapeBackend()
+        xi = rng.standard_normal((6, 3))
+        xj = rng.standard_normal((9, 3))
+        a, p = b.compute(xi, xj, np.ones(9), 0.1)
+        assert a.shape == (6, 3) and p.shape == (6,)
+        assert b.interactions == 54
+        assert b.model_seconds > 0
+        b.reset_stats()
+        assert b.interactions == 0
+
+    def test_name(self):
+        assert GrapeBackend().name == "grape5"
+
+
+class TestJMemoryChunking:
+    def test_oversized_jset_split_into_passes(self, rng):
+        """A j-set beyond the particle memory is processed in
+        sequential resident passes with identical results."""
+        from repro.grape.board import ProcessorBoard
+        from repro.grape.timing import GrapeTimingModel
+        small = Grape5System(
+            boards=[ProcessorBoard(jmem_capacity=32),
+                    ProcessorBoard(jmem_capacity=32)])
+        small.set_range(-4, 4)
+        big = Grape5System()
+        big.set_range(-4, 4)
+        xi = rng.standard_normal((5, 3))
+        xj = rng.standard_normal((200, 3))  # > 64 resident slots
+        mj = rng.uniform(0.5, 1.0, 200)
+        a1, p1 = small.compute(xi, xj, mj, 0.05)
+        a2, p2 = big.compute(xi, xj, mj, 0.05)
+        assert np.allclose(a1, a2, rtol=1e-12)
+        assert np.allclose(p1, p2, rtol=1e-12)
+        # the chunked system charged several calls
+        assert small.n_calls == 4  # ceil(200/64)
+        assert big.n_calls == 1
+        assert small.interactions == big.interactions == 5 * 200
+
+    def test_chunked_costs_more_model_time(self, rng):
+        from repro.grape.board import ProcessorBoard
+        small = Grape5System(
+            boards=[ProcessorBoard(jmem_capacity=16),
+                    ProcessorBoard(jmem_capacity=16)])
+        small.set_range(-4, 4)
+        big = Grape5System()
+        big.set_range(-4, 4)
+        xi = rng.standard_normal((4, 3))
+        xj = rng.standard_normal((320, 3))
+        mj = np.ones(320)
+        small.compute(xi, xj, mj, 0.05)
+        big.compute(xi, xj, mj, 0.05)
+        # per-pass latency makes many small calls slower
+        assert small.model_seconds > big.model_seconds
+
+
+class TestCallRecording:
+    def test_call_log_records_shapes(self, rng):
+        s = Grape5System(record_calls=True)
+        s.set_range(-3, 3)
+        s.compute(rng.standard_normal((5, 3)), rng.standard_normal((7, 3)),
+                  np.ones(7), 0.1)
+        s.compute(rng.standard_normal((2, 3)), rng.standard_normal((9, 3)),
+                  np.ones(9), 0.1)
+        assert s.call_log == [(5, 7), (2, 9)]
+        s.reset_stats()
+        assert s.call_log == []
+
+    def test_recording_off_by_default(self, rng):
+        s = Grape5System()
+        s.set_range(-3, 3)
+        s.compute(rng.standard_normal((5, 3)), rng.standard_normal((7, 3)),
+                  np.ones(7), 0.1)
+        assert s.call_log == []

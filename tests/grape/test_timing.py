@@ -1,0 +1,80 @@
+"""Timing-model tests: the paper's machine constants and scaling laws."""
+
+import math
+
+import pytest
+
+from repro.grape.timing import GrapeTimingModel, OPS_PER_INTERACTION
+
+
+@pytest.fixture
+def tm():
+    return GrapeTimingModel()
+
+
+class TestPaperConstants:
+    def test_peak_is_109_44_gflops(self, tm):
+        """Paper section 2: 'The theoretical peak speed of the GRAPE-5
+        system is 109.44 Gflops.'"""
+        assert tm.peak_flops == pytest.approx(109.44e9)
+
+    def test_32_pipelines(self, tm):
+        assert tm.n_pipelines == 32
+
+    def test_38_ops_per_interaction(self):
+        assert OPS_PER_INTERACTION == 38
+
+    def test_vmp_is_six(self, tm):
+        assert tm.vmp == 6
+
+    def test_i_per_pass_is_96(self, tm):
+        assert tm.i_per_pass == 96
+
+
+class TestScaling:
+    def test_zero_work_zero_time(self, tm):
+        assert tm.force_call_time(0, 100) == 0.0
+        assert tm.force_call_time(100, 0) == 0.0
+
+    def test_pipeline_time_linear_in_nj(self, tm):
+        t1 = tm.pipeline_time(96, 1000)
+        t2 = tm.pipeline_time(96, 2000)
+        assert t2 == pytest.approx(2.0 * t1)
+
+    def test_pipeline_time_staircase_in_ni(self, tm):
+        """All n_i within one pass cost the same; one more i-particle
+        beyond a pass boundary adds a whole pass."""
+        assert tm.pipeline_time(1, 1000) == tm.pipeline_time(96, 1000)
+        assert (tm.pipeline_time(97, 1000)
+                == pytest.approx(2.0 * tm.pipeline_time(96, 1000)))
+
+    def test_call_time_monotone(self, tm):
+        assert tm.force_call_time(500, 4000) <= tm.force_call_time(500, 8000)
+        assert tm.force_call_time(500, 4000) <= tm.force_call_time(1000, 4000)
+
+    def test_latency_floor(self, tm):
+        assert tm.force_call_time(1, 1) >= tm.call_latency
+
+    def test_sustained_approaches_peak(self, tm):
+        """Big balanced calls must approach (but never exceed) peak."""
+        s = tm.sustained_flops(96 * 2 * 100, 100_000)
+        assert 0.5 * tm.peak_flops < s < tm.peak_flops
+
+    def test_small_calls_far_from_peak(self, tm):
+        s = tm.sustained_flops(10, 100)
+        assert s < 0.01 * tm.peak_flops
+
+    def test_two_boards_split_j(self, tm):
+        """Doubling the boards halves the big-call pipeline time."""
+        one = GrapeTimingModel(n_boards=1)
+        t2 = tm.force_call_time(96, 100_000)
+        t1 = one.force_call_time(96, 100_000)
+        assert t1 > 1.5 * t2
+
+    def test_paper_step_arithmetic(self, tm):
+        """The headline run's per-step GRAPE time: ~1080 calls of
+        (n_g=2000) x (L=13431) should take ~10-20 s -- the accelerator
+        share of the paper's 30 s/step."""
+        per_call = tm.force_call_time(2000, 13431)
+        step = per_call * (2_159_038 / 2000.0)
+        assert 5.0 < step < 25.0

@@ -1,0 +1,53 @@
+"""Cost-ledger tests against the paper's section 4."""
+
+import pytest
+
+from repro.host.cost import CostItem, PAPER_SYSTEM_COST, SystemCost
+
+
+class TestPaperLedger:
+    def test_total_jpy_is_4_7_million(self):
+        """'The total cost of the GRAPE-5 system is 4.7 M JYE.'"""
+        assert PAPER_SYSTEM_COST.total_jpy == pytest.approx(4.7e6)
+
+    def test_total_usd_about_40900(self):
+        """'... is about 40,900 dollars' at 115 JPY/USD."""
+        assert PAPER_SYSTEM_COST.total_usd == pytest.approx(40_900, rel=1e-3)
+
+    def test_board_price(self):
+        board = PAPER_SYSTEM_COST.items[0]
+        assert board.unit_price_jpy == pytest.approx(1.65e6)
+        assert board.quantity == 2
+
+    def test_host_price(self):
+        host = PAPER_SYSTEM_COST.items[1]
+        assert host.total_jpy == pytest.approx(1.4e6)
+
+    def test_price_per_mflops_headline(self):
+        """$40,900 / 5.92 Gflops ~ $6.9/Mflops, reported as $7.0."""
+        p = PAPER_SYSTEM_COST.price_per_mflops(5.92e9)
+        assert p == pytest.approx(6.91, abs=0.05)
+        assert round(p, 0) == 7.0
+
+    def test_ledger_rows(self):
+        rows = PAPER_SYSTEM_COST.ledger()
+        assert rows[-1]["item"] == "TOTAL"
+        assert rows[-1]["total_MJPY"] == pytest.approx(4.7)
+        assert len(rows) == 3
+
+
+class TestSystemCost:
+    def test_exchange_rate_scales_usd(self):
+        c1 = SystemCost(items=(CostItem("x", 1.15e6),), jpy_per_usd=115.0)
+        c2 = SystemCost(items=(CostItem("x", 1.15e6),), jpy_per_usd=230.0)
+        assert c1.total_usd == pytest.approx(2.0 * c2.total_usd)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemCost(items=(), jpy_per_usd=0.0)
+        with pytest.raises(ValueError):
+            PAPER_SYSTEM_COST.price_per_mflops(0.0)
+
+    def test_quantity_multiplies(self):
+        item = CostItem("board", 1.0e6, 3)
+        assert item.total_jpy == pytest.approx(3.0e6)

@@ -1,0 +1,56 @@
+"""Measurement-helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import DirectSummation, TreeCode
+from repro.perf.measure import (fit_list_length, force_error,
+                                group_size_sweep)
+
+
+class TestGroupSweep:
+    def test_sweep_monotone_lists(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        pts = group_size_sweep(pos, mass, 0.01, (16, 64, 256))
+        sizes = [p.mean_group_size for p in pts]
+        lists = [p.mean_list_length for p in pts]
+        assert sizes == sorted(sizes)
+        assert lists == sorted(lists)
+        assert all(p.total_interactions > 0 for p in pts)
+
+    def test_host_terms_fall(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        pts = group_size_sweep(pos, mass, 0.01, (16, 256))
+        assert pts[1].host_terms < pts[0].host_terms
+
+    def test_fit_from_sweep(self, clustered_2k):
+        pos, mass = clustered_2k
+        pts = group_size_sweep(pos, mass, 0.01, (8, 32, 128, 512))
+        fit = fit_list_length(pts)
+        # the fit interpolates the measurements reasonably
+        for p in pts:
+            assert float(fit(p.mean_group_size)) == pytest.approx(
+                p.mean_list_length, rel=0.35)
+
+
+class TestForceError:
+    def test_reference_reuse(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        from repro.core.direct import direct_accelerations
+        ref = direct_accelerations(pos, mass, 0.01)
+        tc = TreeCode(theta=0.75, n_crit=64)
+        e1 = force_error(pos, mass, 0.01, tc, reference=ref)
+        e2 = force_error(pos, mass, 0.01, tc)
+        assert e1["rms"] == pytest.approx(e2["rms"], rel=1e-12)
+
+    def test_statistics_ordered(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        e = force_error(pos, mass, 0.01, TreeCode(theta=0.75, n_crit=64))
+        assert e["median"] <= e["rms"] * 3
+        assert e["median"] <= e["p99"] <= e["max"]
+        assert 0 < e["rms"] < 0.01
+
+    def test_direct_against_itself_zero(self, plummer_pos_mass):
+        pos, mass = plummer_pos_mass
+        e = force_error(pos, mass, 0.01, DirectSummation())
+        assert e["max"] == 0.0

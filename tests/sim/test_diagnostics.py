@@ -1,0 +1,82 @@
+"""Diagnostics tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import DirectSummation
+from repro.sim.diagnostics import (EnergyLedger, interaction_totals,
+                                   lagrangian_radii, virial_ratio)
+from repro.sim.models import plummer_model, uniform_sphere
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture
+def sim(rng):
+    pos, vel, mass = plummer_model(200, rng)
+    return Simulation(pos=pos, vel=vel, mass=mass, eps=0.02, G=1.0,
+                      force=DirectSummation())
+
+
+class TestEnergyLedger:
+    def test_records_and_drift(self, sim):
+        led = EnergyLedger.empty()
+        led.record(sim)
+        for _ in range(10):
+            sim.step(0.01)
+        led.record(sim)
+        assert len(led.times) == 2
+        assert led.max_relative_drift() < 0.01
+
+    def test_empty_ledger_zero_drift(self):
+        assert EnergyLedger.empty().max_relative_drift() == 0.0
+
+    def test_total_is_sum(self, sim):
+        led = EnergyLedger.empty()
+        led.record(sim)
+        assert led.total[0] == pytest.approx(led.kinetic[0]
+                                             + led.potential[0])
+
+
+class TestVirialRatio:
+    def test_equilibrium_plummer_near_one(self, sim):
+        assert virial_ratio(sim) == pytest.approx(1.0, abs=0.2)
+
+    def test_cold_system_zero(self, rng):
+        pos, vel, mass = uniform_sphere(100, rng)
+        s = Simulation(pos=pos, vel=vel, mass=mass, eps=0.05, G=1.0,
+                       force=DirectSummation())
+        assert virial_ratio(s) == pytest.approx(0.0, abs=1e-12)
+
+
+class TestLagrangianRadii:
+    def test_uniform_sphere_radii(self, rng):
+        pos, _, mass = uniform_sphere(50000, rng, radius=1.0)
+        r10, r50, r90 = lagrangian_radii(pos, mass)
+        # uniform: r_f = f^(1/3)
+        assert r10 == pytest.approx(0.1 ** (1 / 3), rel=0.05)
+        assert r50 == pytest.approx(0.5 ** (1 / 3), rel=0.03)
+        assert r90 == pytest.approx(0.9 ** (1 / 3), rel=0.03)
+
+    def test_monotone(self, rng):
+        pos, _, mass = plummer_model(5000, rng)
+        radii = lagrangian_radii(pos, mass, fractions=(0.25, 0.5, 0.75))
+        assert radii[0] < radii[1] < radii[2]
+
+    def test_invalid_fraction(self, rng):
+        pos, _, mass = plummer_model(100, rng)
+        with pytest.raises(ValueError):
+            lagrangian_radii(pos, mass, fractions=(0.0,))
+
+
+class TestInteractionTotals:
+    def test_empty_run(self, sim):
+        d = interaction_totals(sim)
+        assert d["steps"] == 0 and d["interactions"] == 0
+
+    def test_after_run(self, sim):
+        sim.run([0.01] * 4)
+        d = interaction_totals(sim)
+        assert d["steps"] == 4
+        assert d["interactions"] == 4 * 200 * 200
+        assert d["interactions_per_step"] == 200 * 200
+        assert d["wall_seconds_host"] > 0

@@ -1,0 +1,85 @@
+"""Particle-model sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.models import (cold_lattice_sphere, hernquist_model,
+                              plummer_model, uniform_sphere)
+
+
+class TestPlummer:
+    def test_shapes_and_mass(self, rng):
+        pos, vel, mass = plummer_model(500, rng, total_mass=2.0)
+        assert pos.shape == (500, 3) and vel.shape == (500, 3)
+        assert mass.sum() == pytest.approx(2.0)
+
+    def test_half_mass_radius(self, rng):
+        """Plummer half-mass radius = a / sqrt(2^(2/3) - 1) ~ 1.3 a."""
+        pos, _, _ = plummer_model(20000, rng, scale_radius=1.0)
+        r = np.sort(np.linalg.norm(pos, axis=1))
+        r_half = r[len(r) // 2]
+        expect = 1.0 / np.sqrt(2.0 ** (2.0 / 3.0) - 1.0)
+        assert r_half == pytest.approx(expect, rel=0.05)
+
+    def test_virial_velocities(self, rng):
+        """Sampled speeds never exceed escape speed; mean-square speed
+        matches the virial theorem: <v^2> = -2E_kin_specific ... for
+        Plummer <v^2> = (3 pi / 64) * 2 * GM/a x ... check 2K ~ -W via
+        the known K = (3 pi / 64) GM^2/a."""
+        n = 20000
+        pos, vel, mass = plummer_model(n, rng, virial=True)
+        k = 0.5 * np.sum(mass[:, None] * vel**2)
+        expect_k = 3.0 * np.pi / 64.0
+        assert k == pytest.approx(expect_k, rel=0.05)
+
+    def test_cold_option(self, rng):
+        _, vel, _ = plummer_model(100, rng, virial=False)
+        assert np.allclose(vel, 0.0)
+
+    def test_isotropy(self, rng):
+        pos, _, _ = plummer_model(20000, rng)
+        mean_dir = (pos / np.linalg.norm(pos, axis=1)[:, None]).mean(axis=0)
+        assert np.linalg.norm(mean_dir) < 0.02
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            plummer_model(0, rng)
+
+
+class TestHernquist:
+    def test_half_mass_radius(self, rng):
+        """Hernquist: M(r)/M = r^2/(r+a)^2 = 1/2 at r = a(1+sqrt(2))."""
+        pos, _, _ = hernquist_model(20000, rng)
+        r = np.sort(np.linalg.norm(pos, axis=1))
+        r_half = r[len(r) // 2]
+        assert r_half == pytest.approx(1.0 + np.sqrt(2.0), rel=0.05)
+
+    def test_cuspier_than_plummer(self, rng):
+        ph, _, _ = hernquist_model(20000, rng)
+        pp, _, _ = plummer_model(20000, rng)
+        inner_h = np.mean(np.linalg.norm(ph, axis=1) < 0.1)
+        inner_p = np.mean(np.linalg.norm(pp, axis=1) < 0.1)
+        assert inner_h > 2.0 * inner_p
+
+
+class TestUniformSphere:
+    def test_density_profile_flat(self, rng):
+        pos, _, _ = uniform_sphere(20000, rng, radius=2.0)
+        r = np.linalg.norm(pos, axis=1)
+        assert r.max() <= 2.0
+        # M(<r) ~ r^3
+        frac_inner = np.mean(r < 1.0)
+        assert frac_inner == pytest.approx(1.0 / 8.0, rel=0.1)
+
+
+class TestColdLattice:
+    def test_deterministic(self):
+        a, _, _ = cold_lattice_sphere(8)
+        b, _, _ = cold_lattice_sphere(8)
+        assert np.array_equal(a, b)
+
+    def test_inside_radius(self):
+        pos, vel, mass = cold_lattice_sphere(10, radius=3.0)
+        assert np.all(np.linalg.norm(pos, axis=1) <= 3.0)
+        assert np.allclose(vel, 0.0)
+        assert mass.sum() == pytest.approx(1.0)

@@ -1,0 +1,76 @@
+"""Snapshot I/O and slab-extraction tests."""
+
+import numpy as np
+import pytest
+
+from repro.sim.models import plummer_model
+from repro.sim.simulation import Simulation
+from repro.sim.snapshot import Snapshot, load_snapshot, save_snapshot, slab
+from repro.core import DirectSummation
+
+
+class TestSnapshotIO:
+    def test_roundtrip_simulation(self, rng, tmp_path):
+        pos, vel, mass = plummer_model(50, rng)
+        sim = Simulation(pos=pos, vel=vel, mass=mass, eps=0.05, G=1.0,
+                         force=DirectSummation(), t=1.25)
+        path = save_snapshot(tmp_path / "snap.npz", sim, z=0.5)
+        snap = load_snapshot(path)
+        assert np.array_equal(snap.pos, sim.pos)
+        assert np.array_equal(snap.vel, sim.vel)
+        assert np.array_equal(snap.mass, sim.mass)
+        assert snap.t == 1.25
+        assert snap.z == 0.5
+        assert snap.eps == 0.05
+        assert snap.n_particles == 50
+
+    def test_roundtrip_snapshot_object(self, rng, tmp_path):
+        snap = Snapshot(pos=rng.standard_normal((10, 3)),
+                        vel=rng.standard_normal((10, 3)),
+                        mass=np.ones(10), t=2.0, z=1.0, eps=0.01)
+        path = save_snapshot(tmp_path / "s", snap)
+        back = load_snapshot(path)
+        assert np.array_equal(back.pos, snap.pos)
+        assert back.z == 1.0
+
+    def test_suffix_appended(self, rng, tmp_path):
+        snap = Snapshot(pos=np.zeros((2, 3)), vel=np.zeros((2, 3)),
+                        mass=np.ones(2), t=0.0)
+        path = save_snapshot(tmp_path / "nosuffix", snap)
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+
+class TestSlab:
+    def test_selection_geometry(self):
+        pos = np.array([
+            [0.0, 0.0, 0.0],     # in
+            [10.0, 0.0, 0.0],    # out: x beyond width/2
+            [0.0, 0.0, 2.0],     # out: beyond thickness
+            [5.0, -5.0, 0.5],    # in (on the edge)
+        ])
+        xy = slab(pos, width=10.0, thickness=2.5, axis=2)
+        # only particles 0 and 3 fit the 10-wide, 2.5-thick slab
+        assert xy.shape == (2, 2)
+
+    def test_paper_selection(self, rng):
+        """Figure 4: a 45 x 45 x 2.5 Mpc slab keeps ~thickness/extent of
+        a uniform cube's particles."""
+        pos = rng.uniform(-25, 25, (20000, 3))
+        xy = slab(pos, width=45.0, thickness=2.5)
+        frac = len(xy) / 20000
+        expect = (45.0 / 50.0) ** 2 * (2.5 / 50.0)
+        assert frac == pytest.approx(expect, rel=0.1)
+
+    def test_axis_selection(self):
+        pos = np.array([[0.0, 0.0, 9.0]])
+        assert len(slab(pos, width=1.0, thickness=0.5, axis=2)) == 0
+        assert len(slab(pos, width=20.0, thickness=0.5, axis=0)) == 1
+
+    def test_center_offset(self):
+        pos = np.array([[5.0, 5.0, 5.0]])
+        assert len(slab(pos, width=1.0, thickness=1.0)) == 0
+        xy = slab(pos, width=1.0, thickness=1.0,
+                  center=np.array([5.0, 5.0, 5.0]))
+        assert len(xy) == 1
+        assert np.allclose(xy[0], [0.0, 0.0])

@@ -1,0 +1,125 @@
+"""CLI tests (in-process: main() takes argv and an output stream)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_reports_machine_and_price(self):
+        code, text = run_cli("info")
+        assert code == 0
+        assert "peak_Gflops: 109.44" in text
+        assert "GRAPE-5 processor board" in text
+        assert "$40,870" in text
+
+
+class TestRun:
+    def test_tiny_run(self, tmp_path):
+        ck = tmp_path / "ck.npz"
+        fig = tmp_path / "fig4.pgm"
+        code, text = run_cli("run", "--ngrid", "6", "--steps", "2",
+                             "--z-final", "12",
+                             "--checkpoint", str(ck),
+                             "--figure4", str(fig))
+        assert code == 0
+        assert ck.exists() and fig.exists()
+        assert fig.read_bytes().startswith(b"P5")
+        assert "interactions" in text
+
+    def test_host_backend(self):
+        code, text = run_cli("run", "--ngrid", "5", "--steps", "1",
+                             "--z-final", "16", "--backend", "host")
+        assert code == 0
+        assert "GRAPE model" in text  # column exists, shows '-'
+
+
+class TestResume:
+    def test_resume_continues(self, tmp_path):
+        ck = tmp_path / "ck.npz"
+        run_cli("run", "--ngrid", "6", "--steps", "2", "--z-final",
+                "12", "--checkpoint", str(ck))
+        ck2 = tmp_path / "ck2.npz"
+        code, text = run_cli("resume", str(ck), "--steps", "2",
+                             "--z-final", "8",
+                             "--checkpoint-out", str(ck2))
+        assert code == 0
+        assert "resumed at" in text
+        assert ck2.exists()
+        from repro.sim.checkpoint import load_checkpoint
+        from repro.core import DirectSummation
+        sim = load_checkpoint(ck2, force=DirectSummation())
+        assert len(sim.history) == 4
+
+    def test_resume_past_target_is_noop(self, tmp_path):
+        ck = tmp_path / "ck.npz"
+        run_cli("run", "--ngrid", "5", "--steps", "1", "--z-final",
+                "10", "--checkpoint", str(ck))
+        code, text = run_cli("resume", str(ck), "--z-final", "20")
+        assert code == 0
+        assert "nothing to do" in text
+
+
+class TestSweep:
+    def test_sweep_table(self):
+        code, text = run_cli("sweep", "--n", "1024")
+        assert code == 0
+        assert "n_crit" in text and "mean list" in text
+        # four rows beyond the header
+        assert len([l for l in text.splitlines() if l.strip()]) >= 6
+
+
+class TestHalos:
+    def test_halo_catalogue_from_checkpoint(self, tmp_path):
+        # build a checkpoint with two obvious clumps
+        import numpy as np
+        from repro.core import DirectSummation
+        from repro.sim.checkpoint import save_checkpoint
+        from repro.sim.simulation import Simulation
+        rng = np.random.default_rng(2)
+        pos = np.concatenate([rng.normal(0, 0.4, (200, 3)),
+                              rng.normal(30.0, 0.4, (150, 3))])
+        sim = Simulation(pos=pos, vel=np.zeros_like(pos),
+                         mass=np.full(350, 1e12), eps=0.1, G=1.0,
+                         force=DirectSummation())
+        ck = tmp_path / "clumps.npz"
+        save_checkpoint(ck, sim)
+        code, text = run_cli("halos", str(ck), "--b", "0.3")
+        assert code == 0
+        assert "halos = 2" in text
+        assert "Press-Schechter" in text
+
+    def test_no_halos_graceful(self, tmp_path):
+        import numpy as np
+        from repro.core import DirectSummation
+        from repro.sim.checkpoint import save_checkpoint
+        from repro.sim.simulation import Simulation
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(-100, 100, (100, 3))
+        sim = Simulation(pos=pos, vel=np.zeros_like(pos),
+                         mass=np.ones(100), eps=0.1, G=1.0,
+                         force=DirectSummation())
+        ck = tmp_path / "field.npz"
+        save_checkpoint(ck, sim)
+        code, text = run_cli("halos", str(ck), "--b", "0.05")
+        assert code == 0
+        assert "halos = 0" in text

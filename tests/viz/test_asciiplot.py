@@ -1,0 +1,53 @@
+"""ASCII line-plot tests."""
+
+import numpy as np
+import pytest
+
+from repro.viz.asciiplot import line_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        x = np.linspace(0, 10, 20)
+        out = line_plot({"linear": (x, 2 * x)}, xlabel="x", ylabel="y")
+        assert "o" in out
+        assert "x: x" in out and "y: y" in out
+        assert "o = linear" in out
+
+    def test_log_axes(self):
+        r = np.geomspace(0.1, 100, 30)
+        out = line_plot({"pl": (r, r**-1.8)}, logx=True, logy=True)
+        assert "(log)" in out
+
+    def test_two_series_two_markers(self):
+        x = np.arange(10.0)
+        out = line_plot({"a": (x, x), "b": (x, 2 * x)})
+        assert "o = a" in out and "x = b" in out
+
+    def test_nans_skipped(self):
+        x = np.arange(10.0)
+        y = x.copy()
+        y[3] = np.nan
+        out = line_plot({"s": (x, y)})
+        assert "o" in out
+
+    def test_nonpositive_dropped_on_log(self):
+        x = np.array([1.0, 2.0, 3.0])
+        y = np.array([-1.0, 1.0, 2.0])
+        out = line_plot({"s": (x, y)}, logy=True)
+        assert "o" in out
+
+    def test_empty_series(self):
+        assert "no data" in line_plot({})
+
+    def test_all_invalid(self):
+        out = line_plot({"s": ([1.0], [-1.0])}, logy=True)
+        assert "no finite points" in out
+
+    def test_constant_series_does_not_crash(self):
+        out = line_plot({"c": ([1.0, 2.0], [5.0, 5.0])})
+        assert "o" in out
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            line_plot({"s": ([1.0], [1.0])}, width=4)

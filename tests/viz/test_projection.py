@@ -1,0 +1,75 @@
+"""Slab-rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.viz.projection import ascii_render, surface_density, write_pgm
+
+
+class TestSurfaceDensity:
+    def test_counts_conserved(self, rng):
+        xy = rng.uniform(-5, 5, (1000, 2))
+        h = surface_density(xy, width=10.0, bins=16)
+        assert h.sum() == 1000
+
+    def test_point_lands_in_right_bin(self):
+        xy = np.array([[0.0, 0.0]])
+        h = surface_density(xy, width=2.0, bins=2)
+        assert h[1, 1] == 1  # (0,0) is in the upper-right half-open bin
+
+    def test_outside_ignored(self):
+        xy = np.array([[100.0, 0.0]])
+        h = surface_density(xy, width=2.0, bins=4)
+        assert h.sum() == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            surface_density(np.zeros((3, 3)), width=1.0, bins=4)
+        with pytest.raises(ValueError):
+            surface_density(np.zeros((3, 2)), width=1.0, bins=1)
+
+
+class TestAsciiRender:
+    def test_shape_and_charset(self, rng):
+        xy = rng.standard_normal((500, 2))
+        h = surface_density(xy, width=6.0, bins=24)
+        art = ascii_render(h)
+        lines = art.splitlines()
+        assert len(lines) == 24
+        assert all(len(l) == 24 for l in lines)
+
+    def test_dense_region_darker(self):
+        h = np.zeros((8, 8))
+        h[2, 3] = 100.0
+        art = ascii_render(h).splitlines()
+        # densest cell maps to the last ramp character
+        assert "@" in "".join(art)
+        assert sum(c == "@" for c in "".join(art)) == 1
+
+    def test_empty_histogram(self):
+        art = ascii_render(np.zeros((4, 4)))
+        assert set("".join(art.splitlines())) == {" "}
+
+    def test_downsampling_cap(self, rng):
+        h = surface_density(rng.standard_normal((2000, 2)), width=6.0,
+                            bins=128)
+        art = ascii_render(h, max_rows=32)
+        assert len(art.splitlines()) <= 32
+
+
+class TestWritePGM:
+    def test_valid_pgm(self, rng, tmp_path):
+        xy = rng.standard_normal((300, 2))
+        h = surface_density(xy, width=6.0, bins=32)
+        p = write_pgm(tmp_path / "fig4.pgm", h)
+        data = p.read_bytes()
+        assert data.startswith(b"P5\n32 32\n255\n")
+        assert len(data) == len(b"P5\n32 32\n255\n") + 32 * 32
+
+    def test_intensity_range(self, tmp_path):
+        h = np.zeros((4, 4))
+        h[0, 0] = 10.0
+        p = write_pgm(tmp_path / "x.pgm", h)
+        body = p.read_bytes().split(b"255\n", 1)[1]
+        assert max(body) == 255
+        assert min(body) == 0
