@@ -21,8 +21,16 @@ The package rebuilds the paper's whole stack in Python:
     Operation counting (38-op convention), the original-algorithm
     correction, the host+GRAPE analytic model with its optimal n_g,
     and the headline $/Mflops report.
+``repro.obs``
+    Observability: span tracing, run metrics, JSONL/Prometheus export
+    and the section-5-style per-phase profile table.
 ``repro.viz``
     Figure-4 style slab rendering (ASCII/PGM).
+
+Logging follows library convention: everything logs under the
+``repro`` logger hierarchy, a ``NullHandler`` is installed at the
+root, and nothing is printed unless the application configures
+handlers (the CLI's ``-v/--verbose`` flag does).
 
 Thirty-second example::
 
@@ -40,6 +48,12 @@ Thirty-second example::
           tc.backend.model_seconds)  # modelled GRAPE-5 wall time
 """
 
-__version__ = "1.0.0"
+import logging as _logging
 
-__all__ = ["core", "grape", "host", "cosmo", "sim", "perf", "viz"]
+__version__ = "1.1.0"
+
+__all__ = ["core", "grape", "host", "cosmo", "sim", "perf", "obs", "viz"]
+
+# Library convention: never emit log records unless the embedding
+# application opts in (PEP 282 / logging HOWTO).
+_logging.getLogger(__name__).addHandler(_logging.NullHandler())

@@ -20,11 +20,20 @@ Subcommands
     the Press--Schechter reference counts.
 
 All subcommands are deterministic for a fixed ``--seed``.
+
+Observability (``run``/``resume``/``sweep``): ``--profile`` prints the
+section-5-style per-phase wall-time table at the end, ``--trace
+out.jsonl`` writes the span tree as JSON lines, ``--metrics out.prom``
+writes a Prometheus text exposition of the run counters, and ``run
+--json-summary out.json`` emits the ``repro.run_summary/v1`` document.
+``-v``/``-vv`` (before the subcommand) turns on INFO/DEBUG logging of
+the ``repro`` logger hierarchy.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -33,17 +42,30 @@ import numpy as np
 
 __all__ = ["main", "build_parser"]
 
+logger = logging.getLogger(__name__)
+
 
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
         description=("Reproduction of the SC'99 GRAPE-5 treecode "
                      "Gordon Bell entry"))
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="log to stderr (-v: INFO, -vv: DEBUG)")
     sub = p.add_subparsers(dest="command", required=True)
+
+    obs = argparse.ArgumentParser(add_help=False)
+    obs.add_argument("--profile", action="store_true",
+                     help="print the per-phase wall-time table")
+    obs.add_argument("--trace", type=Path, default=None,
+                     metavar="JSONL", help="write span events here")
+    obs.add_argument("--metrics", type=Path, default=None,
+                     metavar="PROM",
+                     help="write Prometheus-format metrics here")
 
     sub.add_parser("info", help="machine configuration + price ledger")
 
-    r = sub.add_parser("run", help="scaled paper run")
+    r = sub.add_parser("run", help="scaled paper run", parents=[obs])
     r.add_argument("--ngrid", type=int, default=16,
                    help="IC mesh per dimension (particles ~ pi/6 n^3)")
     r.add_argument("--steps", type=int, default=20)
@@ -58,8 +80,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write a checkpoint here when done")
     r.add_argument("--figure4", type=Path, default=None,
                    help="write the 45x45x2.5 slab as a PGM here")
+    r.add_argument("--json-summary", type=Path, default=None,
+                   metavar="JSON",
+                   help="write the machine-readable run summary here")
 
-    c = sub.add_parser("resume", help="continue a checkpointed run")
+    c = sub.add_parser("resume", help="continue a checkpointed run",
+                       parents=[obs])
     c.add_argument("checkpoint", type=Path)
     c.add_argument("--steps", type=int, default=20)
     c.add_argument("--z-final", type=float, default=0.0)
@@ -69,7 +95,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--ncrit", type=int, default=256)
     c.add_argument("--checkpoint-out", type=Path, default=None)
 
-    s = sub.add_parser("sweep", help="group-size (n_g) sweep")
+    s = sub.add_parser("sweep", help="group-size (n_g) sweep",
+                       parents=[obs])
     s.add_argument("--n", type=int, default=8192)
     s.add_argument("--theta", type=float, default=0.75)
     s.add_argument("--seed", type=int, default=3)
@@ -82,12 +109,55 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _make_force(args):
+def _make_obs(args):
+    """(tracer, registry) for one command invocation.
+
+    A real tracer is created only when span data will be consumed
+    (--trace/--profile); otherwise the shared no-op tracer keeps the
+    instrumented hot paths at seed-level cost.  The registry is always
+    created -- counters are cheap and feed the report/summary paths.
+    """
+    from repro.obs import MetricsRegistry, NULL_TRACER, Tracer
+    want_spans = bool(getattr(args, "trace", None)
+                      or getattr(args, "profile", False))
+    tracer = Tracer() if want_spans else NULL_TRACER
+    return tracer, MetricsRegistry()
+
+
+def _make_force(args, tracer=None, registry=None):
     from repro.core import TreeCode
     from repro.grape import GrapeBackend
     backend = GrapeBackend() if args.backend == "grape" else None
-    tc = TreeCode(theta=args.theta, n_crit=args.ncrit, backend=backend)
+    if backend is not None and registry is not None:
+        backend.bind_metrics(registry)
+    tc = TreeCode(theta=args.theta, n_crit=args.ncrit, backend=backend,
+                  tracer=tracer, metrics=registry)
     return tc, (backend if args.backend == "grape" else None)
+
+
+def _emit_obs(args, tracer, registry, out, *, extra=None) -> None:
+    """Write/print whatever observability outputs were requested."""
+    from repro.obs.export import (format_phase_table, write_jsonl,
+                                  write_json_summary, write_prometheus)
+    if getattr(args, "profile", False):
+        print("\nper-phase wall time:", file=out)
+        print(format_phase_table(tracer), file=out)
+        model_s = registry.value("grape.model_seconds")
+        if model_s:
+            print(f"GRAPE modelled force time: {model_s:.3f} s "
+                  f"({int(registry.value('grape.force_calls'))} calls)",
+                  file=out)
+    if getattr(args, "trace", None):
+        meta = {"command": args.command, **(extra or {})}
+        n = write_jsonl(args.trace, tracer, metrics=registry, meta=meta)
+        print(f"trace written to {args.trace} ({n} events)", file=out)
+    if getattr(args, "metrics", None):
+        write_prometheus(args.metrics, registry)
+        print(f"metrics written to {args.metrics}", file=out)
+    if getattr(args, "json_summary", None):
+        write_json_summary(args.json_summary, registry, tracer=tracer,
+                           extra=extra)
+        print(f"run summary written to {args.json_summary}", file=out)
 
 
 def _report_run(sim, backend, out) -> None:
@@ -131,8 +201,12 @@ def cmd_run(args, out) -> int:
     region = carve_sphere(ic, radius=50.0, z_init=args.z_init)
     print(f"N = {region.n_particles} particles of "
           f"{region.mass[0]:.3g} M_sun", file=out)
-    force, backend = _make_force(args)
-    sim = Simulation.from_sphere(region, force=force)
+    logger.info("run: N=%d ngrid=%d steps=%d backend=%s",
+                region.n_particles, args.ngrid, args.steps, args.backend)
+    tracer, registry = _make_obs(args)
+    force, backend = _make_force(args, tracer, registry)
+    sim = Simulation.from_sphere(region, force=force, tracer=tracer,
+                                 metrics=registry)
     sim.t = SCDM.age(args.z_init)
     sched = paper_schedule(SCDM, args.z_init, args.z_final, args.steps)
     for i, dt in enumerate(sched):
@@ -142,6 +216,9 @@ def cmd_run(args, out) -> int:
                   f"{rec.mean_list_length:.0f}, "
                   f"{rec.wall_seconds:.2f} s", file=out)
     _report_run(sim, backend, out)
+    _emit_obs(args, tracer, registry, out,
+              extra={"backend": args.backend, "theta": args.theta,
+                     "n_crit": args.ncrit, "seed": args.seed})
 
     if args.figure4 is not None:
         xy = slab(sim.pos, width=45.0, thickness=2.5,
@@ -160,11 +237,17 @@ def cmd_resume(args, out) -> int:
     from repro.sim import paper_schedule
     from repro.sim.checkpoint import load_checkpoint, save_checkpoint
 
-    force, backend = _make_force(args)
+    tracer, registry = _make_obs(args)
+    force, backend = _make_force(args, tracer, registry)
     sim = load_checkpoint(args.checkpoint, force=force)
+    sim.tracer, sim.metrics = tracer, registry
+    registry.gauge("sim.n_particles",
+                   "particles in the run").set(sim.n_particles)
     z_now = SCDM.z_of_a(SCDM.a_of_t(sim.t))
     print(f"resumed at t = {sim.t:.3g} (z = {float(z_now):.2f}), "
           f"{len(sim.history)} steps done", file=out)
+    logger.info("resume: N=%d from t=%.4g (z=%.2f)", sim.n_particles,
+                sim.t, float(z_now))
     if float(z_now) <= args.z_final + 1e-9:
         print("already past requested redshift; nothing to do",
               file=out)
@@ -172,6 +255,7 @@ def cmd_resume(args, out) -> int:
     sched = paper_schedule(SCDM, float(z_now), args.z_final, args.steps)
     sim.run(sched)
     _report_run(sim, backend, out)
+    _emit_obs(args, tracer, registry, out)
     if args.checkpoint_out is not None:
         save_checkpoint(args.checkpoint_out, sim)
         print(f"checkpoint written to {args.checkpoint_out}", file=out)
@@ -185,9 +269,11 @@ def cmd_sweep(args, out) -> int:
 
     rng = np.random.default_rng(args.seed)
     pos, _, mass = plummer_model(args.n, rng)
+    tracer, registry = _make_obs(args)
     rows = []
     for ncrit in (64, 256, 1024, 4096):
-        tc = TreeCode(theta=args.theta, n_crit=ncrit)
+        tc = TreeCode(theta=args.theta, n_crit=ncrit, tracer=tracer,
+                      metrics=registry)
         tc.accelerations(pos, mass, 0.01)
         s = tc.last_stats
         rows.append({"n_crit": ncrit,
@@ -195,6 +281,7 @@ def cmd_sweep(args, out) -> int:
                      "mean list": round(s.interactions_per_particle),
                      "interactions": s.total_interactions})
     print(format_table(rows), file=out)
+    _emit_obs(args, tracer, registry, out)
     return 0
 
 
@@ -226,11 +313,28 @@ def cmd_halos(args, out) -> int:
     return 0
 
 
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the ``repro`` hierarchy (CLI only;
+    as a library the package stays silent via its NullHandler)."""
+    if verbosity <= 0:
+        return
+    level = logging.INFO if verbosity == 1 else logging.DEBUG
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler)
+               for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(levelname)s %(name)s: %(message)s"))
+        root.addHandler(handler)
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     if out is None:
         out = sys.stdout
     args = build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
     handler = {"info": cmd_info, "run": cmd_run,
                "resume": cmd_resume, "sweep": cmd_sweep,
                "halos": cmd_halos}[args.command]

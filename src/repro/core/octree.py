@@ -24,6 +24,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.trace import as_tracer
 from . import morton
 
 __all__ = ["Octree", "build_octree", "ragged_arange"]
@@ -176,7 +177,8 @@ def _cell_geometry(prefix: np.ndarray, level: int, corner: np.ndarray,
 def build_octree(pos: np.ndarray, mass: np.ndarray, *,
                  leaf_size: int = 8,
                  corner: Optional[np.ndarray] = None,
-                 size: Optional[float] = None) -> Octree:
+                 size: Optional[float] = None,
+                 tracer: Optional[object] = None) -> Octree:
     """Build a linear octree over ``pos`` with at most ``leaf_size``
     particles per leaf (except for cells of coincident particles that
     cannot be separated at the finest grid level).
@@ -191,7 +193,11 @@ def build_octree(pos: np.ndarray, mass: np.ndarray, *,
         Split cells holding more particles than this.
     corner, size:
         Optional root cube; computed from the particle bounds when omitted.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`; construction then
+        opens ``morton_sort`` and ``tree_refine`` sub-spans.
     """
+    tr = as_tracer(tracer)
     pos = np.ascontiguousarray(pos, dtype=np.float64)
     mass = np.ascontiguousarray(mass, dtype=np.float64)
     if pos.ndim != 2 or pos.shape[1] != 3:
@@ -209,11 +215,15 @@ def build_octree(pos: np.ndarray, mass: np.ndarray, *,
     corner = np.asarray(corner, dtype=np.float64)
     size = float(size)
 
-    keys = morton.morton_keys(pos, corner, size)
-    order = np.argsort(keys, kind="stable").astype(np.int64)
-    keys = keys[order]
-    pos_s = pos[order]
-    mass_s = mass[order]
+    with tr.span("morton_sort", n_particles=n):
+        keys = morton.morton_keys(pos, corner, size)
+        order = np.argsort(keys, kind="stable").astype(np.int64)
+        keys = keys[order]
+        pos_s = pos[order]
+        mass_s = mass[order]
+
+    refine_span = tr.span("tree_refine")
+    refine_span.__enter__()
 
     # growable per-cell lists; chunks are concatenated at the end
     levels = [np.zeros(1, dtype=np.int8)]
@@ -295,6 +305,8 @@ def build_octree(pos: np.ndarray, mass: np.ndarray, *,
         center_arr[at] = ctr
         half_arr[at] = hlf
 
+    refine_span.set(n_cells=n_cells,
+                    depth=int(level_arr.max())).__exit__(None, None, None)
     return Octree(
         corner=corner, size=size,
         order=order, keys=keys, pos_sorted=pos_s, mass_sorted=mass_s,

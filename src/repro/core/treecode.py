@@ -24,12 +24,14 @@ length, group population, and phase wall-clock times.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..obs.trace import as_tracer
 from .groups import GroupSet, make_groups
 from .kernels import Float64Backend, ForceBackend, self_potential_correction
 from .mac import MAC, BarnesHutMAC
@@ -39,6 +41,8 @@ from .octree import Octree, build_octree
 from .traversal import InteractionLists, build_interaction_lists
 
 __all__ = ["TreeCode", "TreeStats"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -105,13 +109,27 @@ class TreeCode:
         with this enabled only the *direct* particle terms go through
         the backend -- exactly what a hybrid host/GRAPE quadrupole
         scheme would do).
+    tracer:
+        A :class:`repro.obs.trace.Tracer`; every force evaluation then
+        opens ``tree_build`` / ``group`` / ``traverse`` / ``eval``
+        spans (with ``grape_force``/``host_kernel`` and ``host_direct``
+        attribution children under ``eval``).  ``None`` installs the
+        shared no-op tracer -- the instrumented path then costs a few
+        dict lookups per *phase*, not per interaction.
+    metrics:
+        A :class:`repro.obs.metrics.MetricsRegistry`; per-call
+        counters (``tree.force_evals``, ``tree.interactions_total``)
+        and histograms (``tree.list_length``, ``tree.group_size``) are
+        recorded when present.
     """
 
     def __init__(self, *, theta: float = 0.75, n_crit: int = 2000,
                  leaf_size: int = 8,
                  backend: Optional[ForceBackend] = None,
                  mac: Optional[MAC] = None,
-                 quadrupole: bool = False) -> None:
+                 quadrupole: bool = False,
+                 tracer: Optional[object] = None,
+                 metrics: Optional[object] = None) -> None:
         if n_crit < 1:
             raise ValueError("n_crit must be >= 1")
         self.theta = float(theta)
@@ -120,10 +138,13 @@ class TreeCode:
         self.backend = backend if backend is not None else Float64Backend()
         self.mac = mac if mac is not None else BarnesHutMAC(theta=theta)
         self.quadrupole = bool(quadrupole)
+        self.tracer = as_tracer(tracer)
+        self.metrics = metrics
         self.last_stats: Optional[TreeStats] = None
         self.last_tree: Optional[Octree] = None
         self.last_groups: Optional[GroupSet] = None
         self.last_lists: Optional[InteractionLists] = None
+        self._kernel_seconds = 0.0
 
     # ------------------------------------------------------------------
     def build(self, pos: np.ndarray, mass: np.ndarray) -> Octree:
@@ -132,8 +153,10 @@ class TreeCode:
         Also re-announces the root cube to the backend (the GRAPE's
         fixed-point coordinate window must track the particle extent).
         """
-        tree = build_octree(pos, mass, leaf_size=self.leaf_size)
-        compute_moments(tree, quadrupole=self.quadrupole)
+        tree = build_octree(pos, mass, leaf_size=self.leaf_size,
+                            tracer=self.tracer)
+        with self.tracer.span("moments", quadrupole=self.quadrupole):
+            compute_moments(tree, quadrupole=self.quadrupole)
         lo = float(np.min(tree.corner))
         hi = float(np.max(tree.corner + tree.size))
         self.backend.set_domain(lo, hi)
@@ -149,13 +172,16 @@ class TreeCode:
         """
         if algorithm not in ("modified", "original"):
             raise ValueError(f"unknown algorithm {algorithm!r}")
+        tr = self.tracer
         t0 = time.perf_counter()
-        tree = self.build(pos, mass)
+        with tr.span("tree_build", n_particles=int(pos.shape[0])):
+            tree = self.build(pos, mass)
         t_build = time.perf_counter() - t0
 
         if algorithm == "modified":
             t0 = time.perf_counter()
-            groups = make_groups(tree, self.n_crit)
+            with tr.span("group", n_crit=self.n_crit):
+                groups = make_groups(tree, self.n_crit)
             t_group = time.perf_counter() - t0
             sink_center, sink_radius = groups.center, groups.radius
         else:
@@ -165,31 +191,44 @@ class TreeCode:
             sink_radius = np.zeros(tree.n_particles, dtype=np.float64)
 
         t0 = time.perf_counter()
-        lists = build_interaction_lists(tree, sink_center, sink_radius,
-                                        self.mac)
+        with tr.span("traverse", n_sinks=int(sink_center.shape[0])):
+            lists = build_interaction_lists(tree, sink_center, sink_radius,
+                                            self.mac)
         t_traverse = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        acc_s = np.empty((tree.n_particles, 3), dtype=np.float64)
-        pot_s = np.empty(tree.n_particles, dtype=np.float64)
-        if algorithm == "modified":
-            sink_weights = groups.count
-            for g in range(groups.n_groups):
-                s, n = int(groups.start[g]), int(groups.count[g])
-                xi = tree.pos_sorted[s:s + n]
-                a, p = self._eval_sink(tree, lists, g, xi, eps)
-                acc_s[s:s + n] = a
-                pot_s[s:s + n] = p
-        else:
-            sink_weights = np.ones(tree.n_particles, dtype=np.int64)
-            for i in range(tree.n_particles):
-                a, p = self._eval_sink(tree, lists, i,
-                                       tree.pos_sorted[i:i + 1], eps)
-                acc_s[i] = a[0]
-                pot_s[i] = p[0]
-        # remove the Plummer self term picked up from the direct list
-        pot_s += self_potential_correction(tree.mass_sorted, eps)
-        t_eval = time.perf_counter() - t0
+        self._kernel_seconds = 0.0
+        with tr.span("eval", algorithm=algorithm):
+            acc_s = np.empty((tree.n_particles, 3), dtype=np.float64)
+            pot_s = np.empty(tree.n_particles, dtype=np.float64)
+            if algorithm == "modified":
+                sink_weights = groups.count
+                for g in range(groups.n_groups):
+                    s, n = int(groups.start[g]), int(groups.count[g])
+                    xi = tree.pos_sorted[s:s + n]
+                    a, p = self._eval_sink(tree, lists, g, xi, eps)
+                    acc_s[s:s + n] = a
+                    pot_s[s:s + n] = p
+            else:
+                sink_weights = np.ones(tree.n_particles, dtype=np.int64)
+                for i in range(tree.n_particles):
+                    a, p = self._eval_sink(tree, lists, i,
+                                           tree.pos_sorted[i:i + 1], eps)
+                    acc_s[i] = a[0]
+                    pot_s[i] = p[0]
+            # remove the Plummer self term picked up from the direct list
+            pot_s += self_potential_correction(tree.mass_sorted, eps)
+            t_eval = time.perf_counter() - t0
+            t_kernel = self._kernel_seconds
+            # attribute the eval sweep: backend kernel wall time vs the
+            # host-side remainder (list assembly, scatter, bookkeeping)
+            kernel_phase = ("grape_force" if "grape" in self.backend.name
+                            else "host_kernel")
+            n_sinks = (groups.n_groups if groups is not None
+                       else tree.n_particles)
+            tr.record(kernel_phase, t_kernel, calls=int(n_sinks),
+                      backend=self.backend.name)
+            tr.record("host_direct", max(0.0, t_eval - t_kernel))
 
         acc = np.empty_like(acc_s)
         pot = np.empty_like(pot_s)
@@ -198,6 +237,35 @@ class TreeCode:
 
         lengths = lists.list_lengths
         total = int(np.sum(lengths * sink_weights))
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("tree.force_evals",
+                      "force evaluations (tree builds)").inc()
+            m.counter("tree.interactions_total",
+                      "particle-particle interactions "
+                      "(the paper's 2.90e13 analogue)").inc(total)
+            m.counter("tree.cell_terms_total",
+                      "cell (monopole) terms").inc(int(lists.cell_off[-1]))
+            m.counter("tree.part_terms_total",
+                      "direct particle terms").inc(int(lists.part_off[-1]))
+            m.histogram("tree.list_length",
+                        "interaction-list length per sink"
+                        ).observe_many(lengths.tolist())
+            if groups is not None:
+                m.histogram("tree.group_size",
+                            "particles per Barnes group (n_g)"
+                            ).observe_many(groups.count.tolist())
+            m.gauge("tree.depth", "octree depth").set(tree.depth)
+            m.gauge("tree.n_cells", "octree cells").set(tree.n_cells)
+            for phase, secs in (("build", t_build), ("group", t_group),
+                                ("traverse", t_traverse), ("eval", t_eval),
+                                ("kernel", t_kernel)):
+                m.counter(f"tree.seconds.{phase}",
+                          f"host wall seconds in {phase}").inc(secs)
+        logger.debug("force eval: N=%d algo=%s interactions=%d "
+                     "build=%.4fs traverse=%.4fs eval=%.4fs",
+                     tree.n_particles, algorithm, total, t_build,
+                     t_traverse, t_eval)
         self.last_tree = tree
         self.last_groups = groups
         self.last_lists = lists
@@ -216,7 +284,9 @@ class TreeCode:
             mean_list_length=float(lengths.mean()),
             max_list_length=int(lengths.max()) if len(lengths) else 0,
             times={"build": t_build, "group": t_group,
-                   "traverse": t_traverse, "eval": t_eval},
+                   "traverse": t_traverse, "eval": t_eval,
+                   "kernel": t_kernel,
+                   "host_direct": max(0.0, t_eval - t_kernel)},
         )
         return acc, pot
 
@@ -234,15 +304,20 @@ class TreeCode:
         """
         if not self.quadrupole:
             xj, mj = self._sources(tree, lists, sink)
-            return self.backend.compute(xi, xj, mj, eps)
+            k0 = time.perf_counter()
+            out = self.backend.compute(xi, xj, mj, eps)
+            self._kernel_seconds += time.perf_counter() - k0
+            return out
         cells = lists.cells_of(sink)
         parts = lists.parts_of(sink)
         a_c, p_c = quadrupole_accpot(xi, tree.com[cells],
                                      tree.mass[cells], tree.quad[cells],
                                      eps)
+        k0 = time.perf_counter()
         a_p, p_p = self.backend.compute(xi, tree.pos_sorted[parts],
                                         tree.mass_sorted[parts], eps)
-        return a_c + a_p, p_c + p_p
+        self._kernel_seconds += time.perf_counter() - k0
+        return a_p + a_c, p_p + p_c
 
     @staticmethod
     def _sources(tree: Octree, lists: InteractionLists, sink: int

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..host.cost import CostItem, SystemCost
 from .timing import GrapeTimingModel, OPS_PER_INTERACTION
@@ -122,18 +122,35 @@ class GrapeCluster:
 
     # ------------------------------------------------------------------
     def report(self, n: int, ng: float, steps: int,
-               effective_fraction: float) -> Dict[str, float]:
+               effective_fraction: float, *,
+               metrics: Optional[object] = None) -> Dict[str, float]:
         """Price/performance of a full run on this configuration.
 
         ``effective_fraction`` converts raw interaction counts to the
         original-algorithm (corrected) count -- 1/6.18 for the paper's
-        operating point.
+        operating point.  ``metrics`` optionally receives the modelled
+        time attribution as ``cluster.*`` gauges (a
+        :class:`repro.obs.metrics.MetricsRegistry`).
         """
         t = steps * self.step_time(n, ng)
         l = float(self.node_model.list_length(ng))
         raw = OPS_PER_INTERACTION * steps * n * l / t
         eff = raw * effective_fraction
         cost = self.cost()
+        if metrics is not None:
+            metrics.gauge("cluster.n_nodes", "modelled cluster nodes"
+                          ).set(self.config.n_nodes)
+            metrics.gauge("cluster.step_seconds",
+                          "modelled wall seconds per step"
+                          ).set(self.step_time(n, ng))
+            metrics.gauge("cluster.comm_seconds",
+                          "modelled communication seconds per step"
+                          ).set(self.comm_time(n))
+            metrics.gauge("cluster.eff_gflops",
+                          "modelled effective Gflops").set(eff / 1e9)
+            metrics.gauge("cluster.usd_per_mflops",
+                          "modelled price/performance"
+                          ).set(cost.total_usd / (eff / 1e6))
         return {
             "nodes": self.config.n_nodes,
             "boards/node": self.config.boards_per_node,

@@ -21,6 +21,7 @@ host.  It exposes:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -32,6 +33,8 @@ from .numerics import G5Numerics, G5_NUMERICS
 from .timing import GrapeTimingModel, OPS_PER_INTERACTION
 
 __all__ = ["Grape5System", "GrapeBackend"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -49,6 +52,11 @@ class Grape5System:
     #: :attr:`call_log` -- the raw material for validating the timing
     #: model against a real run's call-size distribution
     record_calls: bool = False
+
+    #: optional :class:`repro.obs.metrics.MetricsRegistry`; every force
+    #: call is then charged to ``grape.*`` counters/histograms so
+    #: host-vs-GRAPE time attribution is first-class run data
+    metrics: Optional[object] = field(default=None, repr=False)
 
     # accumulated performance counters
     n_calls: int = field(default=0, repr=False)
@@ -168,9 +176,24 @@ class Grape5System:
 
         self.n_calls += 1
         self.interactions += n_i * n_j
-        self.model_seconds += self.timing.force_call_time(n_i, n_j)
+        t_call = self.timing.force_call_time(n_i, n_j)
+        self.model_seconds += t_call
         if self.record_calls:
             self.call_log.append((n_i, n_j))
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("grape.force_calls",
+                      "force calls shipped to the boards").inc()
+            m.counter("grape.interactions_total",
+                      "pairwise interactions on the pipelines"
+                      ).inc(n_i * n_j)
+            m.counter("grape.model_seconds",
+                      "modelled GRAPE-5 wall seconds").inc(t_call)
+            m.histogram("grape.call_ni",
+                        "i-particles (sinks) per force call").observe(n_i)
+            m.histogram("grape.call_nj",
+                        "j-particles (list length) per force call"
+                        ).observe(n_j)
 
     # ------------------------------------------------------------------
     @property
@@ -198,6 +221,12 @@ class GrapeBackend(ForceBackend):
 
     def compute(self, xi, xj, mj, eps):
         return self.system.compute(xi, xj, mj, eps)
+
+    def bind_metrics(self, registry) -> "GrapeBackend":
+        """Route per-force-call counters into ``registry``
+        (a :class:`repro.obs.metrics.MetricsRegistry`)."""
+        self.system.metrics = registry
+        return self
 
     def reset_stats(self):
         self.system.reset_stats()

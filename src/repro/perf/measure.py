@@ -68,19 +68,38 @@ def force_error(pos: np.ndarray, mass: np.ndarray, eps: float,
     ``solver`` is anything with ``accelerations(pos, mass, eps)``;
     ``reference`` optionally supplies a precomputed ``(acc, pot)`` to
     amortise the O(N^2) baseline across several measurements.
+
+    Particles whose reference acceleration has exactly zero norm (a
+    sink at a field null, e.g. the center of a symmetric pair) have no
+    defined relative error; they are excluded from the statistics and
+    counted in ``n_zero_reference`` instead of leaking NaN/inf into
+    the RMS.
     """
     if reference is None:
         reference = direct_accelerations(pos, mass, eps)
     acc_ref, pot_ref = reference
     acc, pot = solver.accelerations(pos, mass, eps)
-    rel = (np.linalg.norm(acc - acc_ref, axis=1)
-           / np.linalg.norm(acc_ref, axis=1))
+    ref_norm = np.linalg.norm(acc_ref, axis=1)
+    ok = ref_norm > 0.0
+    n_zero = int(np.size(ok) - np.count_nonzero(ok))
+    if not np.any(ok):
+        rel = np.zeros(0, dtype=np.float64)
+    else:
+        rel = (np.linalg.norm(acc[ok] - acc_ref[ok], axis=1)
+               / ref_norm[ok])
     with np.errstate(divide="ignore", invalid="ignore"):
         prel = np.abs((pot - pot_ref) / pot_ref)
-    return {
-        "rms": float(np.sqrt(np.mean(rel**2))),
-        "median": float(np.median(rel)),
-        "p99": float(np.percentile(rel, 99)),
-        "max": float(rel.max()),
-        "pot_rms": float(np.sqrt(np.nanmean(prel**2))),
-    }
+    if rel.size == 0:
+        stats = {"rms": 0.0, "median": 0.0, "p99": 0.0, "max": 0.0}
+    else:
+        stats = {
+            "rms": float(np.sqrt(np.mean(rel**2))),
+            "median": float(np.median(rel)),
+            "p99": float(np.percentile(rel, 99)),
+            "max": float(rel.max()),
+        }
+    finite = np.isfinite(prel)
+    stats["pot_rms"] = (float(np.sqrt(np.mean(prel[finite] ** 2)))
+                        if np.any(finite) else 0.0)
+    stats["n_zero_reference"] = n_zero
+    return stats

@@ -20,9 +20,10 @@ periodic-box extensions.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,14 +31,23 @@ from ..core.direct import DirectSummation
 from ..core.treecode import TreeCode
 from ..cosmo.sphere import SphereRegion
 from ..cosmo.units import G as G_ASTRO
+from ..obs.trace import as_tracer
 from .integrator import LeapfrogKDK
 
 __all__ = ["StepRecord", "Simulation"]
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass(frozen=True)
 class StepRecord:
-    """Statistics of one completed step."""
+    """Statistics of one completed step.
+
+    ``phases`` is a view over the step's observability data: per-phase
+    host wall seconds (``build``/``group``/``traverse``/``eval``/
+    ``kernel``/``host_direct``) taken from the force solver's span
+    timings, empty when the solver does not report them.
+    """
 
     step: int
     t: float
@@ -46,6 +56,7 @@ class StepRecord:
     mean_list_length: float
     n_groups: int
     wall_seconds: float
+    phases: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -68,6 +79,15 @@ class Simulation:
         Newton's constant in the chosen units; the astronomical value
         by default.  Source masses are pre-scaled by G so the G = 1
         kernels return accelerations directly.
+    tracer:
+        Optional :class:`repro.obs.trace.Tracer`.  Every step then runs
+        inside a ``step`` span; when the force solver shares the same
+        tracer (the default solver does; the CLI wires one tracer
+        through both) the treecode's phase spans nest under it.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; step
+        counters (``sim.steps_total``, ``sim.interactions_total``) and
+        the ``sim.step_seconds`` histogram are recorded when present.
     """
 
     pos: np.ndarray
@@ -77,6 +97,8 @@ class Simulation:
     force: object = None
     G: float = G_ASTRO
     t: float = 0.0
+    tracer: object = None
+    metrics: object = None
 
     history: List[StepRecord] = field(default_factory=list)
     _integrator: LeapfrogKDK = field(default=None, repr=False)
@@ -93,15 +115,24 @@ class Simulation:
             raise ValueError("mass must be (N,)")
         if self.eps < 0:
             raise ValueError("eps must be non-negative")
+        self.tracer = as_tracer(self.tracer)
         if self.force is None:
-            self.force = TreeCode(theta=0.75, n_crit=min(2000, max(1, n // 8)))
+            self.force = TreeCode(theta=0.75,
+                                  n_crit=min(2000, max(1, n // 8)),
+                                  tracer=self.tracer,
+                                  metrics=self.metrics)
         self._mass_eff = self.G * self.mass
         self._integrator = LeapfrogKDK(force=self._eval)
+        if self.metrics is not None:
+            self.metrics.gauge("sim.n_particles",
+                               "particles in the run").set(n)
 
     # ------------------------------------------------------------------
     @classmethod
     def from_sphere(cls, region: SphereRegion, *, eps: Optional[float] = None,
-                    force: object = None, t: float = 0.0) -> "Simulation":
+                    force: object = None, t: float = 0.0,
+                    tracer: object = None,
+                    metrics: object = None) -> "Simulation":
         """Build a run from a carved cosmological sphere.
 
         ``eps`` defaults to 4% of the mean interparticle spacing of the
@@ -114,7 +145,8 @@ class Simulation:
             spacing = (4.0 / 3.0 * np.pi * r**3 / region.n_particles) ** (1.0 / 3.0)
             eps = 0.04 * spacing
         return cls(pos=region.pos.copy(), vel=region.vel.copy(),
-                   mass=region.mass.copy(), eps=float(eps), force=force, t=t)
+                   mass=region.mass.copy(), eps=float(eps), force=force,
+                   t=t, tracer=tracer, metrics=metrics)
 
     # ------------------------------------------------------------------
     @property
@@ -127,26 +159,43 @@ class Simulation:
     # ------------------------------------------------------------------
     def step(self, dt: float) -> StepRecord:
         """Advance one leapfrog step and record its statistics."""
+        n_step = len(self.history) + 1
         w0 = time.perf_counter()
-        self.pos, self.vel = self._integrator.step(self.pos, self.vel, dt)
-        self.t += dt
+        with self.tracer.span("step", step=n_step, dt=float(dt)):
+            self.pos, self.vel = self._integrator.step(self.pos, self.vel,
+                                                       dt)
+            self.t += dt
         wall = time.perf_counter() - w0
 
         stats = getattr(self.force, "last_stats", None)
+        phases: Dict[str, float] = {}
         if stats is not None and hasattr(stats, "total_interactions"):
             inter = stats.total_interactions
             mll = stats.interactions_per_particle
             ngr = stats.n_groups
+            phases = dict(getattr(stats, "times", None) or {})
         elif isinstance(stats, dict):
             inter = stats.get("interactions", 0)
             mll = inter / max(1, self.n_particles)
             ngr = 1
         else:
             inter, mll, ngr = 0, 0.0, 0
-        rec = StepRecord(step=len(self.history) + 1, t=self.t, dt=dt,
+        rec = StepRecord(step=n_step, t=self.t, dt=dt,
                          interactions=int(inter), mean_list_length=float(mll),
-                         n_groups=int(ngr), wall_seconds=wall)
+                         n_groups=int(ngr), wall_seconds=wall,
+                         phases=phases)
         self.history.append(rec)
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("sim.steps_total", "completed steps").inc()
+            m.counter("sim.interactions_total",
+                      "run total particle-particle interactions"
+                      ).inc(int(inter))
+            m.histogram("sim.step_seconds", "host wall seconds per step"
+                        ).observe(wall)
+            m.gauge("sim.time", "simulation time").set(self.t)
+        logger.debug("step %d: t=%.4g dt=%.3g wall=%.3fs "
+                     "interactions=%d", n_step, self.t, dt, wall, inter)
         return rec
 
     def run(self, dts: Sequence[float], *,

@@ -91,7 +91,10 @@ class TestStats:
         assert s.total_interactions > 0
         assert s.interactions_per_particle == pytest.approx(
             s.total_interactions / s.n_particles)
-        assert set(s.times) == {"build", "group", "traverse", "eval"}
+        assert set(s.times) == {"build", "group", "traverse", "eval",
+                                "kernel", "host_direct"}
+        assert s.times["kernel"] + s.times["host_direct"] == \
+            pytest.approx(s.times["eval"], rel=0.5, abs=1e-3)
 
     def test_total_interactions_consistent_with_backend(self,
                                                         plummer_pos_mass):

@@ -1,0 +1,135 @@
+"""Exporters: JSONL round-trip, Prometheus text, phase table, summary."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.export import (RUN_SUMMARY_SCHEMA, format_phase_table,
+                              format_prometheus, phase_totals, run_summary,
+                              span_events, write_json_summary, write_jsonl,
+                              write_prometheus)
+
+
+def make_tracer():
+    ticks = iter([0.0, 1.0, 3.0,   # step > build
+                  3.0, 6.0, 6.0,   # eval (+record at 6.0)
+                  7.0])            # step end
+    tr = Tracer(clock=lambda: next(ticks))
+    with tr.span("step", step=1):
+        with tr.span("build"):
+            pass
+        with tr.span("eval"):
+            tr.record("kernel", 2.0, calls=3)
+    return tr
+
+
+class TestJsonl:
+    def test_events_carry_ids_and_paths(self):
+        tr = make_tracer()
+        events = list(span_events(tr))
+        by_name = {e["name"]: e for e in events}
+        assert by_name["step"]["parent_id"] == -1
+        assert by_name["build"]["parent_id"] == by_name["step"]["span_id"]
+        assert by_name["kernel"]["path"] == "step/eval/kernel"
+        assert by_name["step"]["duration"] == 7.0
+
+    def test_round_trip(self, tmp_path):
+        tr = make_tracer()
+        reg = MetricsRegistry()
+        reg.counter("n").inc(3)
+        path = tmp_path / "t.jsonl"
+        n = write_jsonl(path, tr, metrics=reg, meta={"run": "test"})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert len(lines) == n == 4 + 2  # 4 spans + meta + metrics
+        assert lines[0]["type"] == "meta" and lines[0]["run"] == "test"
+        assert lines[-1]["metrics"]["n"]["value"] == 3
+        names = [l["name"] for l in lines if l["type"] == "span"]
+        assert names == ["step", "build", "eval", "kernel"]
+
+
+class TestPrometheus:
+    def test_families(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("sim.steps_total", "steps").inc(3)
+        reg.gauge("sim.time").set(1.5)
+        h = reg.histogram("tree.list_length", buckets=(10, 100))
+        for v in (5, 50, 500):
+            h.observe(v)
+        text = format_prometheus(reg)
+        assert "# HELP repro_sim_steps_total steps" in text
+        assert "# TYPE repro_sim_steps_total counter" in text
+        assert "repro_sim_steps_total 3" in text
+        assert "repro_sim_time 1.5" in text
+        # cumulative buckets
+        assert 'repro_tree_list_length_bucket{le="10"} 1' in text
+        assert 'repro_tree_list_length_bucket{le="100"} 2' in text
+        assert 'repro_tree_list_length_bucket{le="+Inf"} 3' in text
+        assert "repro_tree_list_length_count 3" in text
+        path = tmp_path / "m.prom"
+        write_prometheus(path, reg)
+        assert path.read_text() == text
+
+    def test_parse_back_values(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b").inc(12)
+        for line in format_prometheus(reg).splitlines():
+            if not line.startswith("#"):
+                name, value = line.rsplit(" ", 1)
+                assert name == "repro_a_b"
+                assert float(value) == 12
+
+
+class TestPhaseTable:
+    def test_totals_partition_wall(self):
+        tr = make_tracer()
+        totals = phase_totals(tr)
+        wall = sum(r.duration for r in tr.roots)
+        self_sum = sum(v["self_seconds"] for v in totals.values())
+        assert self_sum == pytest.approx(wall)
+        assert totals["build"]["calls"] == 1
+        assert totals["kernel"]["seconds"] == pytest.approx(2.0)
+        # eval inclusive 3s, self 1s (kernel recorded beneath it)
+        assert totals["eval"]["seconds"] == pytest.approx(3.0)
+        assert totals["eval"]["self_seconds"] == pytest.approx(1.0)
+
+    def test_format_contains_phases_and_total(self):
+        text = format_phase_table(make_tracer())
+        for name in ("step", "build", "eval", "kernel", "total (wall)",
+                     "%wall"):
+            assert name in text
+
+    def test_empty_tracer(self):
+        text = format_phase_table(Tracer())
+        assert "total (wall)" in text
+
+
+class TestRunSummary:
+    def test_schema_and_agreement(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("sim.n_particles").set(100)
+        reg.counter("sim.steps_total").inc(4)
+        reg.counter("sim.interactions_total").inc(8000)
+        reg.histogram("sim.step_seconds").observe(0.5)
+        reg.counter("grape.model_seconds").inc(0.25)
+        reg.counter("grape.force_calls").inc(12)
+        tr = make_tracer()
+        s = write_json_summary(tmp_path / "s.json", reg, tracer=tr,
+                               extra={"backend": "grape"})
+        loaded = json.loads((tmp_path / "s.json").read_text())
+        assert loaded == s
+        assert s["schema"] == RUN_SUMMARY_SCHEMA
+        assert s["n_particles"] == 100
+        assert s["steps"] == 4
+        assert s["interactions"] == 8000
+        assert s["mean_list_length"] == pytest.approx(8000 / (100 * 4))
+        assert s["wall_seconds"] == pytest.approx(0.5)
+        assert s["grape_model_seconds"] == pytest.approx(0.25)
+        assert s["backend"] == "grape"
+        assert "build" in s["phases"]
+        assert s["metrics"]["sim.steps_total"]["value"] == 4
+
+    def test_tree_fallback_for_interactions(self):
+        reg = MetricsRegistry()
+        reg.counter("tree.interactions_total").inc(77)
+        assert run_summary(reg)["interactions"] == 77

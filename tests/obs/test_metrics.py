@@ -1,0 +1,117 @@
+"""Metrics registry: counters, gauges, histograms, snapshot/reset."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert reg.value("a.b") == 42
+
+    def test_monotone(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("x").inc(-1)
+
+    def test_float_amounts(self):
+        c = MetricsRegistry().counter("t")
+        c.inc(0.25)
+        c.inc(0.5)
+        assert c.value == pytest.approx(0.75)
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = MetricsRegistry().gauge("g")
+        g.set(5)
+        g.set(2.5)
+        assert g.value == 2.5
+
+
+class TestHistogram:
+    def test_stats(self):
+        h = MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 500):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(555.5)
+        assert h.vmin == 0.5 and h.vmax == 500
+        assert h.mean == pytest.approx(555.5 / 4)
+        assert h.bucket_counts == [1, 1, 1, 1]  # one overflow
+
+    def test_boundary_is_inclusive(self):
+        h = MetricsRegistry().histogram("h", buckets=(1, 10))
+        h.observe(10)
+        assert h.bucket_counts == [0, 1, 0]
+
+    def test_observe_many_accepts_numpy(self):
+        h = MetricsRegistry().histogram("h", buckets=(2, 4, 8))
+        h.observe_many(np.array([1, 3, 5, 9]))
+        assert h.count == 4
+        assert h.bucket_counts == [1, 1, 1, 1]
+
+    def test_empty_snapshot(self):
+        snap = MetricsRegistry().histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_kind_collision_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_contains_iter_len(self):
+        reg = MetricsRegistry()
+        reg.counter("b")
+        reg.gauge("a")
+        assert "a" in reg and "c" not in reg
+        assert list(reg) == ["a", "b"]
+        assert len(reg) == 2
+
+    def test_value_shortcut(self):
+        reg = MetricsRegistry()
+        assert reg.value("missing", default=-1.0) == -1.0
+        reg.histogram("h").observe(3.0)
+        assert reg.value("h") == 3.0  # histogram -> sum
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c", "help me").inc(2)
+        reg.gauge("g").set(7)
+        reg.histogram("h", buckets=(1,)).observe(0.5)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "help": "help me",
+                             "value": 2}
+        assert snap["g"]["type"] == "gauge" and snap["g"]["value"] == 7
+        assert snap["h"]["count"] == 1
+        assert set(snap["h"]["buckets"]) == {"1.0", "+Inf"}
+
+    def test_snapshot_then_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(5)
+        h = reg.histogram("h", buckets=(10,))
+        h.observe(3)
+        before = reg.snapshot()
+        reg.reset()
+        after = reg.snapshot()
+        assert before["c"]["value"] == 5 and after["c"]["value"] == 0
+        assert before["h"]["count"] == 1 and after["h"]["count"] == 0
+        assert h.vmin == math.inf  # reset extrema
+        # same objects survive reset (get-or-create identity holds)
+        assert reg.counter("c").value == 0

@@ -1,0 +1,158 @@
+"""Span tracer: nesting, timing, attributes, no-op path."""
+
+import time
+
+import pytest
+
+from repro.obs import NULL_TRACER, NullSpan, NullTracer, Span, Tracer, as_tracer
+
+
+class TestSpanNesting:
+    def test_roots_and_children(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+            with tr.span("c"):
+                with tr.span("d"):
+                    pass
+        assert [r.name for r in tr.roots] == ["a"]
+        a = tr.roots[0]
+        assert [c.name for c in a.children] == ["b", "c"]
+        assert [c.name for c in a.children[1].children] == ["d"]
+
+    def test_sequential_roots(self):
+        tr = Tracer()
+        with tr.span("x"):
+            pass
+        with tr.span("y"):
+            pass
+        assert [r.name for r in tr.roots] == ["x", "y"]
+
+    def test_walk_preorder(self):
+        tr = Tracer()
+        with tr.span("a"):
+            with tr.span("b"):
+                with tr.span("c"):
+                    pass
+            with tr.span("d"):
+                pass
+        assert [s.name for s in tr.roots[0].walk()] == ["a", "b", "c", "d"]
+        assert [s.name for s in tr.iter_spans()] == ["a", "b", "c", "d"]
+
+    def test_current_tracks_stack(self):
+        tr = Tracer()
+        assert tr.current is None
+        with tr.span("a") as a:
+            assert tr.current is a
+            with tr.span("b") as b:
+                assert tr.current is b
+            assert tr.current is a
+        assert tr.current is None
+
+
+class TestSpanTiming:
+    def test_duration_positive_and_monotone(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                time.sleep(0.01)
+        outer = tr.roots[0]
+        inner = outer.children[0]
+        assert inner.duration >= 0.01
+        assert outer.duration >= inner.duration
+        assert outer.t_start <= inner.t_start <= inner.t_end <= outer.t_end
+
+    def test_self_seconds_excludes_children(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                time.sleep(0.01)
+        outer = tr.roots[0]
+        assert outer.self_seconds == pytest.approx(
+            outer.duration - outer.children[0].duration, abs=1e-9)
+
+    def test_injected_clock(self):
+        ticks = iter([10.0, 11.0, 15.0, 20.0])
+        tr = Tracer(clock=lambda: next(ticks))
+        with tr.span("a"):
+            with tr.span("b"):
+                pass
+        a = tr.roots[0]
+        assert a.duration == 10.0
+        assert a.children[0].duration == 4.0
+        assert a.self_seconds == 6.0
+
+    def test_open_span_has_zero_duration(self):
+        sp = Span("open")
+        sp.t_start = 5.0
+        assert sp.duration == 0.0
+
+
+class TestAttributes:
+    def test_kwargs_and_set(self):
+        tr = Tracer()
+        with tr.span("a", n=10) as sp:
+            sp.set(extra="yes", m=3)
+        assert tr.roots[0].attrs == {"n": 10, "extra": "yes", "m": 3}
+
+    def test_record_synthetic_child(self):
+        tr = Tracer()
+        with tr.span("parent"):
+            tr.record("kernel", 0.25, calls=7)
+        parent = tr.roots[0]
+        assert [c.name for c in parent.children] == ["kernel"]
+        k = parent.children[0]
+        assert k.duration == pytest.approx(0.25, abs=1e-6)
+        assert k.attrs["calls"] == 7
+
+    def test_record_at_top_level(self):
+        tr = Tracer()
+        tr.record("lonely", 0.1)
+        assert [r.name for r in tr.roots] == ["lonely"]
+
+
+class TestReset:
+    def test_reset_clears(self):
+        tr = Tracer()
+        with tr.span("a"):
+            pass
+        tr.reset()
+        assert tr.roots == [] and tr.current is None
+
+
+class TestNullTracer:
+    def test_as_tracer(self):
+        assert as_tracer(None) is NULL_TRACER
+        tr = Tracer()
+        assert as_tracer(tr) is tr
+
+    def test_null_span_is_shared_and_inert(self):
+        s1 = NULL_TRACER.span("a", n=1)
+        s2 = NULL_TRACER.span("b")
+        assert s1 is s2
+        assert isinstance(s1, NullSpan)
+        with s1 as sp:
+            sp.set(x=1)
+        assert sp.duration == 0.0
+        assert list(sp.walk()) == []
+
+    def test_null_collects_nothing(self):
+        tr = NullTracer()
+        with tr.span("a"):
+            tr.record("b", 1.0)
+        assert list(tr.iter_spans()) == []
+        assert tr.current is None
+        assert not tr.enabled
+        tr.reset()  # no-op, must not raise
+
+    def test_null_overhead_small(self):
+        """The no-op path must be cheap relative to a real span."""
+        tr = NullTracer()
+        n = 10_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with tr.span("x"):
+                pass
+        dt = time.perf_counter() - t0
+        assert dt / n < 20e-6  # generous bound: well under 20 us/span

@@ -54,3 +54,25 @@ class TestForceError:
         pos, mass = plummer_pos_mass
         e = force_error(pos, mass, 0.01, DirectSummation())
         assert e["max"] == 0.0
+        assert e["n_zero_reference"] == 0
+
+    def test_zero_norm_reference_excluded(self):
+        # sink at the midpoint of a symmetric pair: the reference
+        # acceleration there is exactly zero, so the relative error is
+        # undefined -- it must be excluded, not become NaN/inf
+        pos = np.array([[-1.0, 0.0, 0.0],
+                        [1.0, 0.0, 0.0],
+                        [0.0, 0.0, 0.0]])
+        mass = np.array([1.0, 1.0, 0.0])
+        e = force_error(pos, mass, 0.0, DirectSummation())
+        assert e["n_zero_reference"] == 1
+        for key in ("rms", "median", "p99", "max"):
+            assert np.isfinite(e[key])
+
+    def test_all_zero_reference(self):
+        # a single isolated particle feels no force at all
+        pos = np.zeros((1, 3))
+        mass = np.ones(1)
+        e = force_error(pos, mass, 0.01, DirectSummation())
+        assert e["n_zero_reference"] == 1
+        assert e["rms"] == 0.0 and e["max"] == 0.0

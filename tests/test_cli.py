@@ -88,6 +88,68 @@ class TestSweep:
         assert len([l for l in text.splitlines() if l.strip()]) >= 6
 
 
+class TestObservability:
+    def test_profile_trace_metrics_summary(self, tmp_path):
+        import json
+        trace = tmp_path / "t.jsonl"
+        prom = tmp_path / "m.prom"
+        summary = tmp_path / "s.json"
+        code, text = run_cli("run", "--ngrid", "6", "--steps", "2",
+                             "--z-final", "12", "--profile",
+                             "--trace", str(trace),
+                             "--metrics", str(prom),
+                             "--json-summary", str(summary))
+        assert code == 0
+        # profile table printed with distinct phases
+        for phase in ("tree_build", "traverse", "eval", "grape_force",
+                      "total (wall)"):
+            assert phase in text
+        # trace JSONL: spans plus a metrics snapshot event
+        events = [json.loads(l) for l in
+                  trace.read_text().splitlines()]
+        kinds = {e["type"] for e in events}
+        assert {"meta", "span", "metrics"} <= kinds
+        spans = [e for e in events if e["type"] == "span"]
+        assert {"step", "tree_build", "eval"} <= {s["name"]
+                                                  for s in spans}
+        # prometheus text parses and agrees with the summary
+        prom_text = prom.read_text()
+        assert "# TYPE repro_sim_steps_total counter" in prom_text
+        s = json.loads(summary.read_text())
+        assert s["schema"] == "repro.run_summary/v1"
+        assert s["steps"] == 2
+        assert f"repro_sim_interactions_total {s['interactions']}" \
+            in prom_text
+        metrics_event = [e for e in events if e["type"] == "metrics"][0]
+        assert (metrics_event["metrics"]["sim.interactions_total"]
+                ["value"] == s["interactions"])
+
+    def test_profile_without_outputs(self):
+        code, text = run_cli("run", "--ngrid", "5", "--steps", "1",
+                             "--z-final", "16", "--profile")
+        assert code == 0
+        assert "total (wall)" in text
+
+    def test_sweep_profile(self):
+        code, text = run_cli("sweep", "--n", "512", "--profile")
+        assert code == 0
+        assert "traverse" in text
+
+    def test_resume_with_trace(self, tmp_path):
+        ck = tmp_path / "ck.npz"
+        run_cli("run", "--ngrid", "5", "--steps", "1", "--z-final",
+                "12", "--checkpoint", str(ck))
+        trace = tmp_path / "resume.jsonl"
+        code, text = run_cli("resume", str(ck), "--steps", "1",
+                             "--z-final", "8", "--trace", str(trace))
+        assert code == 0
+        assert trace.exists() and trace.read_text().strip()
+
+    def test_verbose_flag_accepted(self, tmp_path, capsys):
+        code, _ = run_cli("-v", "info")
+        assert code == 0
+
+
 class TestHalos:
     def test_halo_catalogue_from_checkpoint(self, tmp_path):
         # build a checkpoint with two obvious clumps
