@@ -21,6 +21,12 @@ Subcommands
 
 All subcommands are deterministic for a fixed ``--seed``.
 
+Parallel execution (``run``/``resume``/``sweep``): ``--engine
+pipeline`` evaluates forces on a pool of worker processes (size
+``--workers``) that overlaps tree traversal with force evaluation;
+the default ``--engine serial`` is the sequential path and is
+bit-identical to earlier releases.
+
 Observability (``run``/``resume``/``sweep``): ``--profile`` prints the
 section-5-style per-phase wall-time table at the end, ``--trace
 out.jsonl`` writes the span tree as JSON lines, ``--metrics out.prom``
@@ -62,6 +68,15 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--metrics", type=Path, default=None,
                      metavar="PROM",
                      help="write Prometheus-format metrics here")
+    obs.add_argument("--engine", choices=("serial", "pipeline"),
+                     default="serial",
+                     help="force-evaluation engine: 'serial' (default, "
+                          "the sequential submit/gather path) or "
+                          "'pipeline' (multiprocess workers overlapping "
+                          "traversal and force evaluation)")
+    obs.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="pipeline worker processes "
+                          "(default: all cores)")
 
     sub.add_parser("info", help="machine configuration + price ledger")
 
@@ -124,14 +139,27 @@ def _make_obs(args):
     return tracer, MetricsRegistry()
 
 
+def _make_engine(args):
+    """Build the requested force-evaluation engine (or None for serial).
+
+    ``None`` keeps the treecode on its built-in sequential
+    submit/gather path, which stays the default and is bit-identical
+    to the pre-engine code.
+    """
+    from repro.exec import make_engine
+    return make_engine(getattr(args, "engine", "serial"),
+                       workers=getattr(args, "workers", None))
+
+
 def _make_force(args, tracer=None, registry=None):
     from repro.core import TreeCode
     from repro.grape import GrapeBackend
     backend = GrapeBackend() if args.backend == "grape" else None
     if backend is not None and registry is not None:
         backend.bind_metrics(registry)
+    engine = _make_engine(args)
     tc = TreeCode(theta=args.theta, n_crit=args.ncrit, backend=backend,
-                  tracer=tracer, metrics=registry)
+                  engine=engine, tracer=tracer, metrics=registry)
     return tc, (backend if args.backend == "grape" else None)
 
 
@@ -209,12 +237,15 @@ def cmd_run(args, out) -> int:
                                  metrics=registry)
     sim.t = SCDM.age(args.z_init)
     sched = paper_schedule(SCDM, args.z_init, args.z_final, args.steps)
-    for i, dt in enumerate(sched):
-        rec = sim.step(float(dt))
-        if (i + 1) % max(1, args.steps // 5) == 0:
-            print(f"  step {rec.step}: list = "
-                  f"{rec.mean_list_length:.0f}, "
-                  f"{rec.wall_seconds:.2f} s", file=out)
+    try:
+        for i, dt in enumerate(sched):
+            rec = sim.step(float(dt))
+            if (i + 1) % max(1, args.steps // 5) == 0:
+                print(f"  step {rec.step}: list = "
+                      f"{rec.mean_list_length:.0f}, "
+                      f"{rec.wall_seconds:.2f} s", file=out)
+    finally:
+        sim.close()
     _report_run(sim, backend, out)
     _emit_obs(args, tracer, registry, out,
               extra={"backend": args.backend, "theta": args.theta,
@@ -251,9 +282,13 @@ def cmd_resume(args, out) -> int:
     if float(z_now) <= args.z_final + 1e-9:
         print("already past requested redshift; nothing to do",
               file=out)
+        sim.close()
         return 0
     sched = paper_schedule(SCDM, float(z_now), args.z_final, args.steps)
-    sim.run(sched)
+    try:
+        sim.run(sched)
+    finally:
+        sim.close()
     _report_run(sim, backend, out)
     _emit_obs(args, tracer, registry, out)
     if args.checkpoint_out is not None:
@@ -270,16 +305,23 @@ def cmd_sweep(args, out) -> int:
     rng = np.random.default_rng(args.seed)
     pos, _, mass = plummer_model(args.n, rng)
     tracer, registry = _make_obs(args)
+    engine = _make_engine(args)
     rows = []
-    for ncrit in (64, 256, 1024, 4096):
-        tc = TreeCode(theta=args.theta, n_crit=ncrit, tracer=tracer,
-                      metrics=registry)
-        tc.accelerations(pos, mass, 0.01)
-        s = tc.last_stats
-        rows.append({"n_crit": ncrit,
-                     "n_g": round(s.mean_group_size, 1),
-                     "mean list": round(s.interactions_per_particle),
-                     "interactions": s.total_interactions})
+    try:
+        # one engine (and its worker pool) is shared across every
+        # n_crit setting -- the pool outlives individual TreeCodes
+        for ncrit in (64, 256, 1024, 4096):
+            tc = TreeCode(theta=args.theta, n_crit=ncrit, engine=engine,
+                          tracer=tracer, metrics=registry)
+            tc.accelerations(pos, mass, 0.01)
+            s = tc.last_stats
+            rows.append({"n_crit": ncrit,
+                         "n_g": round(s.mean_group_size, 1),
+                         "mean list": round(s.interactions_per_particle),
+                         "interactions": s.total_interactions})
+    finally:
+        if engine is not None:
+            engine.close()
     print(format_table(rows), file=out)
     _emit_obs(args, tracer, registry, out)
     return 0

@@ -30,11 +30,12 @@ cache effects"; do not materialise the full N x M matrix).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 __all__ = [
+    "BackendCaps",
     "ForceBackend",
     "Float64Backend",
     "pairwise_accpot",
@@ -100,12 +101,43 @@ def self_potential_correction(m: np.ndarray, eps: float) -> np.ndarray:
     return np.asarray(m, dtype=np.float64) / float(eps)
 
 
+@dataclass(frozen=True)
+class BackendCaps:
+    """Capability descriptor of a :class:`ForceBackend`.
+
+    The execution engines (:mod:`repro.exec`) plan their batches from
+    this: ``max_nj`` is the j-memory capacity of one force call (the
+    GRAPE's particle data memory; ``None`` means unbounded, as for a
+    host-RAM backend), and ``parallel_safe`` declares that independent
+    worker processes may each construct their own instance (via
+    :meth:`ForceBackend.worker_factory`) and evaluate requests
+    concurrently with results identical to a single instance.
+    """
+
+    #: j-particles one force call can hold (None = unbounded)
+    max_nj: Optional[int] = None
+    #: worker processes may run private instances concurrently
+    parallel_safe: bool = False
+
+
 class ForceBackend:
     """Something that evaluates the softened point-mass kernel.
 
     Implementations must be *stateless with respect to results* (the same
     inputs give the same outputs) but may accumulate performance
     statistics across calls.
+
+    The primary interface is the **batched submit/gather protocol**,
+    mirroring how the paper's host code drives the hardware: stage a
+    force *request* (``submit``), let the device work, read results back
+    asynchronously (``gather``).  The base class implements the protocol
+    as a *sequential shim* over :meth:`compute` -- each ``submit``
+    evaluates eagerly and ``gather`` drains the buffered results -- so
+    every existing backend is protocol-complete for free, while truly
+    asynchronous backends can overlap.  Direct ``compute()`` calls
+    remain supported as the one-shot convenience form (see
+    ``docs/parallel_engine.md`` for the deprecation path of hot-loop
+    ``compute`` callers).
     """
 
     #: human-readable backend name for reports
@@ -115,6 +147,60 @@ class ForceBackend:
                 eps: float) -> Tuple[np.ndarray, np.ndarray]:
         """Return ``(acc, pot)`` on sinks ``xi`` from sources ``xj, mj``."""
         raise NotImplementedError
+
+    # -- batched submit/gather protocol --------------------------------
+    def capabilities(self) -> BackendCaps:
+        """Static capability descriptor used for batch planning."""
+        return BackendCaps()
+
+    def submit(self, key: Any, xi: np.ndarray, xj: np.ndarray,
+               mj: np.ndarray, eps: float) -> Any:
+        """Stage one force request; returns ``key`` as its ticket.
+
+        The base implementation is the sequential shim: it evaluates
+        through :meth:`compute` immediately and buffers the result for
+        the next :meth:`gather`.
+        """
+        pending: List[Tuple[Any, np.ndarray, np.ndarray]] = \
+            self.__dict__.setdefault("_pending_results", [])
+        acc, pot = self.compute(xi, xj, mj, eps)
+        pending.append((key, acc, pot))
+        return key
+
+    def gather(self) -> List[Tuple[Any, np.ndarray, np.ndarray]]:
+        """Drain completed requests as ``[(key, acc, pot), ...]``.
+
+        Results are returned in completion order (submission order for
+        the sequential shim).  After the call the pending buffer is
+        empty; requests submitted later need a later ``gather``.
+        """
+        pending = self.__dict__.get("_pending_results")
+        if not pending:
+            return []
+        self.__dict__["_pending_results"] = []
+        return pending
+
+    # -- worker-process support ----------------------------------------
+    def worker_factory(self) -> Optional[Tuple[Callable[..., "ForceBackend"],
+                                               tuple, dict]]:
+        """``(callable, args, kwargs)`` building an equivalent private
+        instance inside a worker process, or ``None`` when the backend
+        cannot be replicated (then it is not ``parallel_safe``).
+
+        The spec must be small and picklable -- configuration only,
+        never live state (the GRAPE backend, for instance, ships its
+        numerics and timing constants, not its 6 MB j-memory arrays).
+        """
+        return None
+
+    def snapshot_stats(self) -> Dict[str, float]:
+        """Cumulative performance counters as a plain dict (workers
+        difference two snapshots to report a delta)."""
+        return {"interactions": float(self.interactions)}
+
+    def absorb_stats(self, delta: Dict[str, float]) -> None:
+        """Fold a worker's stats delta into this (parent) instance, so
+        run totals are identical whichever engine evaluated the calls."""
 
     def reset_stats(self) -> None:
         """Clear accumulated performance counters (optional)."""
@@ -147,6 +233,15 @@ class Float64Backend(ForceBackend):
     def compute(self, xi, xj, mj, eps):
         self._interactions += int(np.asarray(xi).shape[0]) * int(np.asarray(xj).shape[0])
         return pairwise_accpot(xi, xj, mj, eps, tile=self.tile)
+
+    def capabilities(self) -> BackendCaps:
+        return BackendCaps(max_nj=None, parallel_safe=True)
+
+    def worker_factory(self):
+        return (Float64Backend, (), {"tile": self.tile})
+
+    def absorb_stats(self, delta):
+        self._interactions += int(delta.get("interactions", 0))
 
     def reset_stats(self):
         self._interactions = 0

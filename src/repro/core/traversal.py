@@ -39,7 +39,8 @@ import numpy as np
 from .mac import MAC
 from .octree import Octree, ragged_arange
 
-__all__ = ["InteractionLists", "build_interaction_lists", "count_interactions"]
+__all__ = ["InteractionLists", "build_interaction_lists",
+           "concatenate_lists", "count_interactions"]
 
 #: Frontier chunk bound: pairs processed per vector round.
 DEFAULT_CHUNK = 1 << 21
@@ -209,6 +210,41 @@ def build_interaction_lists(tree: Octree, sink_center: np.ndarray,
     return InteractionLists(n_sinks=n_sinks, cell_idx=cell_idx,
                             cell_off=cell_off, part_idx=part_idx,
                             part_off=part_off)
+
+
+def concatenate_lists(parts: List[InteractionLists]) -> InteractionLists:
+    """Stitch shard-wise lists (consecutive sink ranges) back into one.
+
+    The execution engines traverse sinks in contiguous shards so force
+    evaluation of shard *k* can overlap traversal of shard *k+1*; this
+    reassembles the per-shard CSR blocks into the single
+    :class:`InteractionLists` the statistics layer expects.  Sink order
+    is the concatenation order; per-sink contents are untouched.
+    """
+    if not parts:
+        return InteractionLists(n_sinks=0,
+                                cell_idx=np.empty(0, dtype=np.int64),
+                                cell_off=np.zeros(1, dtype=np.int64),
+                                part_idx=np.empty(0, dtype=np.int64),
+                                part_off=np.zeros(1, dtype=np.int64))
+    if len(parts) == 1:
+        return parts[0]
+
+    def _cat_csr(offs: List[np.ndarray], vals: List[np.ndarray]):
+        out_off = [offs[0]]
+        base = int(offs[0][-1])
+        for o in offs[1:]:
+            out_off.append(o[1:] + base)
+            base += int(o[-1])
+        return np.concatenate(out_off), np.concatenate(vals)
+
+    cell_off, cell_idx = _cat_csr([p.cell_off for p in parts],
+                                  [p.cell_idx for p in parts])
+    part_off, part_idx = _cat_csr([p.part_off for p in parts],
+                                  [p.part_idx for p in parts])
+    return InteractionLists(n_sinks=sum(p.n_sinks for p in parts),
+                            cell_idx=cell_idx, cell_off=cell_off,
+                            part_idx=part_idx, part_off=part_off)
 
 
 def count_interactions(tree: Octree, sink_center: np.ndarray,

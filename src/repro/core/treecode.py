@@ -109,6 +109,18 @@ class TreeCode:
         with this enabled only the *direct* particle terms go through
         the backend -- exactly what a hybrid host/GRAPE quadrupole
         scheme would do).
+    engine:
+        A :class:`repro.exec.ForceEngine` driving the eval sweep.
+        ``None`` (the default) keeps the built-in sequential loop --
+        bit-identical to the historical behaviour.  A
+        :class:`~repro.exec.PipelineEngine` dispatches the per-group
+        force requests to worker processes and overlaps traversal of
+        later sink shards with evaluation of earlier ones (the paper's
+        host/GRAPE overlap).  Ignored (with the sequential loop used
+        instead) in quadrupole mode and in subclasses that override
+        ``_eval_sink`` -- their host-side per-sink work cannot ship to
+        workers.  The engine's lifecycle belongs to the caller; see
+        :meth:`close`.
     tracer:
         A :class:`repro.obs.trace.Tracer`; every force evaluation then
         opens ``tree_build`` / ``group`` / ``traverse`` / ``eval``
@@ -128,6 +140,7 @@ class TreeCode:
                  backend: Optional[ForceBackend] = None,
                  mac: Optional[MAC] = None,
                  quadrupole: bool = False,
+                 engine: Optional[object] = None,
                  tracer: Optional[object] = None,
                  metrics: Optional[object] = None) -> None:
         if n_crit < 1:
@@ -138,6 +151,7 @@ class TreeCode:
         self.backend = backend if backend is not None else Float64Backend()
         self.mac = mac if mac is not None else BarnesHutMAC(theta=theta)
         self.quadrupole = bool(quadrupole)
+        self.engine = engine
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
         self.last_stats: Optional[TreeStats] = None
@@ -145,6 +159,12 @@ class TreeCode:
         self.last_groups: Optional[GroupSet] = None
         self.last_lists: Optional[InteractionLists] = None
         self._kernel_seconds = 0.0
+        self._last_domain: Optional[Tuple[float, float]] = None
+
+    def close(self) -> None:
+        """Release the configured engine's worker pool, if any."""
+        if self.engine is not None:
+            self.engine.close()
 
     # ------------------------------------------------------------------
     def build(self, pos: np.ndarray, mass: np.ndarray) -> Octree:
@@ -159,6 +179,7 @@ class TreeCode:
             compute_moments(tree, quadrupole=self.quadrupole)
         lo = float(np.min(tree.corner))
         hi = float(np.max(tree.corner + tree.size))
+        self._last_domain = (lo, hi)
         self.backend.set_domain(lo, hi)
         return tree
 
@@ -190,45 +211,77 @@ class TreeCode:
             sink_center = tree.pos_sorted
             sink_radius = np.zeros(tree.n_particles, dtype=np.float64)
 
-        t0 = time.perf_counter()
-        with tr.span("traverse", n_sinks=int(sink_center.shape[0])):
-            lists = build_interaction_lists(tree, sink_center, sink_radius,
-                                            self.mac)
-        t_traverse = time.perf_counter() - t0
+        if algorithm == "modified":
+            sink_weights = groups.count
+        else:
+            sink_weights = np.ones(tree.n_particles, dtype=np.int64)
+        n_sinks = (groups.n_groups if groups is not None
+                   else tree.n_particles)
+        kernel_phase = ("grape_force" if "grape" in self.backend.name
+                        else "host_kernel")
 
-        t0 = time.perf_counter()
-        self._kernel_seconds = 0.0
-        with tr.span("eval", algorithm=algorithm):
-            acc_s = np.empty((tree.n_particles, 3), dtype=np.float64)
-            pot_s = np.empty(tree.n_particles, dtype=np.float64)
-            if algorithm == "modified":
-                sink_weights = groups.count
-                for g in range(groups.n_groups):
-                    s, n = int(groups.start[g]), int(groups.count[g])
-                    xi = tree.pos_sorted[s:s + n]
-                    a, p = self._eval_sink(tree, lists, g, xi, eps)
-                    acc_s[s:s + n] = a
-                    pot_s[s:s + n] = p
-            else:
-                sink_weights = np.ones(tree.n_particles, dtype=np.int64)
-                for i in range(tree.n_particles):
-                    a, p = self._eval_sink(tree, lists, i,
-                                           tree.pos_sorted[i:i + 1], eps)
-                    acc_s[i] = a[0]
-                    pot_s[i] = p[0]
-            # remove the Plummer self term picked up from the direct list
-            pot_s += self_potential_correction(tree.mass_sorted, eps)
-            t_eval = time.perf_counter() - t0
-            t_kernel = self._kernel_seconds
-            # attribute the eval sweep: backend kernel wall time vs the
-            # host-side remainder (list assembly, scatter, bookkeeping)
-            kernel_phase = ("grape_force" if "grape" in self.backend.name
-                            else "host_kernel")
-            n_sinks = (groups.n_groups if groups is not None
-                       else tree.n_particles)
-            tr.record(kernel_phase, t_kernel, calls=int(n_sinks),
-                      backend=self.backend.name)
+        use_engine = (self.engine is not None and not self.quadrupole
+                      and type(self)._eval_sink is TreeCode._eval_sink)
+        if use_engine:
+            # Engine path: traversal and evaluation are interleaved (the
+            # engine builds lists shard-by-shard and evaluates earlier
+            # shards meanwhile), so traverse time is accumulated inside
+            # and attributed afterwards.
+            spec = self._sweep_spec(tree, groups, sink_center, sink_radius,
+                                    eps)
+            t0 = time.perf_counter()
+            with tr.span("eval", algorithm=algorithm,
+                         engine=self.engine.name):
+                res = self.engine.evaluate(self.backend, spec, tracer=tr,
+                                           metrics=self.metrics)
+                acc_s, pot_s = res.acc, res.pot
+                pot_s += self_potential_correction(tree.mass_sorted, eps)
+                t_kernel = res.kernel_seconds
+                tr.record(kernel_phase, t_kernel, calls=int(n_sinks),
+                          backend=self.backend.name)
+            lists = res.lists
+            t_traverse = res.traverse_seconds
+            t_eval = max(0.0, time.perf_counter() - t0 - t_traverse)
+            tr.record("traverse", t_traverse,
+                      n_sinks=int(sink_center.shape[0]))
             tr.record("host_direct", max(0.0, t_eval - t_kernel))
+        else:
+            t0 = time.perf_counter()
+            with tr.span("traverse", n_sinks=int(sink_center.shape[0])):
+                lists = build_interaction_lists(tree, sink_center,
+                                                sink_radius, self.mac)
+            t_traverse = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            self._kernel_seconds = 0.0
+            with tr.span("eval", algorithm=algorithm):
+                acc_s = np.empty((tree.n_particles, 3), dtype=np.float64)
+                pot_s = np.empty(tree.n_particles, dtype=np.float64)
+                if algorithm == "modified":
+                    for g in range(groups.n_groups):
+                        s, n = int(groups.start[g]), int(groups.count[g])
+                        xi = tree.pos_sorted[s:s + n]
+                        a, p = self._eval_sink(tree, lists, g, xi, eps)
+                        acc_s[s:s + n] = a
+                        pot_s[s:s + n] = p
+                else:
+                    for i in range(tree.n_particles):
+                        a, p = self._eval_sink(tree, lists, i,
+                                               tree.pos_sorted[i:i + 1],
+                                               eps)
+                        acc_s[i] = a[0]
+                        pot_s[i] = p[0]
+                # remove the Plummer self term picked up from the direct
+                # list
+                pot_s += self_potential_correction(tree.mass_sorted, eps)
+                t_eval = time.perf_counter() - t0
+                t_kernel = self._kernel_seconds
+                # attribute the eval sweep: backend kernel wall time vs
+                # the host-side remainder (list assembly, scatter,
+                # bookkeeping)
+                tr.record(kernel_phase, t_kernel, calls=int(n_sinks),
+                          backend=self.backend.name)
+                tr.record("host_direct", max(0.0, t_eval - t_kernel))
 
         acc = np.empty_like(acc_s)
         pot = np.empty_like(pot_s)
@@ -291,6 +344,33 @@ class TreeCode:
         return acc, pot
 
     # ------------------------------------------------------------------
+    def _sweep_spec(self, tree: Octree, groups: Optional[GroupSet],
+                    sink_center: np.ndarray, sink_radius: np.ndarray,
+                    eps: float):
+        """Package this evaluation as a :class:`repro.exec.SweepSpec`.
+
+        The ``build_lists`` closure traverses an arbitrary contiguous
+        sink range, letting the engine stream traversal against
+        evaluation.
+        """
+        from ..exec.plan import SweepSpec
+        if groups is not None:
+            sink_start, sink_count = groups.start, groups.count
+        else:
+            sink_start = np.arange(tree.n_particles, dtype=np.int64)
+            sink_count = np.ones(tree.n_particles, dtype=np.int64)
+
+        def build_lists(a: int, b: int) -> InteractionLists:
+            return build_interaction_lists(tree, sink_center[a:b],
+                                           sink_radius[a:b], self.mac)
+
+        return SweepSpec(pos=tree.pos_sorted, pmass=tree.mass_sorted,
+                         com=tree.com, cmass=tree.mass,
+                         sink_start=sink_start, sink_count=sink_count,
+                         eps=float(eps), domain=self._last_domain,
+                         build_lists=build_lists)
+
+    # ------------------------------------------------------------------
     def _eval_sink(self, tree: Octree, lists: InteractionLists, sink: int,
                    xi: np.ndarray, eps: float
                    ) -> Tuple[np.ndarray, np.ndarray]:
@@ -300,22 +380,26 @@ class TreeCode:
         backend (one point-mass list, as on the hardware).  Quadrupole
         mode evaluates cell terms on the host with the
         monopole+quadrupole kernel and only the direct particles on
-        the backend.
+        the backend.  Both go through the backend's submit/gather
+        protocol (one blocking round-trip per sink -- the sequential
+        shim).
         """
         if not self.quadrupole:
             xj, mj = self._sources(tree, lists, sink)
             k0 = time.perf_counter()
-            out = self.backend.compute(xi, xj, mj, eps)
+            self.backend.submit(sink, xi, xj, mj, eps)
+            ((_, a, p),) = self.backend.gather()
             self._kernel_seconds += time.perf_counter() - k0
-            return out
+            return a, p
         cells = lists.cells_of(sink)
         parts = lists.parts_of(sink)
         a_c, p_c = quadrupole_accpot(xi, tree.com[cells],
                                      tree.mass[cells], tree.quad[cells],
                                      eps)
         k0 = time.perf_counter()
-        a_p, p_p = self.backend.compute(xi, tree.pos_sorted[parts],
-                                        tree.mass_sorted[parts], eps)
+        self.backend.submit(sink, xi, tree.pos_sorted[parts],
+                            tree.mass_sorted[parts], eps)
+        ((_, a_p, p_p),) = self.backend.gather()
         self._kernel_seconds += time.perf_counter() - k0
         return a_p + a_c, p_p + p_c
 

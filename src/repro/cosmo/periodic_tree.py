@@ -54,14 +54,20 @@ class PeriodicTreeCode(TreeCode):
                  n_crit: int = 2000, leaf_size: int = 8,
                  backend: Optional[ForceBackend] = None,
                  mac: Optional[MAC] = None,
-                 ewald_table: Optional[EwaldCorrectionTable] = None
+                 ewald_table: Optional[EwaldCorrectionTable] = None,
+                 tracer: Optional[object] = None,
+                 metrics: Optional[object] = None
                  ) -> None:
         if box <= 0:
             raise ValueError("box must be positive")
         if mac is None:
             mac = BarnesHutMAC(theta=theta, box=box)
+        # note: no ``engine`` parameter -- the per-sink Ewald correction
+        # is host-side work interleaved with the backend call, so the
+        # periodic sweep always runs the sequential submit/gather path
         super().__init__(theta=theta, n_crit=n_crit,
-                         leaf_size=leaf_size, backend=backend, mac=mac)
+                         leaf_size=leaf_size, backend=backend, mac=mac,
+                         tracer=tracer, metrics=metrics)
         self.box = float(box)
         if ewald_table is None:
             ewald_table = EwaldCorrectionTable(self.box)
@@ -76,6 +82,7 @@ class PeriodicTreeCode(TreeCode):
         tree = build_octree(wrapped, mass, leaf_size=self.leaf_size,
                             corner=np.zeros(3), size=self.box)
         compute_moments(tree, quadrupole=self.quadrupole)
+        self._last_domain = (-0.5 * self.box, 1.5 * self.box)
         self.backend.set_domain(-0.5 * self.box, 1.5 * self.box)
         return tree
 
@@ -102,7 +109,8 @@ class PeriodicTreeCode(TreeCode):
         xj, mj = self._sources(tree, lists, sink)
         anchor = xi[0]
         xj_near = anchor + minimum_image(xj - anchor, self.box)
-        acc, pot = self.backend.compute(xi, xj_near, mj, eps)
+        self.backend.submit(sink, xi, xj_near, mj, eps)
+        ((_, acc, pot),) = self.backend.gather()
 
         n_i = xi.shape[0]
         eps2 = float(eps) ** 2

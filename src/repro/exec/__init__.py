@@ -1,0 +1,24 @@
+"""Parallel force-evaluation engines (the host/GRAPE overlap, in software).
+
+Public surface:
+
+* :class:`~repro.exec.engine.SerialEngine` /
+  :class:`~repro.exec.engine.PipelineEngine` -- evaluate a
+  :class:`~repro.exec.plan.SweepSpec` over any
+  :class:`~repro.core.kernels.ForceBackend`;
+* :func:`~repro.exec.engine.make_engine` -- name-based factory used by
+  the CLI (``--engine {serial,pipeline} --workers N``);
+* :func:`~repro.exec.plan.plan_batches` -- j-memory-capacity batching.
+
+See ``docs/parallel_engine.md`` for the protocol and the paper mapping.
+"""
+
+from .engine import (ENGINE_NAMES, EngineError, EvalResult, ForceEngine,
+                     PipelineEngine, SerialEngine, make_engine)
+from .plan import DEFAULT_BATCH_NJ, SweepSpec, plan_batches
+
+__all__ = [
+    "ENGINE_NAMES", "EngineError", "EvalResult", "ForceEngine",
+    "PipelineEngine", "SerialEngine", "make_engine",
+    "DEFAULT_BATCH_NJ", "SweepSpec", "plan_batches",
+]

@@ -1,0 +1,415 @@
+"""Force-evaluation engines: serial reference and multiprocess pipeline.
+
+The paper's throughput rests on two overlaps the stock treecode loop
+cannot express: the host walks the tree for the *next* Barnes group
+while the GRAPE integrates the current group's shared list, and the
+j-stream is chunked to the particle data memory's capacity.  An engine
+reifies exactly that structure in software:
+
+* :class:`SerialEngine` -- the reference implementation: one blocking
+  ``submit``/``gather`` round-trip per sink, bit-identical to the
+  historical inline loop (it *is* the same call sequence).
+* :class:`PipelineEngine` -- a pool of worker processes over shared
+  position/mass/list memory.  Sinks are traversed in contiguous
+  *shards*; as soon as shard *k*'s interaction lists exist its batches
+  are queued, so workers evaluate shard *k* while the host traverses
+  shard *k+1*.  Batches are packed to the backend's j-memory capacity
+  (:class:`~repro.core.kernels.BackendCaps.max_nj`).  With one worker
+  the evaluation order and arithmetic are identical to the serial path,
+  so results are bit-identical; with many workers they still are,
+  because every sink's computation is independent and written to a
+  disjoint output slice.
+
+Engines are backend-agnostic: anything whose
+:meth:`~repro.core.kernels.ForceBackend.capabilities` declares
+``parallel_safe`` (and provides a ``worker_factory``) can ride the
+pipeline; other backends must use the serial engine.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.kernels import ForceBackend
+from ..core.traversal import InteractionLists, concatenate_lists
+from ..obs.trace import as_tracer
+from .plan import (DEFAULT_BATCH_NJ, SweepSpec, assemble_sources,
+                   plan_batches)
+from .workers import STOP, create_shm, worker_main
+
+__all__ = ["EngineError", "EvalResult", "ForceEngine", "SerialEngine",
+           "PipelineEngine", "make_engine", "ENGINE_NAMES"]
+
+logger = logging.getLogger(__name__)
+
+ENGINE_NAMES = ("serial", "pipeline")
+
+
+class EngineError(RuntimeError):
+    """Engine misconfiguration or worker failure."""
+
+
+@dataclass
+class EvalResult:
+    """Outcome of one sweep, in the tree's Morton-sorted frame."""
+
+    acc: np.ndarray
+    pot: np.ndarray
+    #: merged interaction lists of every sink (feeds TreeStats)
+    lists: InteractionLists
+    #: host seconds spent inside ``spec.build_lists`` calls
+    traverse_seconds: float
+    #: backend/kernel seconds (worker busy time for the pipeline)
+    kernel_seconds: float
+    #: engine-specific extras (workers, batches, overlap, ...)
+    stats: Dict[str, float] = field(default_factory=dict)
+
+
+class ForceEngine:
+    """Evaluates a :class:`~repro.exec.plan.SweepSpec` over a backend."""
+
+    name: str = "abstract"
+
+    def evaluate(self, backend: ForceBackend, spec: SweepSpec, *,
+                 tracer: Optional[object] = None,
+                 metrics: Optional[object] = None) -> EvalResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release engine resources (idempotent)."""
+
+    def __enter__(self) -> "ForceEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class SerialEngine(ForceEngine):
+    """One submit/gather round-trip per sink, on the calling process.
+
+    The call stream is exactly the historical inline loop's, so results
+    (and the backend's per-call statistics) are bit-identical to it.
+    """
+
+    name = "serial"
+
+    def evaluate(self, backend, spec, *, tracer=None, metrics=None):
+        t0 = time.perf_counter()
+        lists = spec.build_lists(0, spec.n_sinks)
+        t_traverse = time.perf_counter() - t0
+
+        acc = np.empty((spec.n_particles, 3), dtype=np.float64)
+        pot = np.empty(spec.n_particles, dtype=np.float64)
+        t_kernel = 0.0
+        for g in range(spec.n_sinks):
+            s, n = int(spec.sink_start[g]), int(spec.sink_count[g])
+            xi = spec.pos[s:s + n]
+            xj, mj = assemble_sources(spec.pos, spec.pmass, spec.com,
+                                      spec.cmass, lists, g)
+            k0 = time.perf_counter()
+            backend.submit(g, xi, xj, mj, spec.eps)
+            results = backend.gather()
+            t_kernel += time.perf_counter() - k0
+            for _, a, p in results:
+                acc[s:s + n] = a
+                pot[s:s + n] = p
+        return EvalResult(acc=acc, pot=pot, lists=lists,
+                          traverse_seconds=t_traverse,
+                          kernel_seconds=t_kernel,
+                          stats={"workers": 0.0})
+
+
+class PipelineEngine(ForceEngine):
+    """Batched submit/gather over a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker process count (default: ``os.cpu_count()``).
+    batch_nj:
+        Target j-terms per batch; the effective cap is the smaller of
+        this and the backend's ``max_nj``.  Batching amortises the
+        per-task IPC without changing any per-sink arithmetic.
+    shards_per_worker:
+        Traversal granularity: sinks are walked in about
+        ``workers * shards_per_worker`` shards, each submitted as soon
+        as its lists exist, so evaluation overlaps the remaining
+        traversal.
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` where
+        available (cheapest), else ``spawn``.
+    """
+
+    name = "pipeline"
+
+    def __init__(self, workers: Optional[int] = None, *,
+                 batch_nj: Optional[int] = None,
+                 shards_per_worker: int = 4,
+                 start_method: Optional[str] = None) -> None:
+        import multiprocessing as mp
+        import os
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise EngineError("workers must be >= 1")
+        self.workers = int(workers)
+        self.batch_nj = int(batch_nj) if batch_nj else None
+        self.shards_per_worker = max(1, int(shards_per_worker))
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else "spawn")
+        self._ctx = mp.get_context(start_method)
+        self._procs: List = []
+        self._task_q = None
+        self._result_q = None
+        self._factory_bytes: Optional[bytes] = None
+        self._sweep_counter = 0
+        self._closed = False
+
+    # -- pool management ----------------------------------------------
+    def _ensure_pool(self, backend: ForceBackend) -> None:
+        if self._closed:
+            raise EngineError("engine is closed")
+        caps = backend.capabilities()
+        factory = backend.worker_factory()
+        if not caps.parallel_safe or factory is None:
+            raise EngineError(
+                f"backend {backend.name!r} is not parallel-safe; use the "
+                "serial engine")
+        factory_bytes = pickle.dumps(factory)
+        if self._procs and factory_bytes != self._factory_bytes:
+            # backend changed under us: restart workers with the new spec
+            self._stop_workers()
+        if not self._procs:
+            self._factory_bytes = factory_bytes
+            self._task_q = self._ctx.Queue()
+            self._result_q = self._ctx.Queue()
+            self._procs = [
+                self._ctx.Process(
+                    target=worker_main,
+                    args=(i, factory_bytes, self._task_q, self._result_q),
+                    daemon=True, name=f"repro-exec-{i}")
+                for i in range(self.workers)]
+            for p in self._procs:
+                p.start()
+            logger.debug("pipeline engine: started %d workers (%s)",
+                         self.workers, self._ctx.get_start_method())
+
+    def _stop_workers(self) -> None:
+        if not self._procs:
+            return
+        for _ in self._procs:
+            try:
+                self._task_q.put((STOP,))
+            except Exception:  # pragma: no cover - queue already broken
+                pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover - defensive
+                p.terminate()
+                p.join(timeout=5.0)
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                q.close()
+        self._procs = []
+        self._task_q = self._result_q = None
+
+    def close(self) -> None:
+        self._stop_workers()
+        self._closed = True
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, backend, spec, *, tracer=None, metrics=None):
+        tr = as_tracer(tracer)
+        self._ensure_pool(backend)
+        caps = backend.capabilities()
+        cap_nj = min(c for c in (caps.max_nj,
+                                 self.batch_nj or DEFAULT_BATCH_NJ)
+                     if c is not None)
+        w0 = time.perf_counter()
+        sweep_id = self._sweep_counter
+        self._sweep_counter += 1
+
+        n = spec.n_particles
+        s_count = spec.n_sinks
+        domain = spec.domain
+        scalars = np.array([spec.eps,
+                            1.0 if domain is not None else 0.0,
+                            domain[0] if domain is not None else 0.0,
+                            domain[1] if domain is not None else 0.0],
+                           dtype=np.float64)
+        sweep_block = create_shm({
+            "pos": spec.pos, "pmass": spec.pmass,
+            "com": spec.com, "cmass": spec.cmass,
+            "sink_start": np.ascontiguousarray(spec.sink_start,
+                                               dtype=np.int64),
+            "sink_count": np.ascontiguousarray(spec.sink_count,
+                                               dtype=np.int64),
+            "out_acc": np.zeros((n, 3), dtype=np.float64),
+            "out_pot": np.zeros(n, dtype=np.float64),
+            "scalars": scalars,
+        })
+        sweep_meta = sweep_block.meta
+
+        n_shards = min(s_count, self.workers * self.shards_per_worker)
+        shard_size = -(-s_count // n_shards) if n_shards else 0
+        shard_blocks = []
+        lists_parts: List[InteractionLists] = []
+        outstanding: Dict[int, int] = {}
+        next_batch = 0
+        n_batches = 0
+        t_traverse = 0.0
+        busy_by_worker: Dict[int, float] = {}
+        tasks_by_worker: Dict[int, int] = {}
+        stats_total: Dict[str, float] = {}
+        errors: List[str] = []
+
+        def _drain(block: bool) -> None:
+            """Collect completed batches; optionally wait for one."""
+            import queue as _queue
+            while outstanding:
+                try:
+                    msg = self._result_q.get(
+                        timeout=1.0 if block else 0.0)
+                except _queue.Empty:
+                    if not block:
+                        return
+                    for p in self._procs:
+                        if not p.is_alive():
+                            raise EngineError(
+                                f"worker {p.name} died (exit "
+                                f"{p.exitcode}); sweep aborted")
+                    continue
+                if msg[0] == "done":
+                    _, batch_id, wid, delta, busy, _n = msg
+                    outstanding.pop(batch_id, None)
+                    busy_by_worker[wid] = busy_by_worker.get(wid, 0.0) \
+                        + float(busy)
+                    tasks_by_worker[wid] = tasks_by_worker.get(wid, 0) + 1
+                    for k, v in delta.items():
+                        stats_total[k] = stats_total.get(k, 0.0) + v
+                else:
+                    _, batch_id, wid, tb = msg
+                    outstanding.pop(batch_id, None)
+                    errors.append(tb)
+                if not block:
+                    return
+
+        try:
+            for a in range(0, s_count, max(1, shard_size)):
+                b = min(a + shard_size, s_count)
+                t0 = time.perf_counter()
+                lists = spec.build_lists(a, b)
+                t_traverse += time.perf_counter() - t0
+                lists_parts.append(lists)
+                shard_block = create_shm({
+                    "cell_idx": lists.cell_idx, "cell_off": lists.cell_off,
+                    "part_idx": lists.part_idx, "part_off": lists.part_off,
+                })
+                shard_blocks.append(shard_block)
+                for (u, v) in plan_batches(lists.list_lengths, cap_nj):
+                    batch_id = next_batch
+                    next_batch += 1
+                    n_batches += 1
+                    outstanding[batch_id] = 1
+                    self._task_q.put(("batch", batch_id, sweep_id,
+                                      sweep_meta, shard_block.meta,
+                                      a, a + u, a + v))
+                    if metrics is not None:
+                        metrics.histogram(
+                            "exec.queue_depth",
+                            "batches in flight at submit time"
+                            ).observe(len(outstanding))
+                # opportunistic, non-blocking collection keeps the
+                # result queue short while we keep traversing
+                _drain(block=False)
+            while outstanding:
+                _drain(block=True)
+        except Exception:
+            # account for every batch before tearing the memory down, so
+            # no worker is left computing into an unlinked segment
+            try:
+                while outstanding:
+                    _drain(block=True)
+            except Exception:  # pragma: no cover - worker died
+                self._stop_workers()
+            self._release(sweep_block, shard_blocks)
+            raise
+
+        acc = np.array(sweep_block["out_acc"])
+        pot = np.array(sweep_block["out_pot"])
+        self._release(sweep_block, shard_blocks)
+        if errors:
+            raise EngineError("worker batch failed:\n" + errors[0])
+
+        backend.absorb_stats(stats_total)
+        wall = time.perf_counter() - w0
+        busy_total = sum(busy_by_worker.values())
+        overlap = busy_total / wall if wall > 0 else 0.0
+        for wid in sorted(busy_by_worker):
+            tr.record("exec.worker", busy_by_worker[wid], worker=wid,
+                      batches=tasks_by_worker.get(wid, 0))
+        if metrics is not None:
+            m = metrics
+            m.counter("exec.sweeps", "pipeline evaluation sweeps").inc()
+            m.counter("exec.batches",
+                      "force batches shipped to workers").inc(n_batches)
+            m.counter("exec.sinks", "sinks evaluated").inc(s_count)
+            m.counter("exec.worker_busy_seconds",
+                      "summed worker busy seconds").inc(busy_total)
+            m.gauge("exec.workers", "pipeline worker processes"
+                    ).set(self.workers)
+            m.gauge("exec.overlap",
+                    "worker busy seconds per sweep wall second "
+                    "(effective concurrency)").set(overlap)
+        logger.debug("pipeline sweep %d: sinks=%d batches=%d wall=%.3fs "
+                     "busy=%.3fs overlap=%.2f", sweep_id, s_count,
+                     n_batches, wall, busy_total, overlap)
+        return EvalResult(
+            acc=acc, pot=pot, lists=concatenate_lists(lists_parts),
+            traverse_seconds=t_traverse, kernel_seconds=busy_total,
+            stats={"workers": float(self.workers),
+                   "batches": float(n_batches),
+                   "busy_seconds": busy_total,
+                   "wall_seconds": wall,
+                   "overlap": overlap})
+
+    @staticmethod
+    def _release(sweep_block, shard_blocks) -> None:
+        for block in [sweep_block] + list(shard_blocks):
+            try:
+                block.close()
+                block.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+    def __del__(self):  # pragma: no cover - interpreter teardown
+        try:
+            self._stop_workers()
+        except Exception:
+            pass
+
+
+def make_engine(name: str, *, workers: Optional[int] = None,
+                **kwargs) -> Optional[ForceEngine]:
+    """CLI/driver factory.
+
+    ``serial`` returns ``None`` -- drivers treat that as "use the
+    built-in sequential path", which is the default and exactly
+    today's behaviour.  ``pipeline`` returns a started-on-demand
+    :class:`PipelineEngine`.
+    """
+    if name == "serial":
+        return None
+    if name == "pipeline":
+        return PipelineEngine(workers=workers, **kwargs)
+    raise EngineError(f"unknown engine {name!r} (choose from "
+                      f"{', '.join(ENGINE_NAMES)})")

@@ -1,0 +1,201 @@
+"""Worker-process side of the pipeline engine.
+
+Each worker owns a *private* backend instance (rebuilt from the parent
+backend's :meth:`~repro.core.kernels.ForceBackend.worker_factory` spec)
+and loops on a shared task queue.  All bulk data -- sorted particle
+positions/masses, cell monopoles, the CSR interaction lists, and the
+output force arrays -- lives in POSIX shared memory created by the
+parent; a task message carries only segment names and a sink range, so
+IPC per batch is a few hundred bytes regardless of problem size.
+
+Results are written straight into the shared output arrays (every sink
+owns a disjoint slice, so writes never race); the completion message
+carries the backend's performance-counter delta and the worker's busy
+time, which the parent folds back into its own backend and the
+observability layer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import traceback
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.traversal import InteractionLists
+from .plan import assemble_sources
+
+__all__ = ["worker_main", "ShmArrays", "create_shm", "open_shm"]
+
+#: task-queue sentinel telling a worker to exit
+STOP = "stop"
+
+
+class ShmArrays:
+    """A named set of numpy arrays backed by one shared-memory block.
+
+    One block per *lifetime* (sweep or shard) keeps the segment count --
+    and the attach/close traffic -- low: the constituent arrays are
+    packed back-to-back at 64-byte alignment inside a single segment.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 layout: Tuple[Tuple[str, tuple, str, int], ...]) -> None:
+        self.shm = shm
+        self.layout = layout
+        self.arrays: Dict[str, np.ndarray] = {}
+        for name, shape, dtype, offset in layout:
+            n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            arr = np.frombuffer(shm.buf, dtype=np.dtype(dtype),
+                                count=n, offset=offset)
+            self.arrays[name] = arr.reshape(shape)
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.arrays[name]
+
+    @property
+    def meta(self) -> Tuple[str, Tuple[Tuple[str, tuple, str, int], ...]]:
+        """Picklable handle: ``(segment name, layout)``."""
+        return (self.shm.name, self.layout)
+
+    def close(self) -> None:
+        self.arrays.clear()
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - stray view still alive;
+            pass             # the mapping goes away at process exit
+
+    def unlink(self) -> None:
+        self.shm.unlink()
+
+
+def _layout(arrays: Dict[str, np.ndarray]):
+    """Pack arrays back-to-back; returns (layout, total_bytes)."""
+    layout = []
+    offset = 0
+    for name, a in arrays.items():
+        offset = (offset + 63) & ~63
+        layout.append((name, tuple(a.shape), a.dtype.str, offset))
+        offset += a.nbytes
+    return tuple(layout), max(1, offset)
+
+
+def create_shm(arrays: Dict[str, np.ndarray]) -> ShmArrays:
+    """Create one shared block holding copies of ``arrays``."""
+    layout, size = _layout(arrays)
+    shm = shared_memory.SharedMemory(create=True, size=size)
+    block = ShmArrays(shm, layout)
+    for name, a in arrays.items():
+        block[name][...] = a
+    return block
+
+
+def open_shm(meta) -> ShmArrays:
+    """Attach a block created by :func:`create_shm` from its meta."""
+    name, layout = meta
+    return ShmArrays(shared_memory.SharedMemory(name=name), layout)
+
+
+def _lists_from(block: ShmArrays) -> InteractionLists:
+    return InteractionLists(
+        n_sinks=int(block["cell_off"].shape[0]) - 1,
+        cell_idx=block["cell_idx"], cell_off=block["cell_off"],
+        part_idx=block["part_idx"], part_off=block["part_off"])
+
+
+def _run_batch(backend, sweep: ShmArrays, shard: ShmArrays,
+               a0: int, g0: int, g1: int, announce: bool) -> None:
+    """Evaluate sinks ``[g0, g1)`` of one batch into the output arrays."""
+    scalars = sweep["scalars"]
+    eps = float(scalars[0])
+    if announce and scalars[1] > 0.0:
+        backend.set_domain(float(scalars[2]), float(scalars[3]))
+    lists = _lists_from(shard)
+    pos, pmass = sweep["pos"], sweep["pmass"]
+    com, cmass = sweep["com"], sweep["cmass"]
+    start, count = sweep["sink_start"], sweep["sink_count"]
+    out_acc, out_pot = sweep["out_acc"], sweep["out_pot"]
+    for g in range(g0, g1):
+        s, n = int(start[g]), int(count[g])
+        xi = pos[s:s + n]
+        xj, mj = assemble_sources(pos, pmass, com, cmass, lists, g - a0)
+        backend.submit(g, xi, xj, mj, eps)
+        for _, a, p in backend.gather():
+            out_acc[s:s + n] = a
+            out_pot[s:s + n] = p
+
+
+def worker_main(worker_id: int, factory_bytes: bytes,
+                task_queue, result_queue) -> None:
+    """Worker entry point: build the private backend, drain tasks.
+
+    Messages (see :class:`repro.exec.engine.PipelineEngine` for the
+    parent side):
+
+    ``("batch", batch_id, sweep_id, sweep_meta, shard_meta, a0, g0, g1)``
+        Evaluate sinks ``[g0, g1)`` (global ids; the shard's lists start
+        at sink ``a0``) and reply
+        ``("done", batch_id, worker_id, stats_delta, busy_s, n_sinks)``
+        or ``("error", batch_id, worker_id, traceback_text)``.
+    ``("stop",)``
+        Close cached segments and exit.
+    """
+    # Workers only *attach* to segments the parent created and will
+    # unlink; letting the worker-side resource tracker register them too
+    # yields spurious "leaked shared_memory" warnings at exit and
+    # double-unlink attempts (CPython bpo-38119).  Ownership is strictly
+    # parental, so registration here is disabled.
+    from multiprocessing import resource_tracker
+    resource_tracker.register = lambda *a, **k: None
+    fn, args, kwargs = pickle.loads(factory_bytes)
+    backend = fn(*args, **kwargs)
+    sweep_cache: Dict[int, ShmArrays] = {}
+    shard_cache: Dict[str, ShmArrays] = {}
+    domain_announced: set = set()
+
+    def _drop_sweeps() -> None:
+        for b in sweep_cache.values():
+            b.close()
+        for b in shard_cache.values():
+            b.close()
+        sweep_cache.clear()
+        shard_cache.clear()
+
+    try:
+        while True:
+            msg = task_queue.get()
+            if msg[0] == STOP:
+                break
+            _, batch_id, sweep_id, sweep_meta, shard_meta, a0, g0, g1 = msg
+            try:
+                if sweep_id not in sweep_cache:
+                    # a new sweep supersedes everything cached
+                    _drop_sweeps()
+                    sweep_cache[sweep_id] = open_shm(sweep_meta)
+                sweep = sweep_cache[sweep_id]
+                if shard_meta[0] not in shard_cache:
+                    shard_cache[shard_meta[0]] = open_shm(shard_meta)
+                shard = shard_cache[shard_meta[0]]
+
+                t0 = time.perf_counter()
+                stats0 = backend.snapshot_stats()
+                announce = sweep_id not in domain_announced
+                if announce:
+                    domain_announced.add(sweep_id)
+                # scoped helper: no shared-memory view survives the call,
+                # so cached segments can be closed cleanly later
+                _run_batch(backend, sweep, shard, a0, g0, g1, announce)
+                stats1 = backend.snapshot_stats()
+                delta = {k: stats1[k] - stats0.get(k, 0.0)
+                         for k in stats1}
+                busy = time.perf_counter() - t0
+                result_queue.put(("done", batch_id, worker_id, delta,
+                                  busy, g1 - g0))
+            except Exception:  # pragma: no cover - exercised via engine
+                result_queue.put(("error", batch_id, worker_id,
+                                  traceback.format_exc()))
+    finally:
+        _drop_sweeps()

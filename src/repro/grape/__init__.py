@@ -17,6 +17,7 @@ Quick use::
     print(backend.model_seconds)             # modelled GRAPE wall time
 """
 
+from .api import G5Context, G5Error
 from .board import BoardMemoryError, ProcessorBoard
 from .chip import G5Chip
 from .cluster import ClusterConfig, GrapeCluster
@@ -29,7 +30,9 @@ from .timing import GrapeTimingModel, OPS_PER_INTERACTION
 
 __all__ = [
     "ErrorSample", "pairwise_error_sample", "required_fraction_bits",
-    "summed_error_sample", "ClusterConfig", "GrapeCluster", "BoardMemoryError", "ProcessorBoard", "G5Chip", "FixedPointFormat",
+    "summed_error_sample", "ClusterConfig", "GrapeCluster",
+    "G5Context", "G5Error",
+    "BoardMemoryError", "ProcessorBoard", "G5Chip", "FixedPointFormat",
     "G5Numerics", "G5_NUMERICS", "round_mantissa", "G5Pipeline",
     "Grape5System", "GrapeBackend", "GrapeTimingModel",
     "OPS_PER_INTERACTION",

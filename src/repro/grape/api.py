@@ -14,12 +14,31 @@ sequence, for one force evaluation, is::
 
 This module reproduces that interface over the emulator so that code
 written against libg5 (and the paper's treecode driver, which calls it
-per interaction list) ports line-for-line.  State lives in a module
-default :class:`~repro.grape.system.Grape5System`; ``g5_open`` may also
-be given an explicit system (e.g. a single-board configuration).
+per interaction list) ports line-for-line.
 
-All functions raise :class:`G5Error` when called out of order, mirroring
-the library's hard failure on protocol misuse.
+State lives in a :class:`G5Context` -- a handle owning one attached
+:class:`~repro.grape.system.Grape5System` plus its staged i/j sets.
+The module-level ``g5_*`` functions are thin shims over a default
+context (``_state``), preserving the one-GRAPE-per-process flavour of
+libg5; code that needs more than one board set at a time -- worker
+processes of the pipeline engine, multi-board experiments -- opens its
+own contexts instead, and they never clobber each other::
+
+    ctx = G5Context()
+    ctx.open(Grape5System(n_boards=1))
+    ctx.set_n(nj); ctx.set_xmj(0, nj, xj, mj)
+    ...
+    ctx.close()
+
+All calls raise :class:`G5Error` when made out of order, mirroring the
+library's hard failure on protocol misuse.
+
+.. note:: **Pythonic deviation of g5_get_force.**  The C call is
+   ``g5_get_force(ni, a, p)`` writing into caller-owned arrays.  The
+   Python binding *returns* ``(acc, pot)`` instead -- out-parameters
+   are unidiomatic here -- but accepts optional preallocated ``a``/
+   ``p`` arrays for line-for-line ports: when given, results are
+   written into them (and they are also the returned pair).
 """
 
 from __future__ import annotations
@@ -31,7 +50,8 @@ import numpy as np
 from .system import Grape5System
 
 __all__ = [
-    "G5Error", "g5_open", "g5_close", "g5_set_range", "g5_set_eps_to_all",
+    "G5Error", "G5Context",
+    "g5_open", "g5_close", "g5_set_range", "g5_set_eps_to_all",
     "g5_set_n", "g5_set_xmj", "g5_set_xi", "g5_run", "g5_get_force",
     "g5_get_number_of_pipelines", "g5_get_peak_flops",
 ]
@@ -41,7 +61,23 @@ class G5Error(RuntimeError):
     """Protocol misuse of the g5 API (call sequence violation)."""
 
 
-class _G5State:
+class G5Context:
+    """One attached GRAPE-5 plus its staged i/j state.
+
+    Each context is fully independent: opening, loading, and running
+    one never affects another, so a process may drive several board
+    sets (or several worker processes may each drive their own)
+    concurrently.  The context starts *closed*; :meth:`open` attaches
+    a system and :meth:`close` detaches it, after which the context is
+    reusable (open/close cycles leave no residue).
+
+    Also usable as a context manager::
+
+        with G5Context().open() as g5:
+            g5.set_eps_to_all(eps)
+            ...
+    """
+
     def __init__(self) -> None:
         self.system: Optional[Grape5System] = None
         self.eps: float = 0.0
@@ -53,111 +89,198 @@ class _G5State:
         self.pot: Optional[np.ndarray] = None
         self.ran: bool = False
 
+    # -- lifecycle -----------------------------------------------------
+    def _require_open(self) -> "G5Context":
+        if self.system is None:
+            raise G5Error("g5_open() has not been called")
+        return self
 
-_state = _G5State()
+    def open(self, system: Optional[Grape5System] = None) -> "G5Context":
+        """Attach an (emulated) GRAPE-5; returns ``self`` for chaining.
+
+        The attached system is available as the ``system`` attribute.
+        """
+        if self.system is not None:
+            raise G5Error("GRAPE-5 already open; call g5_close() first")
+        self.system = system if system is not None else Grape5System()
+        cap = self.system.boards[0].jmem_capacity
+        self.xj = np.zeros((cap, 3), dtype=np.float64)
+        self.mj = np.zeros(cap, dtype=np.float64)
+        self.nj = 0
+        self.ran = False
+        return self
+
+    def close(self) -> None:
+        """Detach the GRAPE-5 and clear all staged state.
+
+        The context may be re-opened afterwards; no staged data
+        survives the cycle."""
+        self._require_open()
+        self.system = None
+        self.xj = self.mj = self.xi = None
+        self.acc = self.pot = None
+        self.nj = 0
+        self.ran = False
+
+    def __enter__(self) -> "G5Context":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.system is not None:
+            self.close()
+        return False
+
+    # -- staging -------------------------------------------------------
+    def set_range(self, xmin: float, xmax: float,
+                  mmin: float = 0.0) -> None:
+        """Announce coordinate window (and minimum mass, accepted for
+        API fidelity; the emulator's mass format needs no floor)."""
+        self._require_open()
+        self.system.set_range(xmin, xmax)
+
+    def set_eps_to_all(self, eps: float) -> None:
+        """Set the Plummer softening used by every pipeline."""
+        self._require_open()
+        if eps < 0.0:
+            raise G5Error("eps must be non-negative")
+        self.eps = float(eps)
+
+    def set_n(self, nj: int) -> None:
+        """Declare the number of resident j-particles."""
+        self._require_open()
+        if nj < 0 or nj > self.xj.shape[0]:
+            raise G5Error(f"nj={nj} exceeds particle memory")
+        self.nj = int(nj)
+
+    def set_xmj(self, adr: int, nj: int, xj: np.ndarray,
+                mj: np.ndarray) -> None:
+        """Write ``nj`` j-particles at address ``adr`` of j-memory."""
+        self._require_open()
+        xj = np.asarray(xj, dtype=np.float64)
+        mj = np.asarray(mj, dtype=np.float64)
+        if xj.shape != (nj, 3) or mj.shape != (nj,):
+            raise G5Error("xj must be (nj, 3) and mj (nj,)")
+        if adr < 0 or adr + nj > self.xj.shape[0]:
+            raise G5Error("j-set exceeds particle memory")
+        self.xj[adr:adr + nj] = xj
+        self.mj[adr:adr + nj] = mj
+        if adr + nj > self.nj:
+            self.nj = adr + nj
+
+    def set_xi(self, ni: int, xi: np.ndarray) -> None:
+        """Stage ``ni`` i-particles for the next run."""
+        self._require_open()
+        xi = np.asarray(xi, dtype=np.float64)
+        if xi.shape != (ni, 3):
+            raise G5Error("xi must have shape (ni, 3)")
+        self.xi = xi.copy()
+        self.ran = False
+
+    # -- execution -----------------------------------------------------
+    def run(self) -> None:
+        """Fire the pipelines on the staged i-set against j-memory."""
+        self._require_open()
+        if self.xi is None:
+            raise G5Error("g5_set_xi() must precede g5_run()")
+        if self.nj == 0:
+            raise G5Error("no j-particles loaded (g5_set_xmj/g5_set_n)")
+        self.acc, self.pot = self.system.compute(
+            self.xi, self.xj[:self.nj], self.mj[:self.nj], self.eps)
+        self.ran = True
+
+    def get_force(self, ni: int, a: Optional[np.ndarray] = None,
+                  p: Optional[np.ndarray] = None
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+        """Read back ``(acc, pot)`` of the last run's first ``ni``
+        sinks.
+
+        Pythonic deviation from libg5's ``g5_get_force(ni, a, p)``:
+        results are *returned*; optionally pass preallocated ``a``
+        (shape ``(ni, 3)``) and ``p`` (shape ``(ni,)``) to also have
+        them written C-style into caller-owned storage -- the returned
+        pair is then those same arrays.
+        """
+        self._require_open()
+        if not self.ran or self.acc is None:
+            raise G5Error("g5_run() must precede g5_get_force()")
+        if ni > self.acc.shape[0]:
+            raise G5Error(f"only {self.acc.shape[0]} forces available")
+        if (a is None) != (p is None):
+            raise G5Error("pass both a and p, or neither")
+        if a is not None:
+            if a.shape != (ni, 3) or p.shape != (ni,):
+                raise G5Error("a must be (ni, 3) and p (ni,)")
+            a[...] = self.acc[:ni]
+            p[...] = self.pot[:ni]
+            return a, p
+        return self.acc[:ni].copy(), self.pot[:ni].copy()
+
+    def get_number_of_pipelines(self) -> int:
+        return self._require_open().system.n_pipelines
+
+    def get_peak_flops(self) -> float:
+        return self._require_open().system.peak_flops
 
 
-def _require_open() -> _G5State:
-    if _state.system is None:
-        raise G5Error("g5_open() has not been called")
-    return _state
+#: the default context behind the module-level ``g5_*`` shims
+_state = G5Context()
 
 
 def g5_open(system: Optional[Grape5System] = None) -> Grape5System:
     """Attach the (emulated) GRAPE-5; returns the system handle."""
-    if _state.system is not None:
-        raise G5Error("GRAPE-5 already open; call g5_close() first")
-    _state.system = system if system is not None else Grape5System()
-    cap = _state.system.boards[0].jmem_capacity
-    _state.xj = np.zeros((cap, 3), dtype=np.float64)
-    _state.mj = np.zeros(cap, dtype=np.float64)
-    _state.nj = 0
-    _state.ran = False
-    return _state.system
+    return _state.open(system).system
 
 
 def g5_close() -> None:
     """Detach the GRAPE-5 and clear all staged state."""
-    _require_open()
-    _state.system = None
-    _state.xj = _state.mj = _state.xi = None
-    _state.acc = _state.pot = None
-    _state.nj = 0
-    _state.ran = False
+    _state.close()
 
 
 def g5_set_range(xmin: float, xmax: float, mmin: float = 0.0) -> None:
     """Announce coordinate window (and minimum mass, accepted for API
     fidelity; the emulator's mass format needs no floor)."""
-    s = _require_open()
-    s.system.set_range(xmin, xmax)
+    _state.set_range(xmin, xmax, mmin)
 
 
 def g5_set_eps_to_all(eps: float) -> None:
     """Set the Plummer softening used by every pipeline."""
-    s = _require_open()
-    if eps < 0.0:
-        raise G5Error("eps must be non-negative")
-    s.eps = float(eps)
+    _state.set_eps_to_all(eps)
 
 
 def g5_set_n(nj: int) -> None:
     """Declare the number of resident j-particles."""
-    s = _require_open()
-    if nj < 0 or nj > s.xj.shape[0]:
-        raise G5Error(f"nj={nj} exceeds particle memory")
-    s.nj = int(nj)
+    _state.set_n(nj)
 
 
 def g5_set_xmj(adr: int, nj: int, xj: np.ndarray, mj: np.ndarray) -> None:
     """Write ``nj`` j-particles at address ``adr`` of the j-memory."""
-    s = _require_open()
-    xj = np.asarray(xj, dtype=np.float64)
-    mj = np.asarray(mj, dtype=np.float64)
-    if xj.shape != (nj, 3) or mj.shape != (nj,):
-        raise G5Error("xj must be (nj, 3) and mj (nj,)")
-    if adr < 0 or adr + nj > s.xj.shape[0]:
-        raise G5Error("j-set exceeds particle memory")
-    s.xj[adr:adr + nj] = xj
-    s.mj[adr:adr + nj] = mj
-    if adr + nj > s.nj:
-        s.nj = adr + nj
+    _state.set_xmj(adr, nj, xj, mj)
 
 
 def g5_set_xi(ni: int, xi: np.ndarray) -> None:
     """Stage ``ni`` i-particles for the next run."""
-    s = _require_open()
-    xi = np.asarray(xi, dtype=np.float64)
-    if xi.shape != (ni, 3):
-        raise G5Error("xi must have shape (ni, 3)")
-    s.xi = xi.copy()
-    s.ran = False
+    _state.set_xi(ni, xi)
 
 
 def g5_run() -> None:
     """Fire the pipelines on the staged i-set against the j-memory."""
-    s = _require_open()
-    if s.xi is None:
-        raise G5Error("g5_set_xi() must precede g5_run()")
-    if s.nj == 0:
-        raise G5Error("no j-particles loaded (g5_set_xmj/g5_set_n)")
-    s.acc, s.pot = s.system.compute(s.xi, s.xj[:s.nj], s.mj[:s.nj], s.eps)
-    s.ran = True
+    _state.run()
 
 
-def g5_get_force(ni: int) -> Tuple[np.ndarray, np.ndarray]:
-    """Read back ``(acc, pot)`` of the last run's first ``ni`` sinks."""
-    s = _require_open()
-    if not s.ran or s.acc is None:
-        raise G5Error("g5_run() must precede g5_get_force()")
-    if ni > s.acc.shape[0]:
-        raise G5Error(f"only {s.acc.shape[0]} forces available")
-    return s.acc[:ni].copy(), s.pot[:ni].copy()
+def g5_get_force(ni: int, a: Optional[np.ndarray] = None,
+                 p: Optional[np.ndarray] = None
+                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Read back ``(acc, pot)`` of the last run's first ``ni`` sinks.
+
+    See :meth:`G5Context.get_force` for the out-parameter overload
+    matching the C signature.
+    """
+    return _state.get_force(ni, a, p)
 
 
 def g5_get_number_of_pipelines() -> int:
-    return _require_open().system.n_pipelines
+    return _state.get_number_of_pipelines()
 
 
 def g5_get_peak_flops() -> float:
-    return _require_open().system.peak_flops
+    return _state.get_peak_flops()

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.kernels import ForceBackend
+from ..core.kernels import BackendCaps, ForceBackend
 from .board import ProcessorBoard
 from .numerics import G5Numerics, G5_NUMERICS
 from .timing import GrapeTimingModel, OPS_PER_INTERACTION
@@ -222,6 +222,44 @@ class GrapeBackend(ForceBackend):
     def compute(self, xi, xj, mj, eps):
         return self.system.compute(xi, xj, mj, eps)
 
+    def capabilities(self) -> BackendCaps:
+        """Batch planning data: the combined particle data memory is the
+        j-capacity of one call; private per-worker systems reproduce the
+        deterministic reduced-precision datapath exactly."""
+        return BackendCaps(
+            max_nj=sum(b.jmem_capacity for b in self.system.boards),
+            parallel_safe=True)
+
+    def worker_factory(self):
+        """Configuration-only spec: workers rebuild a fresh system from
+        the numerics and timing constants (boards and their j-memory are
+        re-allocated worker-side, never shipped)."""
+        return (_fresh_grape_backend,
+                (self.system.numerics, self.system.timing), {})
+
+    def snapshot_stats(self):
+        return {"interactions": float(self.system.interactions),
+                "n_calls": float(self.system.n_calls),
+                "model_seconds": float(self.system.model_seconds)}
+
+    def absorb_stats(self, delta):
+        """Fold a worker's counters back in, keeping run totals (and the
+        ``grape.*`` metrics, when bound) engine-independent."""
+        n_calls = int(delta.get("n_calls", 0))
+        inter = int(delta.get("interactions", 0))
+        model_s = float(delta.get("model_seconds", 0.0))
+        self.system.n_calls += n_calls
+        self.system.interactions += inter
+        self.system.model_seconds += model_s
+        m = self.system.metrics
+        if m is not None and n_calls:
+            m.counter("grape.force_calls",
+                      "force calls shipped to the boards").inc(n_calls)
+            m.counter("grape.interactions_total",
+                      "pairwise interactions on the pipelines").inc(inter)
+            m.counter("grape.model_seconds",
+                      "modelled GRAPE-5 wall seconds").inc(model_s)
+
     def bind_metrics(self, registry) -> "GrapeBackend":
         """Route per-force-call counters into ``registry``
         (a :class:`repro.obs.metrics.MetricsRegistry`)."""
@@ -244,3 +282,9 @@ class GrapeBackend(ForceBackend):
     def model_seconds(self) -> float:
         """Modelled GRAPE wall-clock seconds since the last reset."""
         return self.system.model_seconds
+
+
+def _fresh_grape_backend(numerics, timing) -> "GrapeBackend":
+    """Worker-side constructor (see :meth:`GrapeBackend.worker_factory`)."""
+    return GrapeBackend(system=Grape5System(numerics=numerics,
+                                            timing=timing))

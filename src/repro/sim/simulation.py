@@ -88,6 +88,12 @@ class Simulation:
         Optional :class:`repro.obs.metrics.MetricsRegistry`; step
         counters (``sim.steps_total``, ``sim.interactions_total``) and
         the ``sim.step_seconds`` histogram are recorded when present.
+    engine:
+        Optional :class:`repro.exec.ForceEngine` handed to the default
+        :class:`~repro.core.treecode.TreeCode` (ignored when an explicit
+        ``force`` solver is supplied -- configure that solver's engine
+        directly).  :meth:`close` releases it either way; use the
+        simulation as a context manager for pipeline runs.
     """
 
     pos: np.ndarray
@@ -99,6 +105,7 @@ class Simulation:
     t: float = 0.0
     tracer: object = None
     metrics: object = None
+    engine: object = None
 
     history: List[StepRecord] = field(default_factory=list)
     _integrator: LeapfrogKDK = field(default=None, repr=False)
@@ -119,6 +126,7 @@ class Simulation:
         if self.force is None:
             self.force = TreeCode(theta=0.75,
                                   n_crit=min(2000, max(1, n // 8)),
+                                  engine=self.engine,
                                   tracer=self.tracer,
                                   metrics=self.metrics)
         self._mass_eff = self.G * self.mass
@@ -147,6 +155,23 @@ class Simulation:
         return cls(pos=region.pos.copy(), vel=region.vel.copy(),
                    mass=region.mass.copy(), eps=float(eps), force=force,
                    t=t, tracer=tracer, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the force solver's execution engine (worker pool),
+        if it has one.  Safe to call repeatedly; serial runs no-op."""
+        closer = getattr(self.force, "close", None)
+        if callable(closer):
+            closer()
+        elif self.engine is not None:
+            self.engine.close()
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     @property

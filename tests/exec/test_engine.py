@@ -1,0 +1,182 @@
+"""Engine equivalence: pipeline results must match the serial path.
+
+The contract under test is the PR's acceptance criterion: with the
+deterministic :class:`~repro.core.kernels.Float64Backend` the pipeline
+engine is *bit-identical* to the serial path for any worker count
+(every sink's arithmetic is independent and written to a disjoint
+output slice); with the GRAPE emulator the identical call stream keeps
+it bit-identical too, and in any case inside the paper's 0.3% relative
+force-error envelope.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TreeCode
+from repro.core.kernels import Float64Backend, ForceBackend
+from repro.exec import (ENGINE_NAMES, EngineError, PipelineEngine,
+                        SerialEngine, make_engine)
+from repro.grape import GrapeBackend
+from repro.obs import MetricsRegistry
+from repro.sim.models import plummer_model
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(42)
+    pos, _, mass = plummer_model(1500, rng)
+    return pos, mass
+
+
+def _forces(pos, mass, *, backend=None, engine=None, n_crit=64,
+            metrics=None):
+    tc = TreeCode(theta=0.75, n_crit=n_crit, backend=backend,
+                  engine=engine, metrics=metrics)
+    try:
+        acc, pot = tc.accelerations(pos, mass, 0.01)
+        return acc, pot, tc.last_stats
+    finally:
+        tc.close()
+
+
+class TestFloat64Equivalence:
+    def test_serial_engine_matches_inline(self, cloud):
+        pos, mass = cloud
+        a0, p0, s0 = _forces(pos, mass)
+        a1, p1, s1 = _forces(pos, mass, engine=SerialEngine())
+        assert np.array_equal(a0, a1) and np.array_equal(p0, p1)
+        assert s0.total_interactions == s1.total_interactions
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_pipeline_bit_identical(self, cloud, workers):
+        pos, mass = cloud
+        a0, p0, s0 = _forces(pos, mass)
+        a1, p1, s1 = _forces(pos, mass,
+                             engine=PipelineEngine(workers=workers))
+        assert np.array_equal(a0, a1)
+        assert np.array_equal(p0, p1)
+        assert s0.total_interactions == s1.total_interactions
+        assert s0.n_groups == s1.n_groups
+
+    def test_pipeline_bit_identical_10k(self):
+        """The acceptance-criterion scale: >= 10k particles."""
+        rng = np.random.default_rng(1999)
+        pos, _, mass = plummer_model(10_000, rng)
+        a0, p0, s0 = _forces(pos, mass, n_crit=256)
+        a1, p1, s1 = _forces(pos, mass, n_crit=256,
+                             engine=PipelineEngine(workers=2))
+        assert np.array_equal(a0, a1)
+        assert np.array_equal(p0, p1)
+        assert s0.total_interactions == s1.total_interactions
+
+    def test_interaction_stats_aggregate_exactly(self, cloud):
+        pos, mass = cloud
+        be0 = Float64Backend()
+        be1 = Float64Backend()
+        _forces(pos, mass, backend=be0)
+        _forces(pos, mass, backend=be1,
+                engine=PipelineEngine(workers=2))
+        assert be1.interactions == be0.interactions
+        assert be1.interactions > 0
+
+
+class TestGrapeEquivalence:
+    def test_pipeline_matches_serial_grape(self, cloud):
+        pos, mass = cloud
+        a0, p0, _ = _forces(pos, mass, backend=GrapeBackend())
+        a1, p1, _ = _forces(pos, mass, backend=GrapeBackend(),
+                            engine=PipelineEngine(workers=2))
+        # identical call stream through the deterministic emulator
+        assert np.array_equal(a0, a1) and np.array_equal(p0, p1)
+        # and, a fortiori, inside the paper's error envelope vs float64
+        ref = _forces(pos, mass)[0]
+        rel = (np.linalg.norm(a1 - ref, axis=1)
+               / np.linalg.norm(ref, axis=1))
+        assert np.median(rel) < 0.003
+
+    def test_grape_counters_aggregate_exactly(self, cloud):
+        pos, mass = cloud
+        be0 = GrapeBackend()
+        be1 = GrapeBackend()
+        _forces(pos, mass, backend=be0)
+        _forces(pos, mass, backend=be1,
+                engine=PipelineEngine(workers=2))
+        assert be1.system.n_calls == be0.system.n_calls
+        assert be1.system.interactions == be0.system.interactions
+        assert be1.model_seconds == pytest.approx(be0.model_seconds)
+
+
+class TestEngineLifecycle:
+    def test_reuse_across_sweeps(self, cloud):
+        pos, mass = cloud
+        rng = np.random.default_rng(5)
+        pos2, _, mass2 = plummer_model(800, rng)
+        with PipelineEngine(workers=2) as eng:
+            # one engine, two TreeCodes: the pool outlives each solver
+            # (closing a TreeCode would close its engine, so don't)
+            tc1 = TreeCode(theta=0.75, n_crit=64, engine=eng)
+            a1, _ = tc1.accelerations(pos, mass, 0.01)
+            tc2 = TreeCode(theta=0.75, n_crit=64, engine=eng)
+            a2, _ = tc2.accelerations(pos2, mass2, 0.01)
+        r1, _, _ = _forces(pos, mass)
+        r2, _, _ = _forces(pos2, mass2)
+        assert np.array_equal(a1, r1) and np.array_equal(a2, r2)
+
+    def test_closed_engine_rejects_work(self, cloud):
+        pos, mass = cloud
+        eng = PipelineEngine(workers=1)
+        eng.close()
+        with pytest.raises(EngineError):
+            _forces(pos, mass, engine=eng)
+
+    def test_close_is_idempotent(self):
+        eng = PipelineEngine(workers=1)
+        eng.close()
+        eng.close()
+
+    def test_non_parallel_safe_backend_rejected(self, cloud):
+        pos, mass = cloud
+
+        class HostOnly(ForceBackend):
+            name = "host-only"
+
+            def compute(self, xi, xj, mj, eps):
+                return Float64Backend().compute(xi, xj, mj, eps)
+
+        with PipelineEngine(workers=1) as eng:
+            with pytest.raises(EngineError):
+                _forces(pos, mass, backend=HostOnly(), engine=eng)
+
+    def test_make_engine(self):
+        assert make_engine("serial") is None
+        eng = make_engine("pipeline", workers=1)
+        assert isinstance(eng, PipelineEngine)
+        eng.close()
+        with pytest.raises(EngineError):
+            make_engine("warp-drive")
+        assert set(ENGINE_NAMES) == {"serial", "pipeline"}
+
+    def test_workers_validated(self):
+        with pytest.raises(EngineError):
+            PipelineEngine(workers=0)
+
+
+class TestObservability:
+    def test_exec_metrics_recorded(self, cloud):
+        pos, mass = cloud
+        reg = MetricsRegistry()
+        with PipelineEngine(workers=2) as eng:
+            _forces(pos, mass, engine=eng, metrics=reg)
+        assert reg.value("exec.sweeps") == 1
+        assert reg.value("exec.batches") >= 1
+        assert reg.value("exec.workers") == 2
+        assert reg.value("exec.worker_busy_seconds") > 0
+
+    def test_simulation_context_manager(self, cloud):
+        from repro.sim import Simulation
+        pos, mass = cloud
+        vel = np.zeros_like(pos)
+        with Simulation(pos=pos, vel=vel, mass=mass, eps=0.01,
+                        engine=PipelineEngine(workers=1)) as sim:
+            rec = sim.step(1e-4)
+            assert rec.interactions > 0

@@ -1,0 +1,195 @@
+"""Protocol-misuse matrix for the g5 API and G5Context isolation.
+
+Complements tests/grape/test_api.py: that file checks the canonical
+sequence and results; this one sweeps every call against wrong-state
+invocation (before open, after close), checks that a close/reopen
+cycle leaves no residue, and that independent contexts never clobber
+each other's staged state.
+"""
+
+import numpy as np
+import pytest
+
+from repro.grape import api
+from repro.grape.api import G5Context, G5Error
+from repro.grape.system import Grape5System
+from repro.grape.timing import GrapeTimingModel
+
+
+@pytest.fixture(autouse=True)
+def _clean_api_state():
+    if api._state.system is not None:
+        api.g5_close()
+    yield
+    if api._state.system is not None:
+        api.g5_close()
+
+
+def _stage_and_run(ctx, rng, n_i=4, n_j=16):
+    xj = rng.standard_normal((n_j, 3))
+    mj = np.ones(n_j)
+    ctx.set_range(-4.0, 4.0)
+    ctx.set_eps_to_all(0.05)
+    ctx.set_xmj(0, n_j, xj, mj)
+    ctx.set_xi(n_i, xj[:n_i])
+    ctx.run()
+
+
+# every module-level call that requires an open device, with minimal
+# valid-looking arguments
+_CALLS = [
+    ("g5_close", lambda: api.g5_close()),
+    ("g5_set_range", lambda: api.g5_set_range(0.0, 1.0)),
+    ("g5_set_eps_to_all", lambda: api.g5_set_eps_to_all(0.01)),
+    ("g5_set_n", lambda: api.g5_set_n(1)),
+    ("g5_set_xmj", lambda: api.g5_set_xmj(0, 1, np.zeros((1, 3)),
+                                          np.ones(1))),
+    ("g5_set_xi", lambda: api.g5_set_xi(1, np.zeros((1, 3)))),
+    ("g5_run", lambda: api.g5_run()),
+    ("g5_get_force", lambda: api.g5_get_force(1)),
+    ("g5_get_number_of_pipelines",
+     lambda: api.g5_get_number_of_pipelines()),
+    ("g5_get_peak_flops", lambda: api.g5_get_peak_flops()),
+]
+
+
+class TestCallOrderMatrix:
+    @pytest.mark.parametrize("name,call", _CALLS,
+                             ids=[c[0] for c in _CALLS])
+    def test_before_open_raises(self, name, call):
+        with pytest.raises(G5Error):
+            call()
+
+    @pytest.mark.parametrize("name,call", _CALLS,
+                             ids=[c[0] for c in _CALLS])
+    def test_use_after_close_raises(self, name, call, rng):
+        api.g5_open()
+        api.g5_set_xmj(0, 4, rng.standard_normal((4, 3)), np.ones(4))
+        api.g5_set_xi(2, rng.standard_normal((2, 3)))
+        api.g5_run()
+        api.g5_close()
+        with pytest.raises(G5Error):
+            call()
+
+    def test_double_open_rejected_and_state_kept(self):
+        sys1 = api.g5_open()
+        with pytest.raises(G5Error):
+            api.g5_open()
+        # the failed second open must not have replaced the system
+        assert api._state.system is sys1
+
+    def test_set_xi_invalidates_previous_run(self, rng):
+        api.g5_open()
+        api.g5_set_xmj(0, 4, rng.standard_normal((4, 3)), np.ones(4))
+        api.g5_set_xi(2, rng.standard_normal((2, 3)))
+        api.g5_run()
+        api.g5_get_force(2)
+        api.g5_set_xi(2, rng.standard_normal((2, 3)))
+        with pytest.raises(G5Error):
+            api.g5_get_force(2)
+
+
+class TestCloseReopen:
+    def test_reopen_starts_clean(self, rng):
+        api.g5_open()
+        api.g5_set_eps_to_all(0.5)
+        api.g5_set_xmj(0, 8, rng.standard_normal((8, 3)), np.ones(8))
+        api.g5_set_xi(2, rng.standard_normal((2, 3)))
+        api.g5_run()
+        api.g5_close()
+
+        api.g5_open()
+        st = api._state
+        assert st.nj == 0 and st.xi is None and not st.ran
+        assert st.acc is None and st.pot is None
+        assert np.all(st.xj == 0.0) and np.all(st.mj == 0.0)
+        # j-memory was cleared, so running again needs a fresh j-set
+        api.g5_set_xi(1, np.zeros((1, 3)))
+        with pytest.raises(G5Error):
+            api.g5_run()
+
+    def test_many_cycles(self):
+        for _ in range(3):
+            api.g5_open()
+            api.g5_close()
+        assert api._state.system is None
+
+
+class TestMemoryBounds:
+    def test_set_n_beyond_capacity(self):
+        api.g5_open()
+        cap = api._state.xj.shape[0]
+        with pytest.raises(G5Error):
+            api.g5_set_n(cap + 1)
+        with pytest.raises(G5Error):
+            api.g5_set_n(-1)
+
+    def test_set_xmj_beyond_capacity(self, rng):
+        api.g5_open()
+        cap = api._state.xj.shape[0]
+        with pytest.raises(G5Error):
+            api.g5_set_xmj(cap, 1, rng.standard_normal((1, 3)),
+                           np.ones(1))
+        with pytest.raises(G5Error):
+            api.g5_set_xmj(-1, 1, rng.standard_normal((1, 3)),
+                           np.ones(1))
+
+
+class TestContextIsolation:
+    def test_two_contexts_do_not_clobber(self, rng):
+        small = Grape5System(timing=GrapeTimingModel(n_boards=1))
+        with G5Context().open() as c1, G5Context().open(small) as c2:
+            _stage_and_run(c1, rng, n_i=4, n_j=16)
+            _stage_and_run(c2, rng, n_i=2, n_j=8)
+            # c2's staging must not have disturbed c1's results
+            a1, p1 = c1.get_force(4)
+            assert c1.nj == 16 and c2.nj == 8
+            assert c1.get_number_of_pipelines() == 32
+            assert c2.get_number_of_pipelines() == 16
+            a1b, _ = c1.get_force(4)
+            assert np.array_equal(a1, a1b)
+
+    def test_default_context_is_a_g5context(self):
+        assert isinstance(api._state, G5Context)
+
+    def test_module_shims_hit_default_context(self, rng):
+        api.g5_open()
+        api.g5_set_xmj(0, 4, rng.standard_normal((4, 3)), np.ones(4))
+        assert api._state.nj == 4
+        # an explicit context is untouched by the shims
+        ctx = G5Context()
+        assert ctx.system is None
+
+    def test_context_manager_closes(self):
+        ctx = G5Context()
+        with ctx.open():
+            assert ctx.system is not None
+        assert ctx.system is None
+        ctx.open()  # reusable afterwards
+        ctx.close()
+
+
+class TestGetForceOutParams:
+    def test_out_parameter_overload(self, rng):
+        api.g5_open()
+        api.g5_set_range(-4, 4)
+        api.g5_set_eps_to_all(0.05)
+        api.g5_set_xmj(0, 8, rng.standard_normal((8, 3)), np.ones(8))
+        api.g5_set_xi(3, rng.standard_normal((3, 3)))
+        api.g5_run()
+        ref_a, ref_p = api.g5_get_force(3)
+        a = np.empty((3, 3))
+        p = np.empty(3)
+        ra, rp = api.g5_get_force(3, a, p)
+        assert ra is a and rp is p
+        assert np.array_equal(a, ref_a) and np.array_equal(p, ref_p)
+
+    def test_out_parameter_validation(self, rng):
+        api.g5_open()
+        api.g5_set_xmj(0, 4, rng.standard_normal((4, 3)), np.ones(4))
+        api.g5_set_xi(2, rng.standard_normal((2, 3)))
+        api.g5_run()
+        with pytest.raises(G5Error):
+            api.g5_get_force(2, np.empty((2, 3)), None)
+        with pytest.raises(G5Error):
+            api.g5_get_force(2, np.empty((3, 3)), np.empty(2))
