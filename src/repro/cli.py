@@ -77,6 +77,20 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--workers", type=int, default=None, metavar="N",
                      help="pipeline worker processes "
                           "(default: all cores)")
+    obs.add_argument("--faults", type=str, default=None, metavar="PLAN",
+                     help="deterministic fault plan: a JSON file, a "
+                          "JSON string, or the compact DSL (e.g. "
+                          "'worker_crash@batch=1;latency@prob=0.1,"
+                          "count=5') -- chaos testing only")
+    obs.add_argument("--max-retries", type=int, default=2, metavar="K",
+                     help="batch resubmissions (pipeline) and force-"
+                          "call re-issues (backend) before giving up "
+                          "(default: 2)")
+    obs.add_argument("--batch-timeout", type=float, default=None,
+                     metavar="S",
+                     help="seconds a started pipeline batch may take "
+                          "before its worker is declared hung and "
+                          "replaced (default: no hang detection)")
 
     sub.add_parser("info", help="machine configuration + price ledger")
 
@@ -93,6 +107,15 @@ def build_parser() -> argparse.ArgumentParser:
                    default="grape")
     r.add_argument("--checkpoint", type=Path, default=None,
                    help="write a checkpoint here when done")
+    r.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="N",
+                   help="also write a rotated checkpoint generation "
+                        "every N steps (0 = off)")
+    r.add_argument("--resume-on-fault", action="store_true",
+                   help="on a recoverable failure, roll back to the "
+                        "newest intact checkpoint generation and "
+                        "replay (needs --checkpoint and "
+                        "--checkpoint-every)")
     r.add_argument("--figure4", type=Path, default=None,
                    help="write the 45x45x2.5 slab as a PGM here")
     r.add_argument("--json-summary", type=Path, default=None,
@@ -139,7 +162,16 @@ def _make_obs(args):
     return tracer, MetricsRegistry()
 
 
-def _make_engine(args):
+def _fault_plan(args):
+    """Parse ``--faults`` once per invocation (None when unset)."""
+    source = getattr(args, "faults", None)
+    if not source:
+        return None
+    from repro.faults import parse_fault_plan
+    return parse_fault_plan(source)
+
+
+def _make_engine(args, plan=None):
     """Build the requested force-evaluation engine (or None for serial).
 
     ``None`` keeps the treecode on its built-in sequential
@@ -147,17 +179,29 @@ def _make_engine(args):
     to the pre-engine code.
     """
     from repro.exec import make_engine
-    return make_engine(getattr(args, "engine", "serial"),
-                       workers=getattr(args, "workers", None))
+    name = getattr(args, "engine", "serial")
+    if name == "serial":
+        return None
+    return make_engine(name,
+                       workers=getattr(args, "workers", None),
+                       faults=plan,
+                       max_retries=getattr(args, "max_retries", 2),
+                       batch_timeout=getattr(args, "batch_timeout", None))
 
 
 def _make_force(args, tracer=None, registry=None):
     from repro.core import TreeCode
     from repro.grape import GrapeBackend
+    plan = _fault_plan(args)
     backend = GrapeBackend() if args.backend == "grape" else None
     if backend is not None and registry is not None:
         backend.bind_metrics(registry)
-    engine = _make_engine(args)
+    if backend is not None:
+        backend.max_retries = getattr(args, "max_retries", 2)
+        if plan is not None:
+            from repro.faults import FaultInjector
+            backend.fault_injector = FaultInjector(plan)
+    engine = _make_engine(args, plan)
     tc = TreeCode(theta=args.theta, n_crit=args.ncrit, backend=backend,
                   engine=engine, tracer=tracer, metrics=registry)
     return tc, (backend if args.backend == "grape" else None)
@@ -237,13 +281,29 @@ def cmd_run(args, out) -> int:
                                  metrics=registry)
     sim.t = SCDM.age(args.z_init)
     sched = paper_schedule(SCDM, args.z_init, args.z_final, args.steps)
+    every = max(1, args.steps // 5)
+    n0 = len(sim.history)
+
+    def _progress(s, rec):
+        if (rec.step - n0) % every == 0:
+            print(f"  step {rec.step}: list = "
+                  f"{rec.mean_list_length:.0f}, "
+                  f"{rec.wall_seconds:.2f} s", file=out)
+
+    injector = None
+    plan = _fault_plan(args)
+    if plan is not None:
+        from repro.faults import FaultInjector
+        injector = FaultInjector(plan)
     try:
-        for i, dt in enumerate(sched):
-            rec = sim.step(float(dt))
-            if (i + 1) % max(1, args.steps // 5) == 0:
-                print(f"  step {rec.step}: list = "
-                      f"{rec.mean_list_length:.0f}, "
-                      f"{rec.wall_seconds:.2f} s", file=out)
+        sim.run(sched, callback=_progress,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume_on_fault=args.resume_on_fault,
+                fault_injector=injector)
+        if sim.fault_recoveries:
+            print(f"  recovered from {sim.fault_recoveries} fault(s) "
+                  "via checkpoint rollback", file=out)
     finally:
         sim.close()
     _report_run(sim, backend, out)
@@ -305,7 +365,7 @@ def cmd_sweep(args, out) -> int:
     rng = np.random.default_rng(args.seed)
     pos, _, mass = plummer_model(args.n, rng)
     tracer, registry = _make_obs(args)
-    engine = _make_engine(args)
+    engine = _make_engine(args, _fault_plan(args))
     rows = []
     try:
         # one engine (and its worker pool) is shared across every

@@ -24,6 +24,31 @@ Engines are backend-agnostic: anything whose
 :meth:`~repro.core.kernels.ForceBackend.capabilities` declares
 ``parallel_safe`` (and provides a ``worker_factory``) can ride the
 pipeline; other backends must use the serial engine.
+
+Self-healing
+------------
+The pipeline is built to finish sweeps despite faults, the host-side
+recovery discipline of the PC-GRAPE cluster deployments.  Batches are
+idempotent (deterministic values into disjoint slices), which makes
+re-execution always safe; on top of that the engine layers a ladder:
+
+1. worker liveness is polled during gather -- a dead worker is
+   detected within :data:`POLL_SECONDS` and the pool is rebuilt on
+   fresh queues (a process that dies inside a queue operation can
+   leave the queue's lock held forever, so the old queues cannot be
+   trusted), with every outstanding batch resubmitted;
+2. a started batch that exceeds ``batch_timeout`` has its worker
+   declared hung (hang containment) and triggers the same rebuild;
+3. a batch whose result checksum mismatches, or whose worker reported
+   a (transient) error, is resubmitted with backoff;
+4. a batch that exhausts ``max_retries`` degrades to serial: the
+   parent evaluates it inline through its own backend -- the same
+   arithmetic, so results stay bit-identical to :class:`SerialEngine`.
+
+Every rung increments an ``exec.fault.*`` counter and emits an
+``exec.fault`` span event, so injected (or real) faults are visible in
+metrics and traces.  With ``max_retries=0`` and ``degrade=False`` the
+ladder is disabled and any fault raises :class:`EngineError` promptly.
 """
 
 from __future__ import annotations
@@ -32,23 +57,42 @@ import logging
 import pickle
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from ..core.kernels import ForceBackend
 from ..core.traversal import InteractionLists, concatenate_lists
+from ..faults import as_fault_plan
 from ..obs.trace import as_tracer
 from .plan import (DEFAULT_BATCH_NJ, SweepSpec, assemble_sources,
                    plan_batches)
-from .workers import STOP, create_shm, worker_main
+from .workers import (STOP, _run_batch, batch_checksum, create_shm,
+                      worker_main)
 
 __all__ = ["EngineError", "EvalResult", "ForceEngine", "SerialEngine",
-           "PipelineEngine", "make_engine", "ENGINE_NAMES"]
+           "PipelineEngine", "make_engine", "ENGINE_NAMES",
+           "POLL_SECONDS"]
 
 logger = logging.getLogger(__name__)
 
 ENGINE_NAMES = ("serial", "pipeline")
+
+#: result-queue poll period: the upper bound on how long a dead or hung
+#: worker goes unnoticed while the parent is waiting for results
+POLL_SECONDS = 0.1
+
+#: one-line help strings for the ``exec.fault.*`` counters
+_FAULT_HELP = {
+    "worker_deaths": "worker processes found dead during a sweep",
+    "respawns": "worker-pool rebuilds after a lost or hung worker",
+    "timeouts": "batches exceeding batch_timeout (worker declared hung)",
+    "corrupt_batches": "batches failing the result checksum",
+    "transient_errors": "transient backend errors reported by workers",
+    "batch_errors": "non-transient batch errors reported by workers",
+    "batch_retries": "batch resubmissions",
+    "serial_fallbacks": "batches degraded to in-process evaluation",
+}
 
 
 class EngineError(RuntimeError):
@@ -146,6 +190,26 @@ class PipelineEngine(ForceEngine):
     start_method:
         ``multiprocessing`` start method; default ``fork`` where
         available (cheapest), else ``spawn``.
+    faults:
+        Optional fault plan (a :class:`~repro.faults.FaultPlan`, a JSON
+        document/path, or the compact DSL -- see
+        :func:`repro.faults.parse_fault_plan`) shipped to every worker
+        for deterministic fault injection.
+    max_retries:
+        Resubmissions a batch gets before degrading to serial (0
+        disables retries).
+    batch_timeout:
+        Wall seconds a *started* batch may take before its worker is
+        declared hung, terminated and replaced.  ``None`` (default)
+        disables hang detection -- no healthy batch is ever
+        double-evaluated on a slow machine.
+    retry_backoff:
+        Base sleep before resubmission number *n* (``retry_backoff *
+        n`` seconds).
+    degrade:
+        Evaluate a retry-exhausted batch inline through the parent's
+        backend (bit-identical) instead of raising
+        :class:`EngineError`.
     """
 
     name = "pipeline"
@@ -153,7 +217,12 @@ class PipelineEngine(ForceEngine):
     def __init__(self, workers: Optional[int] = None, *,
                  batch_nj: Optional[int] = None,
                  shards_per_worker: int = 4,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 faults: Optional[object] = None,
+                 max_retries: int = 2,
+                 batch_timeout: Optional[float] = None,
+                 retry_backoff: float = 0.05,
+                 degrade: bool = True) -> None:
         import multiprocessing as mp
         import os
         if workers is None:
@@ -163,18 +232,46 @@ class PipelineEngine(ForceEngine):
         self.workers = int(workers)
         self.batch_nj = int(batch_nj) if batch_nj else None
         self.shards_per_worker = max(1, int(shards_per_worker))
+        if max_retries < 0:
+            raise EngineError("max_retries must be >= 0")
+        self.faults = as_fault_plan(faults)
+        self.max_retries = int(max_retries)
+        self.batch_timeout = (float(batch_timeout)
+                              if batch_timeout is not None else None)
+        self.retry_backoff = max(0.0, float(retry_backoff))
+        self.degrade = bool(degrade)
         if start_method is None:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
                             else "spawn")
         self._ctx = mp.get_context(start_method)
-        self._procs: List = []
+        self._workers_map: Dict[int, object] = {}
+        self._next_wid = 0
         self._task_q = None
         self._result_q = None
         self._factory_bytes: Optional[bytes] = None
+        self._fault_bytes: Optional[bytes] = (
+            pickle.dumps(self.faults) if self.faults is not None else None)
         self._sweep_counter = 0
         self._closed = False
 
+    @property
+    def self_healing(self) -> bool:
+        """Whether any rung of the recovery ladder is enabled."""
+        return self.max_retries > 0 or self.degrade
+
     # -- pool management ----------------------------------------------
+    def _spawn_worker(self):
+        wid = self._next_wid
+        self._next_wid += 1
+        p = self._ctx.Process(
+            target=worker_main,
+            args=(wid, self._factory_bytes, self._task_q, self._result_q,
+                  self._fault_bytes),
+            daemon=True, name=f"repro-exec-{wid}")
+        p.start()
+        self._workers_map[wid] = p
+        return wid, p
+
     def _ensure_pool(self, backend: ForceBackend) -> None:
         if self._closed:
             raise EngineError("engine is closed")
@@ -185,41 +282,71 @@ class PipelineEngine(ForceEngine):
                 f"backend {backend.name!r} is not parallel-safe; use the "
                 "serial engine")
         factory_bytes = pickle.dumps(factory)
-        if self._procs and factory_bytes != self._factory_bytes:
+        if self._workers_map and factory_bytes != self._factory_bytes:
             # backend changed under us: restart workers with the new spec
             self._stop_workers()
-        if not self._procs:
+        if not self._workers_map:
             self._factory_bytes = factory_bytes
             self._task_q = self._ctx.Queue()
             self._result_q = self._ctx.Queue()
-            self._procs = [
-                self._ctx.Process(
-                    target=worker_main,
-                    args=(i, factory_bytes, self._task_q, self._result_q),
-                    daemon=True, name=f"repro-exec-{i}")
-                for i in range(self.workers)]
-            for p in self._procs:
-                p.start()
+            for _ in range(self.workers):
+                self._spawn_worker()
             logger.debug("pipeline engine: started %d workers (%s)",
                          self.workers, self._ctx.get_start_method())
 
+    def _kill_workers(self) -> None:
+        """Forceful teardown: terminate the pool and drop its queues.
+
+        Used when the queues can no longer be trusted (a worker died,
+        or the sweep is aborting) -- no STOP sentinel is sent, because
+        a worker that died inside a queue operation may have left the
+        queue's lock held, wedging any peer that tries to drain it.
+        """
+        for p in self._workers_map.values():
+            if p.is_alive():
+                p.terminate()
+        for p in self._workers_map.values():
+            p.join(timeout=5.0)
+        for q in (self._task_q, self._result_q):
+            if q is not None:
+                q.cancel_join_thread()
+                q.close()
+        self._workers_map = {}
+        self._task_q = self._result_q = None
+
+    def _rebuild_pool(self) -> None:
+        """Restart every worker on fresh queues.
+
+        A worker that died (or was terminated) may have held a queue
+        lock -- multiprocessing queues are poisoned by a death mid-get
+        or mid-put -- so respawning a replacement onto the old queues
+        can deadlock it.  Tearing down the whole pool and its queues is
+        the only reliably safe recovery; batches are idempotent, so the
+        caller simply resubmits everything still outstanding.
+        """
+        self._kill_workers()
+        self._task_q = self._ctx.Queue()
+        self._result_q = self._ctx.Queue()
+        for _ in range(self.workers):
+            self._spawn_worker()
+
     def _stop_workers(self) -> None:
-        if not self._procs:
+        if not self._workers_map:
             return
-        for _ in self._procs:
+        for _ in self._workers_map:
             try:
                 self._task_q.put((STOP,))
             except Exception:  # pragma: no cover - queue already broken
                 pass
-        for p in self._procs:
+        for p in self._workers_map.values():
             p.join(timeout=5.0)
-            if p.is_alive():  # pragma: no cover - defensive
+            if p.is_alive():
                 p.terminate()
                 p.join(timeout=5.0)
         for q in (self._task_q, self._result_q):
             if q is not None:
                 q.close()
-        self._procs = []
+        self._workers_map = {}
         self._task_q = self._result_q = None
 
     def close(self) -> None:
@@ -228,6 +355,7 @@ class PipelineEngine(ForceEngine):
 
     # -- evaluation ----------------------------------------------------
     def evaluate(self, backend, spec, *, tracer=None, metrics=None):
+        import queue as _queue
         tr = as_tracer(tracer)
         self._ensure_pool(backend)
         caps = backend.capabilities()
@@ -262,48 +390,202 @@ class PipelineEngine(ForceEngine):
         n_shards = min(s_count, self.workers * self.shards_per_worker)
         shard_size = -(-s_count // n_shards) if n_shards else 0
         shard_blocks = []
+        shard_by_name: Dict[str, object] = {}
         lists_parts: List[InteractionLists] = []
-        outstanding: Dict[int, int] = {}
+        #: batch_id -> base task message (kept until completion so the
+        #: batch can be resubmitted or evaluated inline)
+        pending_task: Dict[int, tuple] = {}
+        attempts: Dict[int, int] = {}
+        #: batch_id -> (worker_id, start wall time) from "start" msgs
+        started: Dict[int, Tuple[int, float]] = {}
+        outstanding: Set[int] = set()
+        fault_counts: Dict[str, int] = {}
         next_batch = 0
         n_batches = 0
         t_traverse = 0.0
+        t_fallback = 0.0
         busy_by_worker: Dict[int, float] = {}
         tasks_by_worker: Dict[int, int] = {}
         stats_total: Dict[str, float] = {}
-        errors: List[str] = []
+        last_check = time.perf_counter()
 
-        def _drain(block: bool) -> None:
-            """Collect completed batches; optionally wait for one."""
-            import queue as _queue
+        def _fault_event(kind: str, **attrs) -> None:
+            fault_counts[kind] = fault_counts.get(kind, 0) + 1
+            tr.record("exec.fault", 0.0, kind=kind, **attrs)
+            if metrics is not None:
+                metrics.counter(f"exec.fault.{kind}",
+                                _FAULT_HELP.get(kind, "")).inc()
+            logger.warning("pipeline sweep %d: fault %s %s", sweep_id,
+                           kind, attrs)
+
+        def _submit(bid: int) -> None:
+            self._task_q.put(pending_task[bid] + (attempts[bid],))
+
+        def _complete(bid: int) -> None:
+            outstanding.discard(bid)
+            pending_task.pop(bid, None)
+            attempts.pop(bid, None)
+            started.pop(bid, None)
+
+        def _serial_fallback(bid: int) -> None:
+            """Last rung: evaluate the batch in-process through the
+            parent's backend (identical arithmetic, so the sweep stays
+            bit-identical to the serial engine)."""
+            nonlocal t_fallback
+            task = pending_task[bid]
+            _, _, _, _, shard_meta, a0, g0, g1 = task
+            shard = shard_by_name[shard_meta[0]]
+            _fault_event("serial_fallbacks", batch=bid)
+            k0 = time.perf_counter()
+            # domain already announced on the parent backend by the
+            # driver (TreeCode.set_domain precedes the sweep)
+            _run_batch(backend, sweep_block, shard, a0, g0, g1, False)
+            t_fallback += time.perf_counter() - k0
+            _complete(bid)
+
+        def _retry(bid: int, reason: str, error: str = "",
+                   backoff: bool = True) -> None:
+            if bid not in outstanding:
+                return
+            started.pop(bid, None)
+            attempts[bid] += 1
+            if attempts[bid] > self.max_retries:
+                if self.degrade:
+                    _serial_fallback(bid)
+                    return
+                raise EngineError(
+                    f"batch {bid} failed after {self.max_retries} "
+                    f"retries ({reason})"
+                    + (f":\n{error}" if error else ""))
+            _fault_event("batch_retries", batch=bid, reason=reason,
+                         attempt=attempts[bid])
+            if backoff and self.retry_backoff:
+                time.sleep(self.retry_backoff * attempts[bid])
+            _submit(bid)
+
+        def _heal(bad_wids: Set[int], reason: str) -> None:
+            """Worker-loss recovery: rebuild the whole pool.
+
+            A worker that died (or was declared hung) may have held a
+            queue lock or an unflushed message, so the shared queues
+            cannot be trusted -- the pool restarts on fresh queues and
+            *every* outstanding batch is resubmitted as a counted
+            attempt.  A batch the lost worker consumed without
+            announcing is indistinguishable from a queued one, and the
+            attempt bump is what keeps a deterministic ``attempt=0``
+            fault from re-firing forever in the fresh workers.
+            """
+            self._rebuild_pool()
+            _fault_event("respawns", reason=reason,
+                         workers=len(bad_wids))
+            started.clear()
+            for bid in sorted(outstanding):
+                _retry(bid, reason, backoff=False)
+
+        def _check_liveness() -> None:
+            dead = {wid: p for wid, p in self._workers_map.items()
+                    if not p.is_alive()}
+            if not dead:
+                return
+            for wid, p in dead.items():
+                p.join(timeout=0.1)
+                _fault_event("worker_deaths", worker=wid,
+                             exitcode=p.exitcode)
+            if not self.self_healing:
+                p = next(iter(dead.values()))
+                raise EngineError(
+                    f"worker {p.name} died (exit {p.exitcode}); "
+                    "sweep aborted")
+            _heal(set(dead), "worker_crash")
+
+        def _check_timeouts() -> None:
+            if self.batch_timeout is None:
+                return
+            now = time.perf_counter()
+            hung = {w for bid, (w, t0) in started.items()
+                    if now - t0 > self.batch_timeout}
+            if not hung:
+                return
+            for wid in hung:
+                _fault_event("timeouts", worker=wid)
+            if not self.self_healing:
+                raise EngineError(
+                    f"batch exceeded batch_timeout="
+                    f"{self.batch_timeout}s on worker "
+                    f"{sorted(hung)[0]}")
+            _heal(hung, "timeout")
+
+        def _checks() -> None:
+            nonlocal last_check
+            last_check = time.perf_counter()
+            _check_liveness()
+            _check_timeouts()
+
+        def _handle(msg) -> None:
+            kind = msg[0]
+            if kind == "start":
+                _, bid, wid, sid = msg
+                if sid == sweep_id and bid in outstanding:
+                    started[bid] = (wid, time.perf_counter())
+                return
+            if kind == "done":
+                _, bid, wid, sid, delta, busy, _ns, crc = msg
+                if sid != sweep_id or bid not in outstanding:
+                    return  # stale or duplicate: stats dropped too
+                task = pending_task[bid]
+                if crc != batch_checksum(sweep_block, task[6], task[7]):
+                    _fault_event("corrupt_batches", batch=bid,
+                                 worker=wid)
+                    if not self.self_healing:
+                        raise EngineError(
+                            f"batch {bid} failed its result checksum "
+                            f"(worker {wid})")
+                    _retry(bid, "corrupt_result")
+                    return
+                _complete(bid)
+                busy_by_worker[wid] = busy_by_worker.get(wid, 0.0) \
+                    + float(busy)
+                tasks_by_worker[wid] = tasks_by_worker.get(wid, 0) + 1
+                for k, v in delta.items():
+                    stats_total[k] = stats_total.get(k, 0.0) + v
+                return
+            # "error"
+            _, bid, wid, sid, tb, transient = msg
+            if sid != sweep_id or bid not in outstanding:
+                return
+            _fault_event("transient_errors" if transient
+                         else "batch_errors", batch=bid, worker=wid)
+            if not self.self_healing:
+                raise EngineError("worker batch failed:\n" + tb)
+            _retry(bid, "transient_error" if transient
+                   else "worker_error", error=tb)
+
+        def _pump(block: bool) -> None:
+            """Collect results; optionally wait until one arrives.
+
+            Worker liveness and batch timeouts are checked on every
+            empty poll and at least every ``2 * POLL_SECONDS`` even
+            while results are flowing, so a dead or hung worker is
+            noticed promptly instead of the gather loop spinning on the
+            queue forever.
+            """
             while outstanding:
+                if time.perf_counter() - last_check > 2 * POLL_SECONDS:
+                    _checks()
                 try:
                     msg = self._result_q.get(
-                        timeout=1.0 if block else 0.0)
+                        timeout=POLL_SECONDS if block else 0.0)
                 except _queue.Empty:
                     if not block:
                         return
-                    for p in self._procs:
-                        if not p.is_alive():
-                            raise EngineError(
-                                f"worker {p.name} died (exit "
-                                f"{p.exitcode}); sweep aborted")
+                    _checks()
                     continue
-                if msg[0] == "done":
-                    _, batch_id, wid, delta, busy, _n = msg
-                    outstanding.pop(batch_id, None)
-                    busy_by_worker[wid] = busy_by_worker.get(wid, 0.0) \
-                        + float(busy)
-                    tasks_by_worker[wid] = tasks_by_worker.get(wid, 0) + 1
-                    for k, v in delta.items():
-                        stats_total[k] = stats_total.get(k, 0.0) + v
-                else:
-                    _, batch_id, wid, tb = msg
-                    outstanding.pop(batch_id, None)
-                    errors.append(tb)
+                _handle(msg)
                 if not block:
                     return
 
         try:
+            _checks()  # catch workers lost between sweeps up front
             for a in range(0, s_count, max(1, shard_size)):
                 b = min(a + shard_size, s_count)
                 t0 = time.perf_counter()
@@ -315,14 +597,17 @@ class PipelineEngine(ForceEngine):
                     "part_idx": lists.part_idx, "part_off": lists.part_off,
                 })
                 shard_blocks.append(shard_block)
+                shard_by_name[shard_block.meta[0]] = shard_block
                 for (u, v) in plan_batches(lists.list_lengths, cap_nj):
-                    batch_id = next_batch
+                    bid = next_batch
                     next_batch += 1
                     n_batches += 1
-                    outstanding[batch_id] = 1
-                    self._task_q.put(("batch", batch_id, sweep_id,
-                                      sweep_meta, shard_block.meta,
-                                      a, a + u, a + v))
+                    outstanding.add(bid)
+                    pending_task[bid] = ("batch", bid, sweep_id,
+                                         sweep_meta, shard_block.meta,
+                                         a, a + u, a + v)
+                    attempts[bid] = 0
+                    _submit(bid)
                     if metrics is not None:
                         metrics.histogram(
                             "exec.queue_depth",
@@ -330,25 +615,20 @@ class PipelineEngine(ForceEngine):
                             ).observe(len(outstanding))
                 # opportunistic, non-blocking collection keeps the
                 # result queue short while we keep traversing
-                _drain(block=False)
-            while outstanding:
-                _drain(block=True)
+                _pump(block=False)
+            _pump(block=True)
         except Exception:
-            # account for every batch before tearing the memory down, so
-            # no worker is left computing into an unlinked segment
-            try:
-                while outstanding:
-                    _drain(block=True)
-            except Exception:  # pragma: no cover - worker died
-                self._stop_workers()
+            # workers may still be computing into the shared segments;
+            # kill the pool before the memory goes away (the next sweep
+            # restarts it).  Forceful on purpose: a graceful STOP drain
+            # can hang on queues a dead worker left locked.
+            self._kill_workers()
             self._release(sweep_block, shard_blocks)
             raise
 
         acc = np.array(sweep_block["out_acc"])
         pot = np.array(sweep_block["out_pot"])
         self._release(sweep_block, shard_blocks)
-        if errors:
-            raise EngineError("worker batch failed:\n" + errors[0])
 
         backend.absorb_stats(stats_total)
         wall = time.perf_counter() - w0
@@ -371,16 +651,20 @@ class PipelineEngine(ForceEngine):
                     "worker busy seconds per sweep wall second "
                     "(effective concurrency)").set(overlap)
         logger.debug("pipeline sweep %d: sinks=%d batches=%d wall=%.3fs "
-                     "busy=%.3fs overlap=%.2f", sweep_id, s_count,
-                     n_batches, wall, busy_total, overlap)
+                     "busy=%.3fs overlap=%.2f faults=%s", sweep_id,
+                     s_count, n_batches, wall, busy_total, overlap,
+                     fault_counts or "none")
+        stats = {"workers": float(self.workers),
+                 "batches": float(n_batches),
+                 "busy_seconds": busy_total,
+                 "wall_seconds": wall,
+                 "overlap": overlap}
+        for k, v in fault_counts.items():
+            stats[f"fault.{k}"] = float(v)
         return EvalResult(
             acc=acc, pot=pot, lists=concatenate_lists(lists_parts),
-            traverse_seconds=t_traverse, kernel_seconds=busy_total,
-            stats={"workers": float(self.workers),
-                   "batches": float(n_batches),
-                   "busy_seconds": busy_total,
-                   "wall_seconds": wall,
-                   "overlap": overlap})
+            traverse_seconds=t_traverse,
+            kernel_seconds=busy_total + t_fallback, stats=stats)
 
     @staticmethod
     def _release(sweep_block, shard_blocks) -> None:

@@ -10,28 +10,46 @@ IPC per batch is a few hundred bytes regardless of problem size.
 
 Results are written straight into the shared output arrays (every sink
 owns a disjoint slice, so writes never race); the completion message
-carries the backend's performance-counter delta and the worker's busy
-time, which the parent folds back into its own backend and the
-observability layer.
+carries the backend's performance-counter delta, the worker's busy
+time, and a CRC of the written output slice -- the parent recomputes
+the CRC from shared memory, so corruption on the result path (or a
+torn write from a dying worker) is detected and the batch retried.
+Because every batch writes deterministic values to a disjoint slice,
+*duplicate* execution of a batch is harmless: the parent accepts the
+first completion and ignores the rest, which is what makes the
+engine's crash/timeout resubmission safe.
+
+A worker may also carry a :class:`~repro.faults.FaultInjector` built
+from the engine's fault plan; it is consulted once per batch and can
+crash the process, hang it, delay it, raise a transient error, or
+scribble on the output slice after its checksum was taken.
 """
 
 from __future__ import annotations
 
+import os
 import pickle
 import time
 import traceback
+import zlib
 from multiprocessing import shared_memory
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..core.traversal import InteractionLists
+from ..faults import FaultInjector, TransientBackendError
 from .plan import assemble_sources
 
-__all__ = ["worker_main", "ShmArrays", "create_shm", "open_shm"]
+__all__ = ["worker_main", "ShmArrays", "create_shm", "open_shm",
+           "batch_checksum"]
 
 #: task-queue sentinel telling a worker to exit
 STOP = "stop"
+
+#: process exit code of an injected worker crash (visible in the
+#: parent's ``exec.fault`` trace events)
+CRASH_EXIT_CODE = 23
 
 
 class ShmArrays:
@@ -106,6 +124,31 @@ def _lists_from(block: ShmArrays) -> InteractionLists:
         part_idx=block["part_idx"], part_off=block["part_off"])
 
 
+def batch_checksum(sweep: ShmArrays, g0: int, g1: int) -> int:
+    """CRC32 of the output rows owned by sinks ``[g0, g1)``.
+
+    Sinks are contiguous slices of the sorted particle arrays, so a
+    batch owns one contiguous row range; the checksum covers its
+    ``out_acc`` and ``out_pot`` bytes.  Computed by the worker after
+    writing and recomputed by the parent on completion -- a mismatch
+    means the result path corrupted the slice.
+    """
+    start, count = sweep["sink_start"], sweep["sink_count"]
+    r0 = int(start[g0])
+    r1 = int(start[g1 - 1]) + int(count[g1 - 1])
+    crc = zlib.crc32(sweep["out_acc"][r0:r1].tobytes())
+    return zlib.crc32(sweep["out_pot"][r0:r1].tobytes(), crc)
+
+
+def _scribble(sweep: ShmArrays, g0: int, g1: int) -> None:
+    """Corrupt the batch's output slice (the ``corrupt_result`` fault)."""
+    start, count = sweep["sink_start"], sweep["sink_count"]
+    r0 = int(start[g0])
+    r1 = int(start[g1 - 1]) + int(count[g1 - 1])
+    sweep["out_acc"][r0:r1] += 1.0
+    sweep["out_pot"][r0:r1] -= 1.0
+
+
 def _run_batch(backend, sweep: ShmArrays, shard: ShmArrays,
                a0: int, g0: int, g1: int, announce: bool) -> None:
     """Evaluate sinks ``[g0, g1)`` of one batch into the output arrays."""
@@ -129,19 +172,28 @@ def _run_batch(backend, sweep: ShmArrays, shard: ShmArrays,
 
 
 def worker_main(worker_id: int, factory_bytes: bytes,
-                task_queue, result_queue) -> None:
+                task_queue, result_queue,
+                fault_bytes: Optional[bytes] = None) -> None:
     """Worker entry point: build the private backend, drain tasks.
 
     Messages (see :class:`repro.exec.engine.PipelineEngine` for the
     parent side):
 
-    ``("batch", batch_id, sweep_id, sweep_meta, shard_meta, a0, g0, g1)``
+    ``("batch", batch_id, sweep_id, sweep_meta, shard_meta, a0, g0, g1,
+    attempt)``
         Evaluate sinks ``[g0, g1)`` (global ids; the shard's lists start
-        at sink ``a0``) and reply
-        ``("done", batch_id, worker_id, stats_delta, busy_s, n_sinks)``
-        or ``("error", batch_id, worker_id, traceback_text)``.
+        at sink ``a0``).  The worker first announces
+        ``("start", batch_id, worker_id, sweep_id)`` -- the parent's
+        assignment record for timeout and crash accounting -- then
+        replies ``("done", batch_id, worker_id, sweep_id, stats_delta,
+        busy_s, n_sinks, checksum)`` or ``("error", batch_id,
+        worker_id, sweep_id, traceback_text, transient)``.
     ``("stop",)``
         Close cached segments and exit.
+
+    ``fault_bytes`` is an optional pickled
+    :class:`~repro.faults.FaultPlan`; when given, the worker consults
+    a private :class:`~repro.faults.FaultInjector` once per batch.
     """
     # Workers only *attach* to segments the parent created and will
     # unlink; letting the worker-side resource tracker register them too
@@ -152,6 +204,10 @@ def worker_main(worker_id: int, factory_bytes: bytes,
     resource_tracker.register = lambda *a, **k: None
     fn, args, kwargs = pickle.loads(factory_bytes)
     backend = fn(*args, **kwargs)
+    injector: Optional[FaultInjector] = None
+    if fault_bytes is not None:
+        injector = FaultInjector(pickle.loads(fault_bytes),
+                                 worker=worker_id)
     sweep_cache: Dict[int, ShmArrays] = {}
     shard_cache: Dict[str, ShmArrays] = {}
     domain_announced: set = set()
@@ -169,8 +225,26 @@ def worker_main(worker_id: int, factory_bytes: bytes,
             msg = task_queue.get()
             if msg[0] == STOP:
                 break
-            _, batch_id, sweep_id, sweep_meta, shard_meta, a0, g0, g1 = msg
+            (_, batch_id, sweep_id, sweep_meta, shard_meta,
+             a0, g0, g1, attempt) = msg
+            result_queue.put(("start", batch_id, worker_id, sweep_id))
             try:
+                fault = (injector.batch_fault(sweep=sweep_id,
+                                              batch=batch_id,
+                                              attempt=attempt)
+                         if injector is not None else None)
+                if fault is not None and fault.kind == "worker_crash":
+                    os._exit(CRASH_EXIT_CODE)
+                if fault is not None and fault.kind == "worker_hang":
+                    time.sleep(fault.seconds
+                               if fault.seconds is not None else 30.0)
+                if fault is not None and fault.kind == "latency":
+                    time.sleep(fault.seconds
+                               if fault.seconds is not None else 0.05)
+                if fault is not None and fault.kind == "transient_error":
+                    raise TransientBackendError(
+                        f"injected transient error in batch {batch_id}")
+
                 if sweep_id not in sweep_cache:
                     # a new sweep supersedes everything cached
                     _drop_sweeps()
@@ -192,10 +266,16 @@ def worker_main(worker_id: int, factory_bytes: bytes,
                 delta = {k: stats1[k] - stats0.get(k, 0.0)
                          for k in stats1}
                 busy = time.perf_counter() - t0
-                result_queue.put(("done", batch_id, worker_id, delta,
-                                  busy, g1 - g0))
+                crc = batch_checksum(sweep, g0, g1)
+                if fault is not None and fault.kind == "corrupt_result":
+                    _scribble(sweep, g0, g1)
+                result_queue.put(("done", batch_id, worker_id, sweep_id,
+                                  delta, busy, g1 - g0, crc))
+            except TransientBackendError:
+                result_queue.put(("error", batch_id, worker_id, sweep_id,
+                                  traceback.format_exc(), True))
             except Exception:  # pragma: no cover - exercised via engine
-                result_queue.put(("error", batch_id, worker_id,
-                                  traceback.format_exc()))
+                result_queue.put(("error", batch_id, worker_id, sweep_id,
+                                  traceback.format_exc(), False))
     finally:
         _drop_sweeps()

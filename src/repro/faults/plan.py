@@ -1,0 +1,215 @@
+"""Deterministic, seedable fault plans.
+
+The paper's headline number rests on one uninterrupted 8.37-hour run,
+but real GRAPE deployments lived with flaky boards, dropped host-bus
+transfers and mid-run crashes -- the PC-GRAPE cluster line made
+host-side recovery a first-class concern.  A :class:`FaultPlan` is the
+reproducible stand-in for that flakiness: a list of :class:`FaultSpec`
+entries, each naming a *kind* of fault and the exact site where it
+fires (sweep, batch, worker, call index, retry attempt).  Plans are
+plain data -- picklable, JSON-serialisable, and shippable to worker
+processes -- so an injected failure is replayed bit-for-bit by anyone
+holding the same plan and seed.
+
+Fault kinds
+-----------
+``worker_crash``
+    The worker process exits hard (``os._exit``) while holding a batch.
+``worker_hang``
+    The worker sleeps for ``seconds`` (default 30) mid-batch,
+    exercising the engine's per-batch timeout.
+``latency``
+    The worker sleeps for ``seconds`` (default 0.05) and then proceeds
+    normally -- a slow batch, not a failure.
+``transient_error``
+    A retryable device error: batch-level when ``site`` is unset
+    (the worker reports the batch failed), call-level when ``site``
+    names a backend hook (``grape.compute``, ``g5.run``).
+``corrupt_result``
+    The worker's output slice is scribbled *after* its integrity
+    checksum was computed, modelling corruption on the result path.
+``checkpoint_truncate``
+    The just-written checkpoint file is truncated, exercising the
+    last-good-pointer fallback.
+
+Selectors are exact-match when set and wildcards when ``None``;
+``attempt`` defaults to 0 so a fault fires on the first execution of a
+batch and *not* on its retries (set ``attempt`` to ``None`` -- ``any``
+in the DSL -- for a persistent fault).  ``count`` bounds firings per
+process; ``prob`` makes firing probabilistic but still deterministic,
+via a hash of ``(seed, spec index, site key)``.
+
+Plans parse from three sources (see :func:`parse_fault_plan`): a JSON
+document (``{"seed": 7, "faults": [{"kind": "worker_crash", ...}]}``),
+a path to such a document, or the compact CLI DSL::
+
+    worker_crash@batch=1;transient_error@site=grape.compute,call=2,count=3
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+__all__ = ["FAULT_KINDS", "FaultSpec", "FaultPlan", "parse_fault_plan",
+           "as_fault_plan"]
+
+FAULT_KINDS = frozenset({
+    "worker_crash", "worker_hang", "latency", "transient_error",
+    "corrupt_result", "checkpoint_truncate",
+})
+
+#: spec fields holding integer selectors (``None`` = wildcard)
+_INT_SELECTORS = ("sweep", "batch", "worker", "call", "step")
+
+
+@dataclass
+class FaultSpec:
+    """One injectable fault: a kind plus the selectors naming its site."""
+
+    kind: str
+    #: call-site hook name for backend-level faults (``grape.compute``,
+    #: ``g5.run``); ``None`` for batch/checkpoint-level faults
+    site: Optional[str] = None
+    sweep: Optional[int] = None
+    batch: Optional[int] = None
+    worker: Optional[int] = None
+    #: backend call index (fires once ``call_index >= call``)
+    call: Optional[int] = None
+    #: simulation step (checkpoint faults)
+    step: Optional[int] = None
+    #: batch resubmission attempt this fault fires on (0 = first try,
+    #: ``None`` = every attempt)
+    attempt: Optional[int] = 0
+    #: maximum firings per process
+    count: int = 1
+    #: probabilistic firing (deterministic under the plan seed)
+    prob: Optional[float] = None
+    #: duration of hang/latency faults
+    seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (choose from "
+                f"{', '.join(sorted(FAULT_KINDS))})")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+        if self.prob is not None and not 0.0 <= self.prob <= 1.0:
+            raise ValueError("prob must be in [0, 1]")
+        if self.seconds is not None and self.seconds < 0:
+            raise ValueError("seconds must be non-negative")
+
+    def to_dict(self) -> Dict[str, object]:
+        """Dict form with default-valued fields omitted."""
+        d = asdict(self)
+        return {k: v for k, v in d.items()
+                if not (v is None and k != "attempt")
+                and not (k == "attempt" and v == 0)
+                and not (k == "count" and v == 1)}
+
+
+@dataclass
+class FaultPlan:
+    """A seedable list of faults; the unit shipped to every process."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "FaultPlan":
+        faults = doc.get("faults", [])
+        if not isinstance(faults, list):
+            raise ValueError("'faults' must be a list of fault objects")
+        specs = [f if isinstance(f, FaultSpec) else FaultSpec(**f)
+                 for f in faults]
+        return cls(specs=specs, seed=int(doc.get("seed", 0)))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        doc = json.loads(text)
+        if isinstance(doc, list):
+            doc = {"faults": doc}
+        return cls.from_dict(doc)
+
+    @classmethod
+    def from_dsl(cls, text: str, *, seed: int = 0) -> "FaultPlan":
+        """Parse the compact CLI form:
+        ``kind@key=val,key=val;kind2@...`` (``@...`` optional)."""
+        specs = []
+        for part in text.split(";"):
+            part = part.strip()
+            if not part:
+                continue
+            kind, _, rest = part.partition("@")
+            kwargs: Dict[str, object] = {}
+            for kv in filter(None, (s.strip() for s in rest.split(","))):
+                key, eq, val = kv.partition("=")
+                if not eq:
+                    raise ValueError(f"malformed fault selector {kv!r} "
+                                     f"(expected key=value)")
+                kwargs[key.strip()] = _parse_value(key.strip(),
+                                                   val.strip())
+            if kind.strip() == "seed":
+                raise ValueError("set the seed as seed=N inside a "
+                                 "selector list, e.g. latency@seed=7")
+            seed = int(kwargs.pop("seed", seed))
+            specs.append(FaultSpec(kind=kind.strip(), **kwargs))
+        return cls(specs=specs, seed=seed)
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"seed": self.seed,
+                "faults": [s.to_dict() for s in self.specs]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def _parse_value(key: str, val: str) -> object:
+    if key == "site":
+        return val
+    if val.lower() in ("any", "none", "*"):
+        return None
+    if key in ("prob", "seconds"):
+        return float(val)
+    return int(val)
+
+
+def parse_fault_plan(source: Union[str, Path]) -> FaultPlan:
+    """Parse a fault plan from a JSON file path, a JSON string, or the
+    compact DSL (in that order of recognition)."""
+    if isinstance(source, Path):
+        return FaultPlan.from_json(source.read_text())
+    text = str(source).strip()
+    p = Path(text)
+    try:
+        exists = p.exists() and p.is_file()
+    except OSError:  # pragma: no cover - e.g. name too long
+        exists = False
+    if exists:
+        return FaultPlan.from_json(p.read_text())
+    if text.startswith("{") or text.startswith("["):
+        return FaultPlan.from_json(text)
+    return FaultPlan.from_dsl(text)
+
+
+def as_fault_plan(obj: object) -> Optional[FaultPlan]:
+    """Normalise an optional plan argument: ``None`` stays ``None``;
+    strings/paths/dicts/lists are parsed."""
+    if obj is None or isinstance(obj, FaultPlan):
+        return obj
+    if isinstance(obj, dict):
+        return FaultPlan.from_dict(obj)
+    if isinstance(obj, list):
+        return FaultPlan.from_dict({"faults": obj})
+    return parse_fault_plan(obj)

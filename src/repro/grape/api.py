@@ -47,6 +47,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..faults import TransientBackendError
 from .system import Grape5System
 
 __all__ = [
@@ -78,7 +79,16 @@ class G5Context:
             ...
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, fault_injector: Optional[object] = None,
+                 max_retries: int = 2) -> None:
+        #: optional :class:`repro.faults.FaultInjector` consulted at the
+        #: ``g5.run`` site before every run (chaos testing)
+        self.fault_injector = fault_injector
+        #: transparent re-issues of a run after a
+        #: :class:`~repro.faults.TransientBackendError`
+        self.max_retries = int(max_retries)
+        #: runs that needed at least one retry to succeed (cumulative)
+        self.transient_retries: int = 0
         self.system: Optional[Grape5System] = None
         self.eps: float = 0.0
         self.nj: int = 0
@@ -184,8 +194,20 @@ class G5Context:
             raise G5Error("g5_set_xi() must precede g5_run()")
         if self.nj == 0:
             raise G5Error("no j-particles loaded (g5_set_xmj/g5_set_n)")
-        self.acc, self.pot = self.system.compute(
-            self.xi, self.xj[:self.nj], self.mj[:self.nj], self.eps)
+        attempt = 0
+        while True:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.maybe_raise("g5.run")
+                self.acc, self.pot = self.system.compute(
+                    self.xi, self.xj[:self.nj], self.mj[:self.nj],
+                    self.eps)
+                break
+            except TransientBackendError:
+                attempt += 1
+                self.transient_retries += 1
+                if attempt > self.max_retries:
+                    raise
         self.ran = True
 
     def get_force(self, ni: int, a: Optional[np.ndarray] = None,

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from ..core.kernels import BackendCaps, ForceBackend
+from ..faults import TransientBackendError
 from .board import ProcessorBoard
 from .numerics import G5Numerics, G5_NUMERICS
 from .timing import GrapeTimingModel, OPS_PER_INTERACTION
@@ -216,11 +217,35 @@ class GrapeBackend(ForceBackend):
     """
 
     system: Grape5System = field(default_factory=Grape5System)
+    #: optional :class:`repro.faults.FaultInjector` consulted at the
+    #: ``grape.compute`` site before every call (chaos testing)
+    fault_injector: Optional[object] = field(default=None, repr=False)
+    #: transparent re-issues of a force call after a
+    #: :class:`~repro.faults.TransientBackendError` -- the host-side
+    #: discipline for a flaky board or dropped bus transfer
+    max_retries: int = 2
+    #: calls that needed at least one retry to succeed (cumulative)
+    transient_retries: int = field(default=0, repr=False)
 
     name = "grape5"
 
     def compute(self, xi, xj, mj, eps):
-        return self.system.compute(xi, xj, mj, eps)
+        attempt = 0
+        while True:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.maybe_raise("grape.compute")
+                return self.system.compute(xi, xj, mj, eps)
+            except TransientBackendError:
+                attempt += 1
+                self.transient_retries += 1
+                m = self.system.metrics
+                if m is not None:
+                    m.counter("exec.fault.backend_retries",
+                              "force calls re-issued after a transient "
+                              "backend error").inc()
+                if attempt > self.max_retries:
+                    raise
 
     def capabilities(self) -> BackendCaps:
         """Batch planning data: the combined particle data memory is the

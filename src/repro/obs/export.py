@@ -38,7 +38,15 @@ RUN_SUMMARY_SCHEMA = "repro.run_summary/v1"
 
 
 def _roots(source: Union[Tracer, Iterable[Span]]) -> List[Span]:
-    return list(source.roots if isinstance(source, Tracer) else source)
+    if isinstance(source, Tracer):
+        return list(source.roots)
+    roots = getattr(source, "roots", None)
+    if roots is not None:
+        return list(roots)
+    try:
+        return list(source)
+    except TypeError:  # NULL_TRACER and friends: no spans recorded
+        return []
 
 
 # ---------------------------------------------------------------------------

@@ -13,7 +13,8 @@ Typical scaled version of the paper's run::
     print(sim.total_interactions, sim.mean_list_length)
 """
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import (CheckpointCorrupt, load_checkpoint, load_latest,
+                         save_checkpoint)
 from .diagnostics import (EnergyLedger, interaction_totals,
                           lagrangian_radii, virial_ratio)
 from .integrator import ComovingLeapfrog, LeapfrogKDK
@@ -24,7 +25,8 @@ from .models import (cold_lattice_sphere, hernquist_model, plummer_model,
 from .timestep import AccelerationTimestep, paper_schedule
 
 __all__ = [
-    "load_checkpoint", "save_checkpoint", "EnergyLedger", "interaction_totals", "lagrangian_radii",
+    "CheckpointCorrupt", "load_checkpoint", "load_latest",
+    "save_checkpoint", "EnergyLedger", "interaction_totals", "lagrangian_radii",
     "virial_ratio", "ComovingLeapfrog", "LeapfrogKDK", "Simulation",
     "StepRecord", "Snapshot", "load_snapshot", "save_snapshot", "slab",
     "AccelerationTimestep", "paper_schedule", "plummer_model",

@@ -131,6 +131,8 @@ class Simulation:
                                   metrics=self.metrics)
         self._mass_eff = self.G * self.mass
         self._integrator = LeapfrogKDK(force=self._eval)
+        #: checkpoint recoveries performed by :meth:`run` so far
+        self.fault_recoveries = 0
         if self.metrics is not None:
             self.metrics.gauge("sim.n_particles",
                                "particles in the run").set(n)
@@ -225,15 +227,106 @@ class Simulation:
 
     def run(self, dts: Sequence[float], *,
             callback: Optional[Callable[["Simulation", StepRecord], None]]
-            = None) -> List[StepRecord]:
-        """Advance through a whole step schedule."""
-        out = []
-        for dt in dts:
-            rec = self.step(float(dt))
+            = None,
+            checkpoint_path: Optional[object] = None,
+            checkpoint_every: int = 0,
+            resume_on_fault: bool = False,
+            max_recoveries: int = 3,
+            fault_injector: Optional[object] = None) -> List[StepRecord]:
+        """Advance through a whole step schedule.
+
+        With ``checkpoint_path`` and ``checkpoint_every > 0``, a rotated
+        checkpoint generation is written every that many steps.  With
+        ``resume_on_fault`` as well, a recoverable failure
+        (:class:`repro.exec.EngineError`,
+        :class:`repro.faults.TransientBackendError`) rolls the state
+        back to the newest intact generation and replays the remaining
+        schedule -- the leapfrog is deterministic, so the recovered run
+        finishes bit-identical to an uninterrupted one.  At most
+        ``max_recoveries`` recoveries are attempted; anything beyond
+        (or any failure with no checkpoint on disk) re-raises.
+
+        ``fault_injector`` is a chaos-testing hook: its
+        ``checkpoint_fault`` surface is consulted after every periodic
+        write and may damage the just-written generation (the
+        ``checkpoint_truncate`` fault kind), exercising the pointer
+        fallback.
+        """
+        from ..exec.engine import EngineError
+        from ..faults import TransientBackendError, corrupt_file
+        from .checkpoint import load_latest, save_checkpoint
+
+        dts = [float(dt) for dt in dts]
+        periodic = checkpoint_path is not None and checkpoint_every > 0
+        start_hist = len(self.history)
+        out: List[StepRecord] = []
+        recoveries = 0
+        while len(self.history) - start_hist < len(dts):
+            done = len(self.history) - start_hist
+            try:
+                rec = self.step(dts[done])
+            except (EngineError, TransientBackendError) as e:
+                if not (resume_on_fault and periodic
+                        and recoveries < max_recoveries):
+                    raise
+                from .checkpoint import CheckpointCorrupt
+                try:
+                    restored = load_latest(checkpoint_path,
+                                           force=self.force)
+                except CheckpointCorrupt:
+                    raise e
+                if len(restored.history) < start_hist:
+                    # stale file from some earlier run: rolling back
+                    # past this call's schedule start is not resumption
+                    raise
+                recoveries += 1
+                self.fault_recoveries = recoveries
+                logger.warning("step %d failed (%s: %s); recovering "
+                               "from checkpoint (%d/%d)", done + 1,
+                               type(e).__name__, e, recoveries,
+                               max_recoveries)
+                self.tracer.record("sim.recovery", 0.0,
+                                   error=type(e).__name__,
+                                   recoveries=recoveries)
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "sim.fault_recoveries",
+                        "run resumptions from a checkpoint").inc()
+                self._restore_from(restored)
+                # the restored history may pre-date steps already
+                # yielded; drop their records so ``out`` matches
+                out = out[:len(self.history) - start_hist]
+                continue
+            out.append(rec)
             if callback is not None:
                 callback(self, rec)
-            out.append(rec)
+            if periodic and (done + 1) % checkpoint_every == 0:
+                written = save_checkpoint(checkpoint_path, self,
+                                          rotate=True)
+                if fault_injector is not None:
+                    fault = fault_injector.checkpoint_fault(
+                        step=len(self.history))
+                    if fault is not None:
+                        off = corrupt_file(
+                            written, mode="truncate",
+                            seed=fault_injector.plan.seed)
+                        logger.warning("injected checkpoint fault: "
+                                       "truncated %s at byte %d",
+                                       written, off)
         return out
+
+    def _restore_from(self, other: "Simulation") -> None:
+        """Adopt another simulation's phase-space state and history
+        (checkpoint recovery); the force solver and engine are kept."""
+        self.pos = np.ascontiguousarray(other.pos, dtype=np.float64)
+        self.vel = np.ascontiguousarray(other.vel, dtype=np.float64)
+        self.mass = np.ascontiguousarray(other.mass, dtype=np.float64)
+        self.t = float(other.t)
+        self.history = list(other.history)
+        self._mass_eff = self.G * self.mass
+        # fresh integrator: the cached kick acceleration belongs to the
+        # abandoned trajectory
+        self._integrator = LeapfrogKDK(force=self._eval)
 
     def run_adaptive(self, t_end: float, policy, *,
                      max_steps: int = 100_000,

@@ -1,0 +1,101 @@
+"""Transient-error retry budgets in the GRAPE backend layers.
+
+A flaky board drops a transfer; the host re-issues the call.  Both the
+:class:`~repro.grape.system.GrapeBackend` adapter (site
+``grape.compute``) and the libg5-style :class:`~repro.grape.api.G5Context`
+(site ``g5.run``) hold a bounded retry budget and surface the retry
+count; the computed forces are unaffected because the retried call is
+identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import (FaultInjector, FaultPlan, FaultSpec,
+                          TransientBackendError)
+from repro.grape import GrapeBackend
+from repro.grape.api import G5Context
+from repro.obs import MetricsRegistry
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture
+def call_args():
+    rng = np.random.default_rng(7)
+    xi = rng.normal(size=(16, 3))
+    xj = rng.normal(size=(64, 3))
+    mj = np.full(64, 1.0 / 64)
+    return xi, xj, mj
+
+
+def _injector(n_failures, site):
+    plan = FaultPlan([FaultSpec("transient_error", site=site,
+                                count=n_failures)])
+    return FaultInjector(plan)
+
+
+class TestGrapeBackendRetry:
+    def test_transient_errors_are_retried(self, call_args):
+        xi, xj, mj = call_args
+        clean = GrapeBackend().compute(xi, xj, mj, 0.01)
+        be = GrapeBackend(fault_injector=_injector(2, "grape.compute"),
+                          max_retries=2)
+        reg = MetricsRegistry()
+        be.bind_metrics(reg)
+        acc, pot = be.compute(xi, xj, mj, 0.01)
+        assert np.array_equal(acc, clean[0])
+        assert np.array_equal(pot, clean[1])
+        assert be.transient_retries == 2
+        assert reg.value("exec.fault.backend_retries") == 2
+
+    def test_budget_exhaustion_raises(self, call_args):
+        xi, xj, mj = call_args
+        be = GrapeBackend(fault_injector=_injector(99, "grape.compute"),
+                          max_retries=2)
+        with pytest.raises(TransientBackendError):
+            be.compute(xi, xj, mj, 0.01)
+        assert be.transient_retries == 3  # initial try + 2 retries
+
+    def test_stats_not_double_counted_across_retries(self, call_args):
+        """The injection site precedes the device call, so a retried
+        call charges the timing model exactly once."""
+        xi, xj, mj = call_args
+        be = GrapeBackend(fault_injector=_injector(1, "grape.compute"),
+                          max_retries=2)
+        be.compute(xi, xj, mj, 0.01)
+        ref = GrapeBackend()
+        ref.compute(xi, xj, mj, 0.01)
+        assert be.system.n_calls == ref.system.n_calls
+        assert be.system.interactions == ref.system.interactions
+
+
+class TestG5ContextRetry:
+    def _staged(self, call_args, **kwargs):
+        xi, xj, mj = call_args
+        ctx = G5Context(**kwargs).open()
+        ctx.set_eps_to_all(0.01)
+        ctx.set_xmj(0, xj.shape[0], xj, mj)
+        ctx.set_xi(xi.shape[0], xi)
+        return ctx, xi
+
+    def test_run_retries_transparently(self, call_args):
+        ctx0, xi = self._staged(call_args)
+        ctx0.run()
+        clean = ctx0.get_force(xi.shape[0])
+        ctx, xi = self._staged(call_args,
+                               fault_injector=_injector(1, "g5.run"),
+                               max_retries=2)
+        ctx.run()
+        acc, pot = ctx.get_force(xi.shape[0])
+        assert np.array_equal(acc, clean[0])
+        assert np.array_equal(pot, clean[1])
+        assert ctx.transient_retries == 1
+
+    def test_run_budget_exhaustion_raises(self, call_args):
+        ctx, _ = self._staged(call_args,
+                              fault_injector=_injector(99, "g5.run"),
+                              max_retries=1)
+        with pytest.raises(TransientBackendError):
+            ctx.run()
+        assert ctx.transient_retries == 2

@@ -1,0 +1,161 @@
+"""Fault-plan parsing and injector semantics.
+
+The chaos harness is only as trustworthy as its determinism: the same
+plan + seed must fire the same faults at the same sites every run, in
+every process.
+"""
+
+import json
+
+import pytest
+
+from repro.faults import (FAULT_KINDS, FaultInjector, FaultPlan,
+                          FaultSpec, TransientBackendError, as_fault_plan,
+                          corrupt_file, parse_fault_plan)
+
+
+class TestParsing:
+    def test_dsl_roundtrip(self):
+        plan = parse_fault_plan(
+            "worker_crash@batch=1;"
+            "transient_error@site=grape.compute,call=2,count=3;"
+            "latency@prob=0.25,seconds=0.01,seed=7")
+        assert len(plan) == 3
+        assert plan.seed == 7
+        crash, trans, lat = plan.specs
+        assert crash.kind == "worker_crash" and crash.batch == 1
+        assert trans.site == "grape.compute" and trans.call == 2
+        assert trans.count == 3
+        assert lat.prob == 0.25 and lat.seconds == 0.01
+        again = FaultPlan.from_json(plan.to_json())
+        assert again.to_dict() == plan.to_dict()
+
+    def test_json_and_file_sources(self, tmp_path):
+        doc = {"seed": 11, "faults": [{"kind": "worker_hang",
+                                       "worker": 0, "seconds": 2.0}]}
+        from_text = parse_fault_plan(json.dumps(doc))
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(doc))
+        from_file = parse_fault_plan(str(path))
+        from_path = parse_fault_plan(path)
+        for plan in (from_text, from_file, from_path):
+            assert plan.seed == 11
+            assert plan.specs[0].kind == "worker_hang"
+            assert plan.specs[0].worker == 0
+
+    def test_as_fault_plan_normalises(self):
+        assert as_fault_plan(None) is None
+        plan = FaultPlan([FaultSpec("latency")])
+        assert as_fault_plan(plan) is plan
+        from_list = as_fault_plan([{"kind": "latency"}])
+        assert from_list.specs[0].kind == "latency"
+        from_dict = as_fault_plan({"seed": 3,
+                                   "faults": [{"kind": "latency"}]})
+        assert from_dict.seed == 3
+
+    def test_wildcard_selectors(self):
+        spec = parse_fault_plan("worker_crash@batch=any,worker=*"
+                                ).specs[0]
+        assert spec.batch is None and spec.worker is None
+        # attempt defaults to 0 (first execution only) unless widened
+        assert spec.attempt == 0
+        persistent = parse_fault_plan(
+            "transient_error@attempt=any").specs[0]
+        assert persistent.attempt is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("meteor_strike")
+        with pytest.raises(ValueError):
+            FaultSpec("latency", count=0)
+        with pytest.raises(ValueError):
+            FaultSpec("latency", prob=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec("latency", seconds=-1.0)
+        with pytest.raises(ValueError):
+            parse_fault_plan("worker_crash@batch")
+        assert "worker_crash" in FAULT_KINDS
+
+
+class TestInjector:
+    def test_batch_selectors_and_count(self):
+        plan = FaultPlan([FaultSpec("worker_crash", batch=3, worker=1)])
+        right = FaultInjector(plan, worker=1)
+        wrong = FaultInjector(plan, worker=0)
+        assert wrong.batch_fault(sweep=0, batch=3) is None
+        assert right.batch_fault(sweep=0, batch=2) is None
+        fired = right.batch_fault(sweep=0, batch=3)
+        assert fired is not None and fired.kind == "worker_crash"
+        # count=1 consumed: never fires again in this process
+        assert right.batch_fault(sweep=0, batch=3) is None
+
+    def test_attempt_gating(self):
+        plan = FaultPlan([FaultSpec("transient_error", batch=0,
+                                    count=10)])
+        inj = FaultInjector(plan)
+        assert inj.batch_fault(sweep=0, batch=0, attempt=0) is not None
+        # default attempt=0: a retry of the same batch is clean
+        assert inj.batch_fault(sweep=0, batch=0, attempt=1) is None
+
+    def test_site_hook_call_threshold(self):
+        plan = FaultPlan([FaultSpec("transient_error",
+                                    site="grape.compute", call=2)])
+        inj = FaultInjector(plan)
+        inj.maybe_raise("grape.compute")   # call 0
+        inj.maybe_raise("g5.run")          # other site, never fires
+        inj.maybe_raise("grape.compute")   # call 1
+        with pytest.raises(TransientBackendError):
+            inj.maybe_raise("grape.compute")  # call 2 >= threshold
+        inj.maybe_raise("grape.compute")   # count consumed
+
+    def test_probabilistic_firing_is_seed_deterministic(self):
+        plan = FaultPlan([FaultSpec("latency", prob=0.5, count=10**6)],
+                         seed=1234)
+        fires = [FaultInjector(plan).batch_fault(sweep=0, batch=b)
+                 is not None
+                 for b in range(200)]
+        again = [FaultInjector(plan).batch_fault(sweep=0, batch=b)
+                 is not None
+                 for b in range(200)]
+        assert fires == again
+        assert 20 < sum(fires) < 180  # actually probabilistic
+        other_seed = FaultPlan(plan.specs, seed=99)
+        differs = [FaultInjector(other_seed).batch_fault(sweep=0,
+                                                         batch=b)
+                   is not None for b in range(200)]
+        assert differs != fires
+
+    def test_checkpoint_fault_step_selector(self):
+        plan = FaultPlan([FaultSpec("checkpoint_truncate", step=4)])
+        inj = FaultInjector(plan)
+        assert inj.checkpoint_fault(step=2) is None
+        assert inj.checkpoint_fault(step=4) is not None
+        assert inj.checkpoint_fault(step=4) is None  # consumed
+
+
+class TestCorruptFile:
+    def test_truncate_is_deterministic(self, tmp_path):
+        p = tmp_path / "blob"
+        p.write_bytes(bytes(range(256)) * 8)
+        off1 = corrupt_file(p, mode="truncate", seed=5)
+        assert p.stat().st_size == off1
+        p.write_bytes(bytes(range(256)) * 8)
+        off2 = corrupt_file(p, mode="truncate", seed=5)
+        assert off1 == off2
+
+    def test_flip_changes_exactly_one_byte(self, tmp_path):
+        p = tmp_path / "blob"
+        original = bytes(range(256))
+        p.write_bytes(original)
+        off = corrupt_file(p, mode="flip", offset=10, xor=0xFF)
+        mutated = p.read_bytes()
+        assert off == 10
+        assert mutated[10] == original[10] ^ 0xFF
+        assert mutated[:10] == original[:10]
+        assert mutated[11:] == original[11:]
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        p = tmp_path / "blob"
+        p.write_bytes(b"x")
+        with pytest.raises(ValueError):
+            corrupt_file(p, mode="zap")

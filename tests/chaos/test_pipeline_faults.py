@@ -1,0 +1,191 @@
+"""Chaos tests for the self-healing pipeline engine.
+
+The acceptance criterion of the fault-tolerance work: a pipeline sweep
+with injected worker crashes / hangs / transient errors / result
+corruption still produces forces *bit-identical* to the serial path,
+and every recovery action is visible in the ``exec.fault.*`` counters
+and trace events.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import TreeCode
+from repro.exec import EngineError, PipelineEngine
+from repro.obs import MetricsRegistry, Tracer
+from repro.sim.models import plummer_model
+
+pytestmark = pytest.mark.chaos
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(42)
+    pos, _, mass = plummer_model(1200, rng)
+    return pos, mass
+
+
+@pytest.fixture(scope="module")
+def reference(cloud):
+    pos, mass = cloud
+    tc = TreeCode(theta=0.75, n_crit=64)
+    return tc.accelerations(pos, mass, 0.01)
+
+
+def _forces(pos, mass, engine, metrics=None, tracer=None):
+    tc = TreeCode(theta=0.75, n_crit=64, engine=engine,
+                  metrics=metrics, tracer=tracer)
+    return tc.accelerations(pos, mass, 0.01)
+
+
+#: (fault DSL, extra engine kwargs, counters that must be > 0)
+SCENARIOS = {
+    "crash": ("worker_crash@batch=1", {},
+              ("worker_deaths", "respawns", "batch_retries")),
+    "hang": ("worker_hang@batch=1,seconds=30",
+             {"batch_timeout": 0.5},
+             ("timeouts", "respawns", "batch_retries")),
+    "transient": ("transient_error@batch=0", {},
+                  ("transient_errors", "batch_retries")),
+    "corrupt": ("corrupt_result@batch=2", {},
+                ("corrupt_batches", "batch_retries")),
+}
+
+
+class TestRecoveryBitIdentity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_injected_fault_recovers_bit_identical(
+            self, cloud, reference, scenario, workers):
+        pos, mass = cloud
+        a0, p0 = reference
+        faults, kwargs, counters = SCENARIOS[scenario]
+        reg = MetricsRegistry()
+        with PipelineEngine(workers=workers, batch_nj=2048,
+                            faults=faults, **kwargs) as eng:
+            acc, pot = _forces(pos, mass, eng, metrics=reg)
+        assert np.array_equal(acc, a0)
+        assert np.array_equal(pot, p0)
+        for name in counters:
+            assert reg.value(f"exec.fault.{name}") >= 1, name
+
+    def test_fault_counts_exact_for_single_shot_faults(self, cloud,
+                                                       reference):
+        """A count=1 spec fires exactly once; duplicates of the
+        re-executed batch never double-count backend statistics."""
+        pos, mass = cloud
+        reg = MetricsRegistry()
+        with PipelineEngine(workers=2, batch_nj=2048,
+                            faults="transient_error@batch=1") as eng:
+            acc, _ = _forces(pos, mass, eng, metrics=reg)
+        assert np.array_equal(acc, reference[0])
+        assert reg.value("exec.fault.transient_errors") == 1
+        assert reg.value("exec.fault.batch_retries") == 1
+
+    def test_repeated_sweeps_after_crash(self, cloud, reference):
+        """The respawned pool keeps serving later sweeps correctly."""
+        pos, mass = cloud
+        with PipelineEngine(workers=2, batch_nj=2048,
+                            faults="worker_crash@batch=1") as eng:
+            first = _forces(pos, mass, eng)
+            second = _forces(pos, mass, eng)
+        assert np.array_equal(first[0], reference[0])
+        assert np.array_equal(second[0], reference[0])
+
+
+class TestDegradationLadder:
+    def test_retry_exhaustion_falls_back_to_serial(self, cloud,
+                                                   reference):
+        """A persistently failing batch (attempt=any) ends up evaluated
+        in-process -- still bit-identical."""
+        pos, mass = cloud
+        reg = MetricsRegistry()
+        with PipelineEngine(workers=2, batch_nj=2048, max_retries=1,
+                            faults="transient_error@batch=1,"
+                                   "attempt=any,count=99") as eng:
+            acc, pot = _forces(pos, mass, eng, metrics=reg)
+        assert np.array_equal(acc, reference[0])
+        assert np.array_equal(pot, reference[1])
+        assert reg.value("exec.fault.serial_fallbacks") == 1
+
+    def test_healing_disabled_raises_promptly(self, cloud):
+        """Satellite contract: with the ladder off, a dead worker is an
+        EngineError within the poll period -- not a hung gather loop."""
+        pos, mass = cloud
+        with PipelineEngine(workers=2, batch_nj=2048, max_retries=0,
+                            degrade=False,
+                            faults="worker_crash@batch=1") as eng:
+            t0 = time.perf_counter()
+            with pytest.raises(EngineError, match="died"):
+                _forces(pos, mass, eng)
+            assert time.perf_counter() - t0 < 5.0
+
+    def test_retries_exhausted_without_degrade_raises(self, cloud):
+        pos, mass = cloud
+        with PipelineEngine(workers=2, batch_nj=2048, max_retries=1,
+                            degrade=False,
+                            faults="transient_error@batch=1,"
+                                   "attempt=any,count=99") as eng:
+            with pytest.raises(EngineError, match="retries"):
+                _forces(pos, mass, eng)
+
+
+class TestIdleWorkerDeath:
+    def test_death_between_sweeps_is_healed(self, cloud, reference):
+        pos, mass = cloud
+        with PipelineEngine(workers=2, batch_nj=2048) as eng:
+            first = _forces(pos, mass, eng)
+            wid = next(iter(eng._workers_map))
+            eng._workers_map[wid].terminate()
+            eng._workers_map[wid].join(timeout=5.0)
+            second = _forces(pos, mass, eng)
+        assert np.array_equal(first[0], reference[0])
+        assert np.array_equal(second[0], reference[0])
+
+    def test_death_between_sweeps_raises_promptly_unhealed(self, cloud):
+        pos, mass = cloud
+        with PipelineEngine(workers=2, batch_nj=2048, max_retries=0,
+                            degrade=False) as eng:
+            _forces(pos, mass, eng)
+            wid = next(iter(eng._workers_map))
+            eng._workers_map[wid].terminate()
+            eng._workers_map[wid].join(timeout=5.0)
+            t0 = time.perf_counter()
+            with pytest.raises(EngineError, match="died"):
+                _forces(pos, mass, eng)
+            assert time.perf_counter() - t0 < 5.0
+
+
+class TestObservability:
+    def test_fault_events_appear_in_trace_and_stats(self, cloud):
+        pos, mass = cloud
+        tracer = Tracer()
+        with PipelineEngine(workers=2, batch_nj=2048,
+                            faults="worker_crash@batch=1") as eng:
+            tc = TreeCode(theta=0.75, n_crit=64, engine=eng,
+                          tracer=tracer)
+            tc.accelerations(pos, mass, 0.01)
+
+        def walk(spans):
+            for s in spans:
+                yield s
+                yield from walk(s.children)
+
+        events = [s for s in walk(tracer.roots) if s.name == "exec.fault"]
+        kinds = {s.attrs.get("kind") for s in events}
+        assert "worker_deaths" in kinds
+        assert "respawns" in kinds
+
+    def test_latency_fault_only_slows(self, cloud, reference):
+        """The latency kind is a perturbation, not a failure: no
+        recovery machinery runs, results stay identical."""
+        pos, mass = cloud
+        reg = MetricsRegistry()
+        with PipelineEngine(workers=2, batch_nj=2048,
+                            faults="latency@batch=0,seconds=0.2") as eng:
+            acc, _ = _forces(pos, mass, eng, metrics=reg)
+        assert np.array_equal(acc, reference[0])
+        assert reg.value("exec.fault.batch_retries") == 0
+        assert reg.value("exec.fault.worker_deaths") == 0

@@ -1,0 +1,139 @@
+"""Run-level self-healing: checkpoint rollback and schedule replay.
+
+``Simulation.run(..., resume_on_fault=True)`` must turn a mid-run
+recoverable failure into a rollback to the newest intact checkpoint
+generation plus a deterministic replay -- finishing with state
+bit-identical to an uninterrupted run, because the leapfrog is
+deterministic and the checkpoint stores the full phase space.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.direct import DirectSummation
+from repro.faults import (FaultInjector, FaultPlan, FaultSpec,
+                          TransientBackendError, corrupt_file)
+from repro.sim import Simulation
+from repro.sim.checkpoint import CheckpointCorrupt, load_latest
+
+pytestmark = pytest.mark.chaos
+
+N = 48
+DTS = [0.01] * 12
+
+
+class FlakyForce:
+    """Direct-summation solver that raises a transient error on chosen
+    force-call indices (1-based), then recovers."""
+
+    def __init__(self, fail_on=()):
+        self.inner = DirectSummation()
+        self.fail_on = set(fail_on)
+        self.calls = 0
+        self.last_stats = None
+
+    def accelerations(self, pos, mass, eps):
+        self.calls += 1
+        if self.calls in self.fail_on:
+            raise TransientBackendError(f"flaky call {self.calls}")
+        out = self.inner.accelerations(pos, mass, eps)
+        self.last_stats = getattr(self.inner, "last_stats", None)
+        return out
+
+
+def _phase_space(seed=3):
+    rng = np.random.default_rng(seed)
+    pos = rng.normal(size=(N, 3))
+    vel = 0.1 * rng.normal(size=(N, 3))
+    mass = np.full(N, 1.0 / N)
+    return pos, vel, mass
+
+
+def _sim(force):
+    pos, vel, mass = _phase_space()
+    return Simulation(pos=pos.copy(), vel=vel.copy(), mass=mass.copy(),
+                      eps=0.05, force=force, G=1.0)
+
+
+@pytest.fixture(scope="module")
+def clean_run():
+    sim = _sim(FlakyForce())
+    sim.run(DTS)
+    return sim
+
+
+class TestRecovery:
+    def test_recovered_run_is_bit_identical(self, clean_run, tmp_path):
+        sim = _sim(FlakyForce(fail_on={9}))
+        out = sim.run(DTS, checkpoint_path=tmp_path / "ck.npz",
+                      checkpoint_every=2, resume_on_fault=True)
+        assert sim.fault_recoveries == 1
+        assert np.array_equal(sim.pos, clean_run.pos)
+        assert np.array_equal(sim.vel, clean_run.vel)
+        assert sim.t == clean_run.t
+        assert len(out) == len(DTS)
+        assert [r.step for r in out] == [r.step for r in
+                                         clean_run.history]
+
+    def test_multiple_failures_multiple_recoveries(self, clean_run,
+                                                   tmp_path):
+        sim = _sim(FlakyForce(fail_on={6, 11}))
+        sim.run(DTS, checkpoint_path=tmp_path / "ck.npz",
+                checkpoint_every=2, resume_on_fault=True,
+                max_recoveries=3)
+        assert sim.fault_recoveries == 2
+        assert np.array_equal(sim.pos, clean_run.pos)
+
+    def test_without_resume_flag_reraises(self, tmp_path):
+        sim = _sim(FlakyForce(fail_on={5}))
+        with pytest.raises(TransientBackendError):
+            sim.run(DTS, checkpoint_path=tmp_path / "ck.npz",
+                    checkpoint_every=2)
+
+    def test_without_checkpointing_reraises(self):
+        sim = _sim(FlakyForce(fail_on={5}))
+        with pytest.raises(TransientBackendError):
+            sim.run(DTS, resume_on_fault=True)
+
+    def test_max_recoveries_bounds_the_loop(self, tmp_path):
+        # fail every call after the 6th: recovery can never progress
+        sim = _sim(FlakyForce(fail_on=set(range(6, 200))))
+        with pytest.raises(TransientBackendError):
+            sim.run(DTS, checkpoint_path=tmp_path / "ck.npz",
+                    checkpoint_every=2, resume_on_fault=True,
+                    max_recoveries=2)
+        assert sim.fault_recoveries == 2
+
+    def test_failure_before_any_checkpoint_reraises(self, tmp_path):
+        sim = _sim(FlakyForce(fail_on={2}))
+        with pytest.raises(TransientBackendError):
+            sim.run(DTS, checkpoint_path=tmp_path / "missing.npz",
+                    checkpoint_every=4, resume_on_fault=True)
+
+
+class TestInjectedCheckpointCorruption:
+    def test_checkpoint_truncate_fault_exercises_fallback(
+            self, clean_run, tmp_path):
+        """The checkpoint_truncate fault damages one generation; a
+        later recovery must skip it via the pointer digests and still
+        finish bit-identical."""
+        plan = FaultPlan([FaultSpec("checkpoint_truncate", step=8)])
+        sim = _sim(FlakyForce(fail_on={10}))
+        sim.run(DTS, checkpoint_path=tmp_path / "ck.npz",
+                checkpoint_every=2, resume_on_fault=True,
+                fault_injector=FaultInjector(plan))
+        assert sim.fault_recoveries == 1
+        assert np.array_equal(sim.pos, clean_run.pos)
+        assert np.array_equal(sim.vel, clean_run.vel)
+
+    def test_manually_corrupted_generation_is_skipped(self, clean_run,
+                                                      tmp_path):
+        ck = tmp_path / "ck.npz"
+        sim = _sim(FlakyForce())
+        sim.run(DTS[:8], checkpoint_path=ck, checkpoint_every=2)
+        corrupt_file(tmp_path / "ck.s000008.npz", mode="truncate")
+        restored = load_latest(ck, force=FlakyForce())
+        assert len(restored.history) == 6
+        corrupt_file(tmp_path / "ck.s000006.npz", mode="truncate")
+        with pytest.raises(CheckpointCorrupt):
+            load_latest(ck, force=FlakyForce())

@@ -133,3 +133,15 @@ class TestRunSummary:
         reg = MetricsRegistry()
         reg.counter("tree.interactions_total").inc(77)
         assert run_summary(reg)["interactions"] == 77
+
+    def test_null_tracer_yields_empty_phases(self, tmp_path):
+        """--json-summary without --trace/--profile hands the exporter
+        the shared no-op tracer; that must mean "no phases", not a
+        crash."""
+        from repro.obs.trace import NULL_TRACER
+        reg = MetricsRegistry()
+        reg.counter("sim.interactions_total").inc(5)
+        s = write_json_summary(tmp_path / "s.json", reg,
+                               tracer=NULL_TRACER)
+        assert s["phases"] == {}
+        assert s["interactions"] == 5
