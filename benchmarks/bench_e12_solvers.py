@@ -20,8 +20,7 @@ import numpy as np
 import pytest
 
 from conftest import emit
-from repro.cosmo import ZeldovichIC
-from repro.cosmo.ewald import EwaldCorrectionTable, PeriodicDirectSummation
+from repro.bench import register
 from repro.cosmo.periodic_tree import PeriodicTreeCode
 from repro.cosmo.pm import ParticleMesh
 from repro.perf.report import format_table
@@ -32,21 +31,14 @@ N_SIDE = 12   # 1728 particles
 
 @pytest.fixture(scope="module")
 def periodic_workload():
-    # clustered positions: Zel'dovich realisation wrapped into the box
-    # (pre-shell-crossing epoch, plus softening: an unsoftened
-    # shell-crossed workload is singular for every pairwise solver)
-    ic = ZeldovichIC(box=100.0, ngrid=N_SIDE, seed=12)
-    x, _ = ic.comoving(4.0)
-    pos = np.mod(x / 100.0, 1.0) * BOX
-    n = pos.shape[0]
-    mass = np.full(n, 1.0 / n)
-    eps = 0.25 * BOX / N_SIDE
-    table = EwaldCorrectionTable(BOX)
-    ref, _ = PeriodicDirectSummation(
-        box=BOX, table=table).accelerations(pos, mass, eps)
-    return pos, mass, eps, table, ref
+    # the clustered periodic realisation + Ewald-exact reference;
+    # shared with the standalone runner through repro.bench.workloads
+    from repro.bench import workloads
+    return workloads.periodic_workload()
 
 
+@register("e12_solvers", tier="fast", section="ext. (TreePM)",
+          summary="periodic solver shoot-out: Ewald/tree/PM")
 def test_e12_periodic_solvers(benchmark, periodic_workload, results_dir):
     pos, mass, eps, table, ref = periodic_workload
     scale = float(np.mean(np.linalg.norm(ref, axis=1)))

@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from conftest import emit
+from repro.bench import register
 from repro.core import TreeCode
 from repro.perf.model import (FittedListLength, PAPER_LIST_LENGTH, PAPER_N,
                               PAPER_NG, PerformanceModel)
@@ -29,6 +30,8 @@ from repro.perf.report import format_table
 NCRITS = (100, 200, 400, 800, 1600, 3200, 6400)
 
 
+@register("e3_optimal_ng", tier="fast", section="3",
+          summary="list-length law and the optimal group size n_g")
 def test_e3_optimal_group_size(benchmark, cosmo_snapshot, results_dir):
     pos, mass, eps = cosmo_snapshot
 

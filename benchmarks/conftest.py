@@ -2,10 +2,10 @@
 
 The benchmark harness reproduces the paper's tables and figures on a
 *scaled* workload (pure-Python traversal cannot run 2.9e13
-interactions); the session-scoped fixtures below build that workload
-once: a cosmological sphere, evolved a few steps so small-scale
-clustering (which drives the interaction-list statistics) has begun to
-develop, exactly like the paper's mid-run snapshots.
+interactions).  The workloads themselves live in
+:mod:`repro.bench.workloads` -- one cached implementation shared by
+this pytest entry point and by the standalone runner (``python -m
+repro bench run``); the fixtures below are thin delegating wrappers.
 
 Every benchmark writes its paper-vs-measured table to
 ``benchmarks/results/`` and prints it, so ``pytest benchmarks/
@@ -14,12 +14,9 @@ Every benchmark writes its paper-vs-measured table to
 
 from pathlib import Path
 
-import numpy as np
 import pytest
 
-from repro.core import TreeCode
-from repro.cosmo import SCDM, ZeldovichIC, carve_sphere
-from repro.sim import Simulation, paper_schedule
+from repro.bench import workloads
 
 RESULTS = Path(__file__).parent / "results"
 
@@ -38,28 +35,15 @@ def emit(results_dir: Path, name: str, text: str) -> None:
 
 @pytest.fixture(scope="session")
 def cosmo_snapshot():
-    """A clustered cosmological sphere: N ~ 11.5k, evolved z 24 -> 3.
-
-    Scaled stand-in for the paper's mid-run states; used by the
-    accuracy (E2), group-size (E3), headline (E5) and algorithm-
-    comparison (E7) benchmarks.
-    """
-    ic = ZeldovichIC(box=100.0, ngrid=28, seed=1999)
-    region = carve_sphere(ic, radius=50.0, z_init=24.0)
-    sim = Simulation.from_sphere(
-        region, force=TreeCode(theta=0.75, n_crit=256))
-    sim.t = SCDM.age(24.0)
-    sim.run(paper_schedule(SCDM, 24.0, 3.0, 12, spacing="loga"))
-    return sim.pos.copy(), sim.mass.copy(), sim.eps
+    """A clustered cosmological sphere: N ~ 11.5k, evolved z 24 -> 3
+    (see :func:`repro.bench.workloads.cosmo_snapshot`)."""
+    return workloads.cosmo_snapshot()
 
 
 @pytest.fixture(scope="session")
 def plummer_snapshot():
     """An isolated Plummer sphere, N = 4096 (E2 accuracy workload)."""
-    from repro.sim.models import plummer_model
-    rng = np.random.default_rng(4096)
-    pos, _, mass = plummer_model(4096, rng)
-    return pos, mass, 0.01
+    return workloads.plummer_snapshot()
 
 
 @pytest.fixture(scope="session")
@@ -67,17 +51,4 @@ def evolved_sphere_z0():
     """The figure-4 run: N ~ 7200 sphere evolved z = 24 -> 0 on the
     emulated GRAPE.  Shared by E6 (the slab/correlation figures) and
     E11 (the halo catalogue)."""
-    from repro.grape import GrapeBackend
-    from repro.sim import Simulation
-
-    ic = ZeldovichIC(box=100.0, ngrid=24, seed=1999)
-    region = carve_sphere(ic, radius=50.0, z_init=24.0)
-    backend = GrapeBackend()
-    sim = Simulation.from_sphere(
-        region, force=TreeCode(theta=0.75, n_crit=256, backend=backend))
-    sim.t = SCDM.age(24.0)
-    # log-a spacing: with only 60 steps (vs the paper's 999) the
-    # uniform-in-t plan under-resolves the early expansion (the first
-    # step would be ~2x the initial age) -- see repro.sim.timestep
-    sim.run(paper_schedule(SCDM, 24.0, 0.0, 60, spacing="loga"))
-    return sim, backend
+    return workloads.evolved_sphere_z0()

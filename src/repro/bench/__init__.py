@@ -1,0 +1,56 @@
+"""repro.bench -- the unified benchmark harness.
+
+The paper's headline claim is a *measured* one (2.90e13 interactions
+in 30,141 s, 36.4 Gflops raw, $7.0/Mflops), so this repository treats
+measurements as reproducible artifacts rather than console printouts.
+``repro.bench`` provides:
+
+``repro.bench.registry``
+    A declarative registry.  Each experiment in ``benchmarks/`` is
+    declared with :func:`register` (``@register("e5_headline",
+    tier="fast", ...)``) and discovered by importing the
+    ``bench_e*.py`` suite; the decorated functions stay ordinary
+    pytest tests, so ``pytest benchmarks/`` keeps working unchanged.
+``repro.bench.runner``
+    One runner for every experiment: warmup/repeat control, robust
+    statistics (median + IQR over rounds), per-benchmark status, and
+    opt-in profiling (cProfile dump + top-N hot-path table +
+    ``repro.obs`` phase timers).
+``repro.bench.fingerprint``
+    The machine/commit fingerprint embedded in every result document.
+``repro.bench.schema``
+    The versioned JSON result schema (``repro.bench_result/v1``),
+    emitted as ``BENCH_PR4.json`` by default.
+``repro.bench.compare``
+    The regression gate: diff a run against a stored baseline and
+    fail past configurable thresholds.
+
+CLI::
+
+    python -m repro bench list
+    python -m repro bench run --tier fast --out BENCH_PR4.json
+    python -m repro bench run e5_headline --compare baseline
+    python -m repro bench compare BENCH_PR4.json benchmarks/baselines/fast.json
+    python -m repro bench report BENCH_PR4.json
+
+See ``docs/benchmarking.md`` for the full protocol, schema reference
+and baseline update policy.
+"""
+
+from .compare import ComparisonReport, Thresholds, compare_documents
+from .fingerprint import fingerprints_comparable, machine_fingerprint
+from .registry import (BenchmarkSpec, all_specs, discover, get_spec,
+                       register, select_specs)
+from .runner import BenchTimer, RunnerConfig, current_tracer, run_benchmarks
+from .schema import (SCHEMA_VERSION, SchemaError, load_document,
+                     validate_document, write_document)
+
+__all__ = [
+    "BenchmarkSpec", "register", "discover", "all_specs", "get_spec",
+    "select_specs",
+    "BenchTimer", "RunnerConfig", "run_benchmarks", "current_tracer",
+    "machine_fingerprint", "fingerprints_comparable",
+    "SCHEMA_VERSION", "SchemaError", "validate_document",
+    "load_document", "write_document",
+    "Thresholds", "ComparisonReport", "compare_documents",
+]

@@ -1,0 +1,215 @@
+"""The regression gate: diff a run against a stored baseline.
+
+Per benchmark id present in both documents, two families of checks:
+
+* **wall clock** (lower is better): the current median wall time must
+  not exceed ``baseline_median * Thresholds.wall_ratio``.  Rows where
+  both medians sit under ``Thresholds.wall_floor`` are exempt -- at
+  microsecond scale the ratio measures timer jitter, not the code.
+  Wall-clock numbers only transfer between runs of the same machine
+  class, so
+  when the two fingerprints are not comparable
+  (:func:`repro.bench.fingerprint.fingerprints_comparable`) a wall
+  violation is downgraded to a warning unless ``strict_machine`` is
+  set -- the baseline update policy in ``docs/benchmarking.md``
+  explains when to regenerate baselines instead;
+* **gated metrics** (higher is better): any numeric metric whose name
+  ends in ``_per_second`` or ``_gflops`` must not drop below
+  ``baseline * Thresholds.metric_ratio``.  These are scale-free (the
+  e5 model rows are machine-independent by construction), so they
+  gate hard on every machine.
+
+A benchmark that is ``ok`` in the baseline but ``failed``/``error``
+now is always a regression.  Ids only in the baseline produce
+warnings (coverage shrank); new ids are reported informationally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .fingerprint import fingerprints_comparable
+
+__all__ = ["Thresholds", "Finding", "ComparisonReport",
+           "compare_documents", "GATED_METRIC_SUFFIXES"]
+
+#: Metric-name suffixes treated as higher-is-better throughputs.
+GATED_METRIC_SUFFIXES = ("_per_second", "_gflops")
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """Regression thresholds (ratios against the baseline)."""
+
+    #: Fail when current median wall > baseline median * this.
+    wall_ratio: float = 1.5
+    #: Fail when a gated metric < baseline value * this.
+    metric_ratio: float = 0.7
+    #: Skip the wall gate when both medians sit under this many
+    #: seconds: ratios of microsecond-scale rows measure timer jitter,
+    #: not code (the metric gates still apply there).
+    wall_floor: float = 0.01
+    #: Enforce wall thresholds even across different machines.
+    strict_machine: bool = False
+
+    def __post_init__(self):
+        if self.wall_ratio <= 1.0:
+            raise ValueError("wall_ratio must exceed 1.0")
+        if not 0.0 < self.metric_ratio <= 1.0:
+            raise ValueError("metric_ratio must be in (0, 1]")
+        if self.wall_floor < 0.0:
+            raise ValueError("wall_floor must be >= 0")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One comparison outcome for one benchmark (or one metric)."""
+
+    id: str
+    kind: str        # wall | metric | status | coverage
+    severity: str    # regression | warning | info | ok
+    message: str
+    current: Optional[float] = None
+    baseline: Optional[float] = None
+    ratio: Optional[float] = None
+
+
+@dataclass
+class ComparisonReport:
+    """Everything ``repro bench compare`` decides and prints."""
+
+    findings: List[Finding] = field(default_factory=list)
+    machine_comparable: bool = True
+
+    @property
+    def regressions(self) -> List[Finding]:
+        """Findings that make the gate fail."""
+        return [f for f in self.findings if f.severity == "regression"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        """Non-fatal findings worth reading."""
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when the gate passes, 1 on any regression."""
+        return 1 if self.regressions else 0
+
+    def format(self) -> str:
+        """Human-readable gate report, worst findings first."""
+        order = {"regression": 0, "warning": 1, "info": 2, "ok": 3}
+        lines = []
+        if not self.machine_comparable:
+            lines.append("note: baseline recorded on a different "
+                         "machine -- wall-clock thresholds are "
+                         "advisory (see docs/benchmarking.md)")
+        for f in sorted(self.findings,
+                        key=lambda f: (order[f.severity], f.id)):
+            tag = {"regression": "FAIL", "warning": "warn",
+                   "info": "info", "ok": "ok  "}[f.severity]
+            lines.append(f"[{tag}] {f.id}: {f.message}")
+        n_reg = len(self.regressions)
+        lines.append(f"{n_reg} regression(s), "
+                     f"{len(self.warnings)} warning(s), "
+                     f"{len(self.findings)} finding(s) total")
+        return "\n".join(lines)
+
+
+def _rows_by_id(doc: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {r["id"]: r for r in doc["results"]}
+
+
+def _gated_metrics(row: Dict[str, Any]) -> Dict[str, float]:
+    out = {}
+    for name, value in row.get("metrics", {}).items():
+        if (isinstance(value, (int, float))
+                and not isinstance(value, bool)
+                and name.endswith(GATED_METRIC_SUFFIXES)):
+            out[name] = float(value)
+    return out
+
+
+def compare_documents(current: Dict[str, Any], baseline: Dict[str, Any],
+                      thresholds: Optional[Thresholds] = None
+                      ) -> ComparisonReport:
+    """Compare two validated result documents; never raises on content
+    differences -- every divergence becomes a :class:`Finding`."""
+    th = thresholds or Thresholds()
+    report = ComparisonReport()
+    report.machine_comparable = fingerprints_comparable(
+        current.get("fingerprint", {}), baseline.get("fingerprint", {}))
+    wall_enforced = report.machine_comparable or th.strict_machine
+
+    cur, base = _rows_by_id(current), _rows_by_id(baseline)
+    for id_ in sorted(base):
+        if id_ not in cur:
+            report.findings.append(Finding(
+                id=id_, kind="coverage", severity="warning",
+                message="present in baseline but missing from this run"))
+            continue
+        c, b = cur[id_], base[id_]
+
+        if b["status"] == "ok" and c["status"] != "ok":
+            report.findings.append(Finding(
+                id=id_, kind="status", severity="regression",
+                message=f"status {b['status']} -> {c['status']}"))
+            continue
+        if c["status"] != "ok":
+            report.findings.append(Finding(
+                id=id_, kind="status", severity="info",
+                message=f"status {c['status']} in both runs; skipped"))
+            continue
+
+        c_med = c["wall_seconds"]["median"]
+        b_med = b["wall_seconds"]["median"]
+        below_floor = (c_med < th.wall_floor and b_med < th.wall_floor)
+        if below_floor:
+            report.findings.append(Finding(
+                id=id_, kind="wall", severity="ok",
+                message=(f"median wall {c_med:.4g}s (below "
+                         f"{th.wall_floor:.3g}s noise floor; "
+                         f"ratio not gated)"),
+                current=c_med, baseline=b_med))
+        elif b_med > 0 and c_med > th.wall_ratio * b_med:
+            ratio = c_med / b_med
+            report.findings.append(Finding(
+                id=id_, kind="wall",
+                severity="regression" if wall_enforced else "warning",
+                message=(f"median wall {c_med:.4g}s vs baseline "
+                         f"{b_med:.4g}s ({ratio:.2f}x > "
+                         f"{th.wall_ratio:.2f}x threshold)"),
+                current=c_med, baseline=b_med, ratio=ratio))
+        else:
+            ratio = (c_med / b_med) if b_med > 0 else None
+            report.findings.append(Finding(
+                id=id_, kind="wall", severity="ok",
+                message=(f"median wall {c_med:.4g}s "
+                         f"({'%.2fx' % ratio if ratio else 'n/a'} "
+                         f"of baseline)"),
+                current=c_med, baseline=b_med, ratio=ratio))
+
+        b_metrics = _gated_metrics(b)
+        c_metrics = _gated_metrics(c)
+        for name, b_val in sorted(b_metrics.items()):
+            if name not in c_metrics:
+                report.findings.append(Finding(
+                    id=id_, kind="metric", severity="warning",
+                    message=f"gated metric {name} disappeared"))
+                continue
+            c_val = c_metrics[name]
+            if b_val > 0 and c_val < th.metric_ratio * b_val:
+                report.findings.append(Finding(
+                    id=id_, kind="metric", severity="regression",
+                    message=(f"{name} {c_val:.4g} vs baseline "
+                             f"{b_val:.4g} (dropped below "
+                             f"{th.metric_ratio:.2f}x)"),
+                    current=c_val, baseline=b_val,
+                    ratio=c_val / b_val if b_val else None))
+
+    for id_ in sorted(set(cur) - set(base)):
+        report.findings.append(Finding(
+            id=id_, kind="coverage", severity="info",
+            message="new benchmark (not in baseline)"))
+    return report

@@ -1,0 +1,88 @@
+"""The machine/commit fingerprint embedded in every result document.
+
+A benchmark number without its machine is not a measurement.  The
+fingerprint records where a run happened (host, platform, CPU count,
+interpreter and library versions) and what code ran (package version,
+git commit, dirty flag).  It is deliberately time-free: two calls on
+the same checkout of the same machine return the same dictionary, so
+documents can be compared field-by-field ("fingerprint stability").
+
+:func:`fingerprints_comparable` is the compare gate's notion of "same
+machine": wall-clock thresholds are only *enforced* between
+comparable fingerprints; across machines they downgrade to warnings
+(the scale-free model metrics still gate hard).
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import socket
+import subprocess
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["machine_fingerprint", "fingerprints_comparable",
+           "MACHINE_KEYS"]
+
+#: Fingerprint fields that must agree for two runs to be considered
+#: wall-clock comparable.
+MACHINE_KEYS = ("hostname", "machine", "cpu_count", "python")
+
+
+def _git(*argv: str) -> Optional[str]:
+    """One git query against the repo this package lives in (None when
+    git or the repository is unavailable -- e.g. an installed wheel)."""
+    repo = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(["git", "-C", str(repo), *argv],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if out.returncode != 0:
+        return None
+    return out.stdout.strip()
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """The machine + code identity of the current process.
+
+    Every field is deterministic for a fixed checkout on a fixed
+    machine; nothing here depends on wall-clock time.
+    """
+    import numpy
+
+    try:
+        import scipy
+        scipy_version: Optional[str] = scipy.__version__
+    except ImportError:  # pragma: no cover - scipy is a hard dep
+        scipy_version = None
+    try:
+        from repro import __version__ as repro_version
+    except ImportError:  # pragma: no cover
+        repro_version = None
+
+    status = _git("status", "--porcelain")
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+        "scipy": scipy_version,
+        "repro_version": repro_version,
+        "git_commit": _git("rev-parse", "HEAD"),
+        "git_dirty": bool(status) if status is not None else None,
+    }
+
+
+def fingerprints_comparable(a: Dict[str, object], b: Dict[str, object]
+                            ) -> bool:
+    """True when two fingerprints describe the same machine class.
+
+    Used by the compare gate to decide whether wall-clock thresholds
+    are enforceable (:data:`MACHINE_KEYS` must all agree).
+    """
+    return all(a.get(k) == b.get(k) for k in MACHINE_KEYS)

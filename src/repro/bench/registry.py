@@ -1,0 +1,198 @@
+"""The declarative benchmark registry.
+
+Every experiment in ``benchmarks/bench_e*.py`` declares itself with
+the :func:`register` decorator::
+
+    from repro.bench import register
+
+    @register("e5_headline", tier="fast", section="5",
+              summary="the section-5 headline accounting")
+    def test_e5_headline(benchmark, cosmo_snapshot, results_dir):
+        ...
+
+The decorator is transparent: it returns the function unchanged, so
+the benchmark files remain ordinary pytest suites (``pytest
+benchmarks/`` still collects and runs them with the real
+pytest-benchmark fixture).  The registry records, per benchmark:
+
+* a unique ``id`` and the ``experiment`` family it belongs to
+  (``e1`` .. ``e13``, derived from the id);
+* a ``tier`` -- ``"fast"`` runs in CI on every push, ``"slow"``
+  only in full local evaluations;
+* the function and the names of the workload fixtures it consumes
+  (taken from its signature; resolved by the runner against
+  :mod:`repro.bench.workloads`).
+
+:func:`discover` imports the suite directory (default:
+``<repo>/benchmarks``) so the decorators populate the registry.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import inspect
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["TIERS", "BenchmarkSpec", "register", "discover",
+           "all_specs", "get_spec", "select_specs", "suite_dir",
+           "clear_registry"]
+
+#: Valid benchmark tiers, cheapest first.
+TIERS = ("fast", "slow")
+
+_EXPERIMENT_RE = re.compile(r"^(e\d+)")
+
+#: The global id -> spec mapping populated by :func:`register`.
+_REGISTRY: Dict[str, "BenchmarkSpec"] = {}
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One registered benchmark: identity, tier and entry point."""
+
+    id: str
+    func: Callable
+    tier: str
+    section: str = ""
+    summary: str = ""
+    #: Fixture parameter names the runner must supply (signature order).
+    params: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def experiment(self) -> str:
+        """The experiment family (``e1`` .. ``e13``) this id belongs to."""
+        m = _EXPERIMENT_RE.match(self.id)
+        return m.group(1) if m else self.id
+
+    @property
+    def module(self) -> str:
+        """Module name the benchmark function was defined in."""
+        return self.func.__module__
+
+    def describe(self) -> Dict[str, str]:
+        """One row of ``repro bench list`` output."""
+        return {"id": self.id, "tier": self.tier,
+                "experiment": self.experiment,
+                "section": self.section or "-",
+                "summary": self.summary}
+
+
+def register(id: str, *, tier: str = "slow", section: str = "",
+             summary: str = "") -> Callable[[Callable], Callable]:
+    """Class-of-1999 decorator: declare a benchmark to the registry.
+
+    Returns the function unchanged so pytest collection is unaffected.
+    Registration is idempotent for the same (id, qualified name) --
+    re-importing a benchmark module (pytest and the runner may both
+    import it) must not raise -- but a second *different* function
+    claiming an existing id is a programming error.
+    """
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; expected one of {TIERS}")
+
+    def deco(func: Callable) -> Callable:
+        prev = _REGISTRY.get(id)
+        if prev is not None and prev.func.__qualname__ != func.__qualname__:
+            raise ValueError(
+                f"benchmark id {id!r} already registered by "
+                f"{prev.func.__qualname__}")
+        params = tuple(inspect.signature(func).parameters)
+        _REGISTRY[id] = BenchmarkSpec(id=id, func=func, tier=tier,
+                                      section=section, summary=summary,
+                                      params=params)
+        return func
+
+    return deco
+
+
+def clear_registry() -> None:
+    """Empty the registry (test isolation helper)."""
+    _REGISTRY.clear()
+
+
+def suite_dir() -> Path:
+    """The default benchmark-suite directory: ``<repo>/benchmarks``."""
+    return Path(__file__).resolve().parents[3] / "benchmarks"
+
+
+def discover(directory: Optional[Path] = None,
+             pattern: str = "bench_e*.py") -> List[str]:
+    """Import every benchmark module so its decorators register.
+
+    The suite directory is prepended to ``sys.path`` for the duration
+    (the modules import their shared ``conftest`` helpers by name).
+    Returns the sorted list of registered benchmark ids.
+    """
+    directory = Path(directory) if directory else suite_dir()
+    if not directory.is_dir():
+        raise FileNotFoundError(f"benchmark suite not found: {directory}")
+    path_entry = str(directory)
+    added = path_entry not in sys.path
+    if added:
+        sys.path.insert(0, path_entry)
+    try:
+        for mod_path in sorted(directory.glob(pattern)):
+            name = mod_path.stem
+            module = sys.modules.get(name)
+            if module is not None and getattr(
+                    module, "__file__", None) not in (None,
+                                                      str(mod_path)):
+                raise ImportError(
+                    f"module name collision for {name!r}: "
+                    f"{module.__file__} vs {mod_path}")
+            if module is None:
+                importlib.import_module(name)
+    finally:
+        if added:
+            sys.path.remove(path_entry)
+    return sorted(_REGISTRY)
+
+
+def all_specs() -> List[BenchmarkSpec]:
+    """Every registered spec, ordered by experiment number then id."""
+    def key(s: BenchmarkSpec):
+        m = _EXPERIMENT_RE.match(s.id)
+        return (int(m.group(1)[1:]) if m else 99, s.id)
+    return sorted(_REGISTRY.values(), key=key)
+
+
+def get_spec(id: str) -> BenchmarkSpec:
+    """Look one benchmark up by id (KeyError lists what exists)."""
+    try:
+        return _REGISTRY[id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(registry empty)"
+        raise KeyError(f"unknown benchmark {id!r}; known: {known}") from None
+
+
+def select_specs(ids: Sequence[str] = (), tier: Optional[str] = None
+                 ) -> List[BenchmarkSpec]:
+    """Resolve a CLI selection: explicit ids win; else filter by tier.
+
+    ``tier=None`` (or ``"full"``) selects everything.  Explicit ids may
+    also name an experiment family (``e5`` selects ``e5_headline`` and
+    ``e5_ratio_vs_ng``).
+    """
+    if ids:
+        out: List[BenchmarkSpec] = []
+        for ident in ids:
+            if ident in _REGISTRY:
+                out.append(_REGISTRY[ident])
+                continue
+            family = [s for s in all_specs() if s.experiment == ident]
+            if not family:
+                raise KeyError(get_spec(ident))  # raises with known ids
+            out.extend(family)
+        return out
+    specs = all_specs()
+    if tier in (None, "full"):
+        return specs
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; expected "
+                         f"{TIERS + ('full',)}")
+    return [s for s in specs if s.tier == tier]

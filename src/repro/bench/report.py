@@ -1,0 +1,64 @@
+"""Human-readable rendering of a benchmark result document.
+
+``repro bench report BENCH_PR4.json`` (and the tail of ``repro bench
+run``) print one table row per benchmark -- status, robust wall-time
+statistics, and the headline metrics the benchmark recorded -- plus
+the fingerprint line identifying where the numbers were taken.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..perf.report import format_table
+
+__all__ = ["format_document", "fingerprint_line"]
+
+#: Metrics surfaced in the summary table when a benchmark recorded
+#: them (the e5 headline quantities).
+_HEADLINE_METRICS = ("interactions_per_second", "effective_gflops",
+                     "usd_per_mflops")
+
+
+def fingerprint_line(doc: Dict[str, Any]) -> str:
+    """One-line machine/commit identity of a result document."""
+    fp = doc.get("fingerprint", {})
+    commit = (fp.get("git_commit") or "?")[:12]
+    dirty = "+dirty" if fp.get("git_dirty") else ""
+    return (f"{fp.get('hostname', '?')} | {fp.get('machine', '?')} "
+            f"x{fp.get('cpu_count', '?')} | "
+            f"python {fp.get('python', '?')} / "
+            f"numpy {fp.get('numpy', '?')} | "
+            f"repro {fp.get('repro_version', '?')} "
+            f"@ {commit}{dirty}")
+
+
+def format_document(doc: Dict[str, Any]) -> str:
+    """Render a validated result document as an aligned table."""
+    rows: List[Dict[str, Any]] = []
+    for r in doc["results"]:
+        w = r["wall_seconds"]
+        row: Dict[str, Any] = {
+            "id": r["id"],
+            "tier": r["tier"],
+            "status": r["status"],
+            "rounds": w["n_rounds"],
+            "median [s]": f"{w['median']:.4g}",
+            "iqr [s]": f"{w['iqr']:.2g}",
+        }
+        extras = []
+        for name in _HEADLINE_METRICS:
+            value = r["metrics"].get(name)
+            if isinstance(value, (int, float)):
+                extras.append(f"{name}={value:.4g}")
+        row["metrics"] = " ".join(extras) if extras else "-"
+        rows.append(row)
+    header = (f"schema {doc['schema']} | tier "
+              f"{doc['config'].get('tier', '?')}\n"
+              f"{fingerprint_line(doc)}\n")
+    counts: Dict[str, int] = {}
+    for r in doc["results"]:
+        counts[r["status"]] = counts.get(r["status"], 0) + 1
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    return (header + format_table(rows)
+            + f"\n{len(doc['results'])} benchmark(s): {summary or 'none'}")

@@ -1,0 +1,184 @@
+"""The versioned benchmark result schema (``repro.bench_result/v1``).
+
+One run of the harness emits one JSON document (``BENCH_PR4.json`` by
+default)::
+
+    {
+      "schema": "repro.bench_result/v1",
+      "fingerprint": { ... machine_fingerprint() ... },
+      "config": {"tier": "fast", "rounds": null, "warmup": 0,
+                 "profile": false},
+      "results": [
+        {
+          "id": "e5_headline",
+          "experiment": "e5",
+          "tier": "fast",
+          "status": "ok",            # ok | failed | error | skipped
+          "error": null,             # traceback summary when not ok
+          "wall_seconds": {
+            "rounds": [..],          # per-round seconds, chronological
+            "median": .., "iqr": .., "mean": ..,
+            "min": .., "max": .., "n_rounds": ..
+          },
+          "metrics": {"effective_gflops": 5.90, ...}  # benchmark-defined
+        }, ...
+      ]
+    }
+
+The document is self-describing (``schema`` key) and validated
+structurally by :func:`validate_document` -- a dependency-free check
+that every consumer (the compare gate, the report formatter, CI) runs
+before trusting a file.  Schema evolution policy: additive fields are
+allowed within ``v1``; renames or semantic changes bump the version.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["SCHEMA_VERSION", "STATUSES", "SchemaError", "wall_stats",
+           "make_document", "validate_document", "load_document",
+           "write_document"]
+
+#: The current document version tag.
+SCHEMA_VERSION = "repro.bench_result/v1"
+
+#: Valid per-benchmark statuses.
+STATUSES = ("ok", "failed", "error", "skipped")
+
+
+class SchemaError(ValueError):
+    """A document does not conform to ``repro.bench_result/v1``."""
+
+
+def wall_stats(rounds: Sequence[float]) -> Dict[str, Any]:
+    """Robust statistics over per-round wall times.
+
+    Median and IQR are the headline numbers (outlier-resistant on
+    shared machines); mean/min/max ride along for context.  An empty
+    round list (a benchmark that errored before timing) yields zeros.
+    """
+    xs = sorted(float(x) for x in rounds)
+    if not xs:
+        return {"rounds": [], "n_rounds": 0, "median": 0.0, "iqr": 0.0,
+                "mean": 0.0, "min": 0.0, "max": 0.0}
+
+    def quantile(q: float) -> float:
+        # linear interpolation between closest ranks
+        pos = q * (len(xs) - 1)
+        lo = math.floor(pos)
+        hi = math.ceil(pos)
+        return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+    return {
+        "rounds": [float(x) for x in rounds],
+        "n_rounds": len(xs),
+        "median": quantile(0.5),
+        "iqr": quantile(0.75) - quantile(0.25),
+        "mean": sum(xs) / len(xs),
+        "min": xs[0],
+        "max": xs[-1],
+    }
+
+
+def make_document(fingerprint: Dict[str, Any], config: Dict[str, Any],
+                  results: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Assemble (and validate) a complete result document."""
+    doc = {"schema": SCHEMA_VERSION, "fingerprint": fingerprint,
+           "config": config, "results": results}
+    validate_document(doc)
+    return doc
+
+
+def _require(cond: bool, path: str, message: str) -> None:
+    if not cond:
+        raise SchemaError(f"{path}: {message}")
+
+
+def _check_number(value: Any, path: str) -> None:
+    _require(isinstance(value, (int, float))
+             and not isinstance(value, bool), path, "expected a number")
+
+
+def validate_document(doc: Any) -> Dict[str, Any]:
+    """Structurally validate a ``repro.bench_result/v1`` document.
+
+    Returns the document on success; raises :class:`SchemaError` with
+    the offending JSON path on the first violation.  Unknown *extra*
+    keys are permitted everywhere (additive evolution within v1).
+    """
+    _require(isinstance(doc, dict), "$", "expected an object")
+    _require(doc.get("schema") == SCHEMA_VERSION, "$.schema",
+             f"expected {SCHEMA_VERSION!r}, got {doc.get('schema')!r}")
+    _require(isinstance(doc.get("fingerprint"), dict), "$.fingerprint",
+             "expected an object")
+    _require(isinstance(doc.get("config"), dict), "$.config",
+             "expected an object")
+    results = doc.get("results")
+    _require(isinstance(results, list), "$.results", "expected an array")
+    seen = set()
+    for i, r in enumerate(results):
+        p = f"$.results[{i}]"
+        _require(isinstance(r, dict), p, "expected an object")
+        _require(isinstance(r.get("id"), str) and r["id"], f"{p}.id",
+                 "expected a non-empty string")
+        _require(r["id"] not in seen, f"{p}.id",
+                 f"duplicate benchmark id {r['id']!r}")
+        seen.add(r["id"])
+        _require(isinstance(r.get("experiment"), str),
+                 f"{p}.experiment", "expected a string")
+        _require(isinstance(r.get("tier"), str), f"{p}.tier",
+                 "expected a string")
+        _require(r.get("status") in STATUSES, f"{p}.status",
+                 f"expected one of {STATUSES}, got {r.get('status')!r}")
+        _require(r.get("error") is None or isinstance(r["error"], str),
+                 f"{p}.error", "expected null or a string")
+        w = r.get("wall_seconds")
+        _require(isinstance(w, dict), f"{p}.wall_seconds",
+                 "expected an object")
+        _require(isinstance(w.get("rounds"), list),
+                 f"{p}.wall_seconds.rounds", "expected an array")
+        for j, x in enumerate(w["rounds"]):
+            _check_number(x, f"{p}.wall_seconds.rounds[{j}]")
+        for key in ("median", "iqr", "mean", "min", "max"):
+            _check_number(w.get(key), f"{p}.wall_seconds.{key}")
+        _require(isinstance(w.get("n_rounds"), int),
+                 f"{p}.wall_seconds.n_rounds", "expected an integer")
+        _require(w["n_rounds"] == len(w["rounds"]),
+                 f"{p}.wall_seconds.n_rounds",
+                 "does not match len(rounds)")
+        metrics = r.get("metrics")
+        _require(isinstance(metrics, dict), f"{p}.metrics",
+                 "expected an object")
+        for k, v in metrics.items():
+            _require(isinstance(k, str), f"{p}.metrics", "string keys")
+            _require(v is None or isinstance(v, (bool, int, float, str)),
+                     f"{p}.metrics[{k!r}]",
+                     "expected a JSON scalar")
+    return doc
+
+
+def load_document(path) -> Dict[str, Any]:
+    """Read + validate a result document from disk."""
+    with open(path, "r", encoding="utf-8") as fh:
+        try:
+            doc = json.load(fh)
+        except json.JSONDecodeError as exc:
+            raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+    try:
+        return validate_document(doc)
+    except SchemaError as exc:
+        raise SchemaError(f"{path}: {exc}") from None
+
+
+def write_document(path, doc: Dict[str, Any]) -> Path:
+    """Validate + write a result document (stable key order, trailing
+    newline) and return the path."""
+    validate_document(doc)
+    path = Path(path)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n",
+                    encoding="utf-8")
+    return path

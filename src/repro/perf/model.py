@@ -146,6 +146,7 @@ class PerformanceModel:
         return self.host.step_time(n, int(round(n_groups)), l)
 
     def step_time(self, n: int, ng: float) -> float:
+        """Total modelled seconds per step (GRAPE plus host)."""
         return self.grape_step_time(n, ng) + self.host_step_time(n, ng)
 
     # ------------------------------------------------------------------

@@ -107,7 +107,10 @@ class OperationCounter:
         return self.modified_interactions / self.original_interactions
 
     def raw_gflops(self, seconds: float) -> float:
+        """Gflops counting every interaction the hardware executed."""
         return gflops(self.modified_interactions, seconds)
 
     def effective_gflops(self, seconds: float) -> float:
+        """Gflops counting only the original (useful) interactions --
+        the paper's headline convention."""
         return gflops(self.original_interactions, seconds)

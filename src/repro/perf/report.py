@@ -81,6 +81,7 @@ class HeadlineReport:
     # ------------------------------------------------------------------
     @property
     def counter(self) -> OperationCounter:
+        """The run's interaction tallies as an OperationCounter."""
         return OperationCounter(self.modified_interactions,
                                 self.original_interactions)
 
@@ -92,10 +93,12 @@ class HeadlineReport:
 
     @property
     def raw_gflops(self) -> float:
+        """Sustained Gflops over all interactions actually executed."""
         return self.counter.raw_gflops(self.wall_seconds) / 1e0
 
     @property
     def effective_gflops(self) -> float:
+        """Sustained Gflops over the useful (original) interactions."""
         return self.counter.effective_gflops(self.wall_seconds)
 
     @property
@@ -105,6 +108,7 @@ class HeadlineReport:
 
     # ------------------------------------------------------------------
     def as_row(self, label: str = "measured") -> Dict[str, object]:
+        """One table row of the headline numbers (for format_table)."""
         return {
             "run": label,
             "N": self.n_particles,

@@ -1,0 +1,134 @@
+"""`repro bench` subcommands, in-process (fast synthetic benchmarks only).
+
+The heavy registered experiments are exercised by the CI bench job; here
+we drive the CLI against the cheapest registered ids and against
+synthetic result documents, so the tier-1 suite stays quick.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.bench import discover
+from repro.bench.schema import (load_document, make_document, wall_stats,
+                                write_document)
+from repro.cli import main
+
+# cheapest registered benchmarks (micro-seconds per round): the cost
+# model, which needs no particle data at all
+CHEAP = ["e4_cost", "e4_price_sensitivity"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def discovered():
+    return discover()
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+def synthetic_doc(path, wall=1.0, gflops=5.9):
+    fp = {"hostname": "ci", "machine": "x86_64", "cpu_count": 1,
+          "python": "3.11.0"}
+    rows = [{"id": "e4_cost", "experiment": "e4", "tier": "fast",
+             "status": "ok", "error": None,
+             "wall_seconds": wall_stats([wall] * 3),
+             "metrics": {"effective_gflops": gflops}}]
+    return write_document(path, make_document(fp, {"tier": "fast"}, rows))
+
+
+class TestList:
+    def test_lists_all_benchmarks(self):
+        code, text = run_cli("bench", "list")
+        assert code == 0
+        for bench_id in ("e5_headline", "e4_cost", "e13_parallel"):
+            assert bench_id in text
+
+    def test_tier_filter(self):
+        code, text = run_cli("bench", "list", "--tier", "slow")
+        assert code == 0
+        assert "e2_total_error" in text
+        assert "e4_cost" not in text
+
+
+class TestRun:
+    def test_run_cheap_ids_writes_document(self, tmp_path):
+        out_path = tmp_path / "doc.json"
+        code, text = run_cli("bench", "run", *CHEAP, "--rounds", "2",
+                             "--out", str(out_path))
+        assert code == 0
+        assert "result document written" in text
+        doc = load_document(out_path)
+        assert sorted(r["id"] for r in doc["results"]) == sorted(CHEAP)
+        assert all(r["status"] == "ok" for r in doc["results"])
+        assert all(r["wall_seconds"]["n_rounds"] == 2
+                   for r in doc["results"])
+
+    def test_run_unknown_id_fails_cleanly(self, tmp_path):
+        code, text = run_cli("bench", "run", "no_such_bench",
+                             "--out", str(tmp_path / "x.json"))
+        assert code == 2
+        assert "no_such_bench" in text
+
+    def test_run_with_inline_compare_gate(self, tmp_path):
+        out_path = tmp_path / "doc.json"
+        base_path = tmp_path / "base.json"
+        # run once to produce a real same-machine baseline...
+        code, _ = run_cli("bench", "run", "e4_cost", "--rounds", "2",
+                          "--out", str(base_path))
+        assert code == 0
+        # ...then a rerun compared against it passes the gate
+        code, text = run_cli("bench", "run", "e4_cost", "--rounds", "2",
+                             "--out", str(out_path),
+                             "--compare", str(base_path),
+                             "--wall-ratio", "1000")
+        assert code == 0
+        assert "regression" in text or "ok" in text
+
+
+class TestCompare:
+    def test_identical_documents_exit_zero(self, tmp_path):
+        base = synthetic_doc(tmp_path / "base.json")
+        cur = synthetic_doc(tmp_path / "cur.json")
+        code, text = run_cli("bench", "compare", str(cur), str(base))
+        assert code == 0
+
+    def test_slowdown_exits_nonzero(self, tmp_path):
+        base = synthetic_doc(tmp_path / "base.json", wall=1.0)
+        cur = synthetic_doc(tmp_path / "cur.json", wall=2.0)
+        code, text = run_cli("bench", "compare", str(cur), str(base))
+        assert code == 1
+        assert "FAIL" in text
+
+    def test_metric_drop_exits_nonzero(self, tmp_path):
+        base = synthetic_doc(tmp_path / "base.json", gflops=5.9)
+        cur = synthetic_doc(tmp_path / "cur.json", gflops=1.0)
+        code, text = run_cli("bench", "compare", str(cur), str(base))
+        assert code == 1
+
+    def test_thresholds_flags_respected(self, tmp_path):
+        base = synthetic_doc(tmp_path / "base.json", wall=1.0)
+        cur = synthetic_doc(tmp_path / "cur.json", wall=2.0)
+        code, _ = run_cli("bench", "compare", str(cur), str(base),
+                          "--wall-ratio", "2.5")
+        assert code == 0
+
+
+class TestReport:
+    def test_report_renders_table(self, tmp_path):
+        path = synthetic_doc(tmp_path / "doc.json")
+        code, text = run_cli("bench", "report", str(path))
+        assert code == 0
+        assert "e4_cost" in text
+        assert "effective_gflops" in text
+
+    def test_report_rejects_invalid_document(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        code, text = run_cli("bench", "report", str(bad))
+        assert code == 2
+        assert "$.schema" in text

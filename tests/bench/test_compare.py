@@ -1,0 +1,171 @@
+"""The regression gate on synthetic baselines."""
+
+import copy
+
+import pytest
+
+from repro.bench.compare import Thresholds, compare_documents
+from repro.bench.schema import make_document, wall_stats
+
+FP = {"hostname": "h", "machine": "x86_64", "cpu_count": 4,
+      "python": "3.12.0", "numpy": "2.0"}
+OTHER_FP = dict(FP, hostname="elsewhere", cpu_count=32)
+
+
+def doc(rows, fp=FP):
+    return make_document(dict(fp), {"tier": "fast"}, rows)
+
+
+def row(id="e5_headline", wall=1.0, status="ok", metrics=None):
+    return {"id": id, "experiment": id.split("_")[0], "tier": "fast",
+            "status": status, "error": None,
+            "wall_seconds": wall_stats([wall, wall, wall]),
+            "metrics": metrics if metrics is not None
+            else {"interactions_per_second": 1e6,
+                  "effective_gflops": 5.9}}
+
+
+class TestWallGate:
+    def test_identical_rerun_passes(self):
+        base = doc([row(), row("e1_system", wall=0.1)])
+        rep = compare_documents(copy.deepcopy(base), base)
+        assert rep.exit_code == 0
+        assert not rep.regressions
+
+    def test_2x_slowdown_fails(self):
+        base = doc([row(wall=1.0)])
+        cur = doc([row(wall=2.0)])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 1
+        [f] = rep.regressions
+        assert f.kind == "wall" and f.ratio == pytest.approx(2.0)
+
+    def test_threshold_configurable(self):
+        base = doc([row(wall=1.0)])
+        cur = doc([row(wall=2.0)])
+        rep = compare_documents(cur, base,
+                                Thresholds(wall_ratio=2.5))
+        assert rep.exit_code == 0
+
+    def test_speedup_never_fails(self):
+        rep = compare_documents(doc([row(wall=0.2)]),
+                                doc([row(wall=1.0)]))
+        assert rep.exit_code == 0
+
+    def test_microbenchmark_jitter_below_floor_passes(self):
+        # 7us -> 12us is a 1.7x "slowdown" of pure timer noise
+        base = doc([row(wall=7e-6)])
+        cur = doc([row(wall=1.2e-5)])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 0
+        assert "noise floor" in rep.format()
+
+    def test_floor_configurable_to_zero(self):
+        base = doc([row(wall=7e-6)])
+        cur = doc([row(wall=1.2e-5)])
+        rep = compare_documents(cur, base,
+                                Thresholds(wall_floor=0.0))
+        assert rep.exit_code == 1
+
+    def test_crossing_the_floor_still_gates(self):
+        # baseline under the floor, current well above it: gated
+        base = doc([row(wall=5e-3)])
+        cur = doc([row(wall=0.5)])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 1
+
+
+class TestMachineAwareness:
+    def test_cross_machine_wall_is_advisory(self):
+        base = doc([row(wall=1.0)], fp=OTHER_FP)
+        cur = doc([row(wall=2.0)])
+        rep = compare_documents(cur, base)
+        assert not rep.machine_comparable
+        assert rep.exit_code == 0
+        assert any(f.kind == "wall" for f in rep.warnings)
+
+    def test_strict_machine_enforces_anyway(self):
+        base = doc([row(wall=1.0)], fp=OTHER_FP)
+        cur = doc([row(wall=2.0)])
+        rep = compare_documents(cur, base,
+                                Thresholds(strict_machine=True))
+        assert rep.exit_code == 1
+
+    def test_gated_metrics_cross_machine(self):
+        # scale-free throughput metrics gate even across machines
+        base = doc([row(metrics={"effective_gflops": 5.9})],
+                   fp=OTHER_FP)
+        cur = doc([row(metrics={"effective_gflops": 2.0})])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 1
+        [f] = rep.regressions
+        assert f.kind == "metric"
+
+
+class TestMetricGate:
+    def test_small_wobble_passes(self):
+        base = doc([row(metrics={"interactions_per_second": 1e6})])
+        cur = doc([row(metrics={"interactions_per_second": 0.9e6})])
+        assert compare_documents(cur, base).exit_code == 0
+
+    def test_big_drop_fails(self):
+        base = doc([row(metrics={"interactions_per_second": 1e6})])
+        cur = doc([row(metrics={"interactions_per_second": 0.5e6})])
+        assert compare_documents(cur, base).exit_code == 1
+
+    def test_ungated_metrics_ignored(self):
+        base = doc([row(metrics={"overhead_ratio": 6.0})])
+        cur = doc([row(metrics={"overhead_ratio": 1.0})])
+        assert compare_documents(cur, base).exit_code == 0
+
+    def test_disappeared_metric_warns(self):
+        base = doc([row(metrics={"effective_gflops": 5.9})])
+        cur = doc([row(metrics={})])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 0
+        assert any(f.kind == "metric" for f in rep.warnings)
+
+
+class TestStatusAndCoverage:
+    def test_ok_to_failed_is_regression(self):
+        base = doc([row()])
+        cur = doc([row(status="failed")])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 1
+        [f] = rep.regressions
+        assert f.kind == "status"
+
+    def test_missing_benchmark_warns(self):
+        base = doc([row(), row("e1_system")])
+        cur = doc([row()])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 0
+        assert any(f.kind == "coverage" and f.id == "e1_system"
+                   for f in rep.warnings)
+
+    def test_new_benchmark_is_info(self):
+        base = doc([row()])
+        cur = doc([row(), row("e99_new")])
+        rep = compare_documents(cur, base)
+        assert rep.exit_code == 0
+        assert any(f.id == "e99_new" and f.severity == "info"
+                   for f in rep.findings)
+
+    def test_format_mentions_everything(self):
+        base = doc([row(wall=1.0)])
+        cur = doc([row(wall=5.0)])
+        text = compare_documents(cur, base).format()
+        assert "FAIL" in text and "e5_headline" in text
+        assert "regression(s)" in text
+
+
+class TestThresholds:
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            Thresholds(wall_ratio=0.9)
+        with pytest.raises(ValueError):
+            Thresholds(metric_ratio=0.0)
+        with pytest.raises(ValueError):
+            Thresholds(metric_ratio=1.5)
+        with pytest.raises(ValueError):
+            Thresholds(wall_floor=-1.0)

@@ -1,0 +1,45 @@
+"""Machine fingerprint: required keys, stability, comparability."""
+
+from repro.bench.fingerprint import (MACHINE_KEYS, fingerprints_comparable,
+                                     machine_fingerprint)
+
+REQUIRED = {"hostname", "platform", "machine", "python",
+            "implementation", "cpu_count", "numpy", "scipy",
+            "repro_version", "git_commit", "git_dirty"}
+
+
+class TestFingerprint:
+    def test_required_keys_present(self):
+        fp = machine_fingerprint()
+        assert REQUIRED <= set(fp)
+
+    def test_stable_across_calls(self):
+        # the fingerprint is deliberately time-free: two calls in one
+        # process must agree field-by-field
+        assert machine_fingerprint() == machine_fingerprint()
+
+    def test_json_scalars_only(self):
+        for key, value in machine_fingerprint().items():
+            assert value is None or isinstance(value,
+                                               (bool, int, str)), key
+
+    def test_machine_keys_subset_of_fingerprint(self):
+        assert set(MACHINE_KEYS) <= set(machine_fingerprint())
+
+
+class TestComparability:
+    def test_self_comparable(self):
+        fp = machine_fingerprint()
+        assert fingerprints_comparable(fp, dict(fp))
+
+    def test_different_host_not_comparable(self):
+        fp = machine_fingerprint()
+        other = dict(fp, hostname="elsewhere")
+        assert not fingerprints_comparable(fp, other)
+
+    def test_library_versions_do_not_break_comparability(self):
+        # numpy upgrades change performance, not the machine class;
+        # the wall gate stays armed so the regression is visible
+        fp = machine_fingerprint()
+        other = dict(fp, numpy="0.0.1")
+        assert fingerprints_comparable(fp, other)

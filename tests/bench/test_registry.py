@@ -1,0 +1,85 @@
+"""Registry discovery and selection semantics."""
+
+import pytest
+
+from repro.bench import discover, get_spec, select_specs
+from repro.bench.registry import (TIERS, all_specs, register,
+                                  suite_dir)
+
+EXPERIMENTS = {f"e{i}" for i in range(1, 14)}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def discovered():
+    return discover()
+
+
+class TestDiscovery:
+    def test_suite_dir_exists(self):
+        assert (suite_dir() / "conftest.py").is_file()
+
+    def test_all_13_experiments_found(self):
+        found = {s.experiment for s in all_specs()}
+        assert EXPERIMENTS <= found, EXPERIMENTS - found
+
+    def test_ids_unique_and_tiers_valid(self):
+        specs = all_specs()
+        ids = [s.id for s in specs]
+        assert len(ids) == len(set(ids))
+        assert all(s.tier in TIERS for s in specs)
+
+    def test_discovery_idempotent(self):
+        before = {s.id for s in all_specs()}
+        discover()
+        assert {s.id for s in all_specs()} == before
+
+    def test_headline_is_fast_tier(self):
+        # the CI gate depends on e5 running on every push
+        assert get_spec("e5_headline").tier == "fast"
+
+    def test_specs_carry_signature_params(self):
+        spec = get_spec("e5_headline")
+        assert "benchmark" in spec.params
+        assert "cosmo_snapshot" in spec.params
+
+
+class TestSelection:
+    def test_tier_filter(self):
+        fast = select_specs(tier="fast")
+        assert fast and all(s.tier == "fast" for s in fast)
+        assert len(select_specs(tier=None)) >= len(fast)
+        assert select_specs(tier="full") == select_specs(tier=None)
+
+    def test_explicit_ids(self):
+        assert [s.id for s in select_specs(["e5_headline"])] \
+            == ["e5_headline"]
+
+    def test_family_selection(self):
+        ids = {s.id for s in select_specs(["e5"])}
+        assert ids == {"e5_headline", "e5_ratio_vs_ng"}
+
+    def test_unknown_id_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="e5_headline"):
+            select_specs(["no_such_bench"])
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(ValueError):
+            select_specs(tier="warp")
+
+
+class TestRegister:
+    def test_conflicting_id_rejected(self):
+        def imposter(benchmark):
+            pass
+        with pytest.raises(ValueError, match="already registered"):
+            register("e5_headline")(imposter)
+
+    def test_reregistration_of_same_function_ok(self):
+        spec = get_spec("e5_headline")
+        register("e5_headline", tier=spec.tier, section=spec.section,
+                 summary=spec.summary)(spec.func)
+        assert get_spec("e5_headline") == spec
+
+    def test_bad_tier_rejected(self):
+        with pytest.raises(ValueError, match="tier"):
+            register("x", tier="glacial")

@@ -1,0 +1,170 @@
+"""Runner semantics on synthetic benchmarks (no registry involved)."""
+
+import inspect
+
+import pytest
+
+from repro.bench.registry import BenchmarkSpec
+from repro.bench.runner import (BenchTimer, RunnerConfig,
+                                current_tracer, run_benchmarks)
+from repro.bench.schema import validate_document
+from repro.obs import NULL_TRACER, Tracer
+
+
+def spec_of(func, id="t1", tier="fast"):
+    return BenchmarkSpec(
+        id=id, func=func, tier=tier,
+        params=tuple(inspect.signature(func).parameters))
+
+
+def run_one(func, tmp_path, **config):
+    cfg = RunnerConfig(results_dir=tmp_path, **config)
+    doc = run_benchmarks([spec_of(func)], cfg)
+    validate_document(doc)
+    [row] = doc["results"]
+    return doc, row
+
+
+class TestBenchTimer:
+    def test_pedantic_rounds_and_result(self):
+        timer = BenchTimer()
+        calls = []
+        out = timer.pedantic(lambda: calls.append(1) or len(calls),
+                             rounds=4)
+        assert out == 4 and len(timer.times) == 4
+
+    def test_call_uses_default_rounds(self):
+        timer = BenchTimer()
+        timer(lambda: None)
+        assert len(timer.times) == BenchTimer.DEFAULT_ROUNDS
+
+    def test_runner_override_wins(self):
+        timer = BenchTimer(rounds=2, warmup=1)
+        calls = []
+        timer.pedantic(lambda: calls.append(1), rounds=7,
+                       warmup_rounds=0)
+        assert len(timer.times) == 2
+        assert len(calls) == 3          # 1 warmup + 2 timed
+
+    def test_stats_subscriptable(self):
+        timer = BenchTimer()
+        timer.pedantic(lambda: None, rounds=3)
+        assert timer.stats["median"] >= 0.0
+        assert timer.stats["n_rounds"] == 3
+
+    def test_iterations_averaged(self):
+        timer = BenchTimer()
+        calls = []
+        timer.pedantic(lambda: calls.append(1), rounds=2, iterations=3)
+        assert len(calls) == 6 and len(timer.times) == 2
+
+
+class TestRunner:
+    def test_ok_run_with_metrics(self, tmp_path):
+        def bench(benchmark):
+            benchmark.pedantic(lambda: None, rounds=3)
+            benchmark.extra_info["effective_gflops"] = 5.9
+            benchmark.extra_info["dropped"] = [1, 2, 3]  # non-scalar
+
+        doc, row = run_one(bench, tmp_path)
+        assert row["status"] == "ok" and row["error"] is None
+        assert row["wall_seconds"]["n_rounds"] == 3
+        assert row["metrics"] == {"effective_gflops": 5.9}
+        assert doc["fingerprint"]["hostname"]
+        assert doc["config"]["tier"] == "full"
+
+    def test_untimed_benchmark_falls_back_to_total(self, tmp_path):
+        def bench():
+            sum(range(1000))
+
+        _, row = run_one(bench, tmp_path)
+        assert row["status"] == "ok"
+        assert row["wall_seconds"]["n_rounds"] == 1
+        assert row["wall_seconds"]["median"] > 0.0
+
+    def test_assertion_becomes_failed(self, tmp_path):
+        def bench(benchmark):
+            benchmark.pedantic(lambda: None, rounds=1)
+            assert False, "the paper disagrees"
+
+        _, row = run_one(bench, tmp_path)
+        assert row["status"] == "failed"
+        assert "the paper disagrees" in row["error"]
+
+    def test_exception_becomes_error_and_run_continues(self, tmp_path):
+        def boom(benchmark):
+            raise RuntimeError("kaput")
+
+        def fine(benchmark):
+            benchmark.pedantic(lambda: None, rounds=1)
+
+        cfg = RunnerConfig(results_dir=tmp_path)
+        doc = run_benchmarks([spec_of(boom, id="a"),
+                              spec_of(fine, id="b")], cfg)
+        validate_document(doc)
+        by_id = {r["id"]: r for r in doc["results"]}
+        assert by_id["a"]["status"] == "error"
+        assert "kaput" in by_id["a"]["error"]
+        assert by_id["b"]["status"] == "ok"
+
+    def test_unknown_fixture_is_error(self, tmp_path):
+        def bench(benchmark, warp_core):
+            pass
+
+        _, row = run_one(bench, tmp_path)
+        assert row["status"] == "error"
+        assert "warp_core" in row["error"]
+
+    def test_rounds_and_warmup_override(self, tmp_path):
+        seen = []
+
+        def bench(benchmark):
+            benchmark.pedantic(lambda: seen.append(1), rounds=9)
+
+        _, row = run_one(bench, tmp_path, rounds=2, warmup=1)
+        assert row["wall_seconds"]["n_rounds"] == 2
+        assert len(seen) == 3
+
+    def test_progress_callback(self, tmp_path):
+        events = []
+
+        def bench(benchmark):
+            benchmark.pedantic(lambda: None, rounds=1)
+
+        cfg = RunnerConfig(results_dir=tmp_path,
+                           progress=lambda s, r: events.append(
+                               (s.id, r is None)))
+        run_benchmarks([spec_of(bench)], cfg)
+        assert events == [("t1", True), ("t1", False)]
+
+
+class TestProfiling:
+    def test_tracer_is_noop_outside_profiling(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_profile_artifacts_and_tracer(self, tmp_path):
+        seen = {}
+
+        def bench(benchmark):
+            tracer = current_tracer()
+            seen["tracer"] = tracer
+            with tracer.span("hot_phase"):
+                benchmark.pedantic(lambda: sum(range(2000)), rounds=2)
+
+        doc, row = run_one(bench, tmp_path, profile=True)
+        assert isinstance(seen["tracer"], Tracer)
+        assert doc["config"]["profile"] is True
+        prof = tmp_path / "profiles" / "t1.prof"
+        table = tmp_path / "profiles" / "t1.txt"
+        assert prof.is_file() and table.is_file()
+        text = table.read_text()
+        assert "cumulative" in text          # cProfile top-N
+        assert "hot_phase" in text           # obs phase table
+        assert row["profile"] == str(prof)
+
+    def test_tracer_reset_after_run(self, tmp_path):
+        def bench(benchmark):
+            benchmark.pedantic(lambda: None, rounds=1)
+
+        run_one(bench, tmp_path, profile=True)
+        assert current_tracer() is NULL_TRACER

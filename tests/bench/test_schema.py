@@ -1,0 +1,103 @@
+"""Result-document schema: statistics, validation, round-trip."""
+
+import json
+
+import pytest
+
+from repro.bench.schema import (SCHEMA_VERSION, SchemaError,
+                                load_document, make_document,
+                                validate_document, wall_stats,
+                                write_document)
+
+
+def result_row(id="e1_system", **over):
+    row = {
+        "id": id, "experiment": id.split("_")[0], "tier": "fast",
+        "status": "ok", "error": None,
+        "wall_seconds": wall_stats([1.0, 2.0, 3.0, 4.0]),
+        "metrics": {"effective_gflops": 5.9, "note": "x",
+                    "flag": True, "none": None},
+    }
+    row.update(over)
+    return row
+
+
+def document(rows=None):
+    return make_document({"hostname": "h", "machine": "x86_64",
+                          "cpu_count": 4, "python": "3.12.0"},
+                         {"tier": "fast", "rounds": None,
+                          "warmup": None, "profile": False},
+                         rows if rows is not None else [result_row()])
+
+
+class TestWallStats:
+    def test_median_and_iqr(self):
+        s = wall_stats([4.0, 1.0, 3.0, 2.0])
+        assert s["median"] == pytest.approx(2.5)
+        assert s["iqr"] == pytest.approx(1.5)
+        assert s["min"] == 1.0 and s["max"] == 4.0
+        assert s["mean"] == pytest.approx(2.5)
+        assert s["n_rounds"] == 4
+        # chronological order preserved for the record
+        assert s["rounds"] == [4.0, 1.0, 3.0, 2.0]
+
+    def test_single_round(self):
+        s = wall_stats([2.0])
+        assert s["median"] == 2.0 and s["iqr"] == 0.0
+
+    def test_empty(self):
+        s = wall_stats([])
+        assert s["n_rounds"] == 0 and s["median"] == 0.0
+
+    def test_median_is_outlier_robust(self):
+        quiet = wall_stats([1.0, 1.0, 1.0, 1.0, 1.0])
+        noisy = wall_stats([1.0, 1.0, 1.0, 1.0, 50.0])
+        assert noisy["median"] == quiet["median"]
+        assert noisy["mean"] > quiet["mean"]
+
+
+class TestValidation:
+    def test_valid_document(self):
+        validate_document(document())
+
+    def test_round_trip(self, tmp_path):
+        doc = document()
+        path = write_document(tmp_path / "out.json", doc)
+        assert load_document(path) == doc
+        # and it is genuinely JSON on disk
+        assert json.loads(path.read_text())["schema"] == SCHEMA_VERSION
+
+    @pytest.mark.parametrize("mutate, path_fragment", [
+        (lambda d: d.update(schema="repro.bench_result/v0"), "$.schema"),
+        (lambda d: d.pop("fingerprint"), "$.fingerprint"),
+        (lambda d: d.pop("config"), "$.config"),
+        (lambda d: d.update(results="nope"), "$.results"),
+        (lambda d: d["results"][0].pop("id"), ".id"),
+        (lambda d: d["results"][0].update(status="exploded"), ".status"),
+        (lambda d: d["results"][0]["wall_seconds"].update(median="x"),
+         "median"),
+        (lambda d: d["results"][0]["wall_seconds"].update(n_rounds=7),
+         "n_rounds"),
+        (lambda d: d["results"][0].update(metrics={"a": [1]}),
+         "metrics"),
+        (lambda d: d["results"].append(result_row()), "duplicate"),
+    ])
+    def test_invalid_documents_raise_with_path(self, mutate,
+                                               path_fragment):
+        doc = document()
+        mutate(doc)
+        with pytest.raises(SchemaError, match=None) as exc:
+            validate_document(doc)
+        assert path_fragment in str(exc.value)
+
+    def test_extra_keys_allowed(self):
+        doc = document()
+        doc["results"][0]["total_seconds"] = 1.25
+        doc["extensions"] = {"anything": 1}
+        validate_document(doc)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text("{not json")
+        with pytest.raises(SchemaError, match="not valid JSON"):
+            load_document(p)
