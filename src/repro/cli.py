@@ -25,8 +25,20 @@ Subcommands
     ``bench compare`` gates a run against a stored baseline (nonzero
     exit past the regression thresholds), ``bench report`` pretty-
     prints a result document.  See docs/benchmarking.md.
+``serve``
+    The multi-tenant simulation service (``repro.serve``): an HTTP
+    job API in front of a priority/fair-share scheduler leasing
+    emulated GRAPEs to concurrent jobs.  See docs/service.md.
+``submit`` / ``jobs``
+    Client verbs against a running service: submit a job (optionally
+    polling it to completion) and list/inspect/cancel jobs.
 
 All subcommands are deterministic for a fixed ``--seed``.
+
+Exit codes: 0 success, 1 runtime failure (e.g. a failed job or a
+benchmark regression), 2 usage error (bad arguments, missing files,
+malformed documents -- consistent across every subcommand), 3 a
+submission rejected by service backpressure.
 
 Parallel execution (``run``/``resume``/``sweep``): ``--engine
 pipeline`` evaluates forces on a pool of worker processes (size
@@ -214,6 +226,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     bp = bsub.add_parser("report", help="pretty-print a result document")
     bp.add_argument("result", type=Path)
+
+    endpoint = argparse.ArgumentParser(add_help=False)
+    endpoint.add_argument("--host", default="127.0.0.1",
+                          help="service address (default: 127.0.0.1)")
+    endpoint.add_argument("--port", type=int, default=8014,
+                          help="service port (default: 8014)")
+
+    v = sub.add_parser("serve", parents=[endpoint],
+                       help="run the multi-tenant simulation service")
+    v.add_argument("--slots", type=int, default=2, metavar="N",
+                   help="concurrent jobs = leased accelerators "
+                        "(default: 2)")
+    v.add_argument("--queue-depth", type=int, default=16, metavar="N",
+                   help="admission-control bound on queued jobs; "
+                        "past it submissions get 429 (default: 16)")
+    v.add_argument("--workdir", type=Path, default=None,
+                   help="per-job checkpoint/workdir root "
+                        "(default: a temporary directory)")
+
+    u = sub.add_parser("submit", parents=[endpoint],
+                       help="submit a job to a running service")
+    u.add_argument("--kind", choices=("run", "sweep", "force_eval"),
+                   default="run")
+    u.add_argument("-p", "--param", action="append", default=[],
+                   metavar="K=V",
+                   help="workload parameter (repeatable), e.g. "
+                        "-p ngrid=12 -p steps=6")
+    u.add_argument("--spec", type=Path, default=None, metavar="JSON",
+                   help="full repro.job/v1 document (overrides the "
+                        "other spec flags)")
+    u.add_argument("--priority", type=int, default=0)
+    u.add_argument("--tenant", default="default")
+    u.add_argument("--engine", choices=("serial", "pipeline"),
+                   default="serial")
+    u.add_argument("--workers", type=int, default=None, metavar="N")
+    u.add_argument("--checkpoint-every", type=int, default=0,
+                   metavar="N")
+    u.add_argument("--max-recoveries", type=int, default=3,
+                   metavar="K")
+    u.add_argument("--faults", default=None, metavar="PLAN")
+    u.add_argument("--wait", action="store_true",
+                   help="poll the job to completion; nonzero exit if "
+                        "it does not finish 'done'")
+    u.add_argument("--timeout", type=float, default=300.0,
+                   metavar="S", help="--wait deadline (default: 300)")
+
+    j = sub.add_parser("jobs", parents=[endpoint],
+                       help="list jobs on a running service, or "
+                            "inspect/cancel one")
+    j.add_argument("job_id", nargs="?", default=None)
+    j.add_argument("--cancel", action="store_true",
+                   help="cancel the given job")
     return p
 
 
@@ -260,21 +324,24 @@ def _make_engine(args, plan=None):
 
 
 def _make_force(args, tracer=None, registry=None):
-    from repro.core import TreeCode
-    from repro.grape import GrapeBackend
+    """``(treecode, grape_backend_or_None)`` via the shared recipe.
+
+    Delegates to :func:`repro.sim.recipes.build_force` -- the same
+    construction path ``repro.serve`` jobs use, which is what keeps
+    served runs bit-identical to CLI runs.
+    """
+    from repro.sim.recipes import build_force
     plan = _fault_plan(args)
-    backend = GrapeBackend() if args.backend == "grape" else None
-    if backend is not None and registry is not None:
-        backend.bind_metrics(registry)
-    if backend is not None:
-        backend.max_retries = getattr(args, "max_retries", 2)
-        if plan is not None:
-            from repro.faults import FaultInjector
-            backend.fault_injector = FaultInjector(plan)
+    injector = None
+    if plan is not None:
+        from repro.faults import FaultInjector
+        injector = FaultInjector(plan)
     engine = _make_engine(args, plan)
-    tc = TreeCode(theta=args.theta, n_crit=args.ncrit, backend=backend,
-                  engine=engine, tracer=tracer, metrics=registry)
-    return tc, (backend if args.backend == "grape" else None)
+    return build_force(theta=args.theta, ncrit=args.ncrit,
+                       backend=args.backend, engine=engine,
+                       tracer=tracer, metrics=registry,
+                       fault_injector=injector,
+                       max_retries=getattr(args, "max_retries", 2))
 
 
 def _emit_obs(args, tracer, registry, out, *, extra=None) -> None:
@@ -334,13 +401,14 @@ def cmd_info(args, out) -> int:
 
 
 def cmd_run(args, out) -> int:
-    from repro.cosmo import SCDM, ZeldovichIC, carve_sphere
-    from repro.sim import Simulation, paper_schedule, slab
+    from repro.cosmo import SCDM
+    from repro.sim import Simulation, slab
     from repro.sim.checkpoint import save_checkpoint
+    from repro.sim.recipes import carve_run_region, run_schedule
     from repro.viz import surface_density, write_pgm
 
-    ic = ZeldovichIC(box=100.0, ngrid=args.ngrid, seed=args.seed)
-    region = carve_sphere(ic, radius=50.0, z_init=args.z_init)
+    region = carve_run_region(ngrid=args.ngrid, seed=args.seed,
+                              z_init=args.z_init)
     print(f"N = {region.n_particles} particles of "
           f"{region.mass[0]:.3g} M_sun", file=out)
     logger.info("run: N=%d ngrid=%d steps=%d backend=%s",
@@ -350,7 +418,8 @@ def cmd_run(args, out) -> int:
     sim = Simulation.from_sphere(region, force=force, tracer=tracer,
                                  metrics=registry)
     sim.t = SCDM.age(args.z_init)
-    sched = paper_schedule(SCDM, args.z_init, args.z_final, args.steps)
+    sched = run_schedule(z_init=args.z_init, z_final=args.z_final,
+                         steps=args.steps)
     every = max(1, args.steps // 5)
     n0 = len(sim.history)
 
@@ -598,6 +667,96 @@ def _dispatch_bench(args, out, cmd) -> int:
     return code
 
 
+def cmd_serve(args, out) -> int:
+    """Run the simulation service until SIGINT/SIGTERM."""
+    from repro.serve import ServeError, run_server
+    if args.slots < 1:
+        raise ServeError("--slots must be >= 1")
+    if args.queue_depth < 1:
+        raise ServeError("--queue-depth must be >= 1")
+    return run_server(host=args.host, port=args.port,
+                      slots=args.slots, queue_depth=args.queue_depth,
+                      workdir=args.workdir)
+
+
+def _submit_spec(args) -> dict:
+    """The repro.job/v1 document from ``submit`` flags (or --spec)."""
+    import json
+    from repro.serve import JOB_SCHEMA, ServeError
+    if args.spec is not None:
+        try:
+            return json.loads(args.spec.read_text())
+        except json.JSONDecodeError as e:
+            raise ServeError(f"--spec {args.spec}: {e}") from e
+    params = {}
+    for kv in args.param:
+        key, sep, value = kv.partition("=")
+        if not sep or not key:
+            raise ServeError(f"--param must be K=V, got {kv!r}")
+        params[key] = value
+    return {"schema": JOB_SCHEMA, "kind": args.kind, "params": params,
+            "priority": args.priority, "tenant": args.tenant,
+            "engine": args.engine, "workers": args.workers,
+            "checkpoint_every": args.checkpoint_every,
+            "max_recoveries": args.max_recoveries,
+            "faults": args.faults}
+
+
+def cmd_submit(args, out) -> int:
+    """Submit one job; with ``--wait``, poll it to completion."""
+    import json
+    from repro.serve import Backpressure, ServeClient
+    client = ServeClient(args.host, args.port)
+    try:
+        doc = client.submit(_submit_spec(args))
+    except Backpressure as e:
+        print(f"submit: rejected by admission control ({e.message}); "
+              f"retry after {e.retry_after:.0f}s", file=out)
+        return 3
+    print(f"submitted {doc['id']} ({doc['kind']}, "
+          f"tenant {doc['tenant']})", file=out)
+    if not args.wait:
+        return 0
+    final = client.wait(doc["id"], timeout=args.timeout)
+    print(f"{final['id']}: {final['state']}", file=out)
+    if final.get("result") is not None:
+        print(json.dumps(final["result"], indent=2), file=out)
+    if final.get("error"):
+        print(f"error: {final['error']}", file=out)
+    return 0 if final["state"] == "done" else 1
+
+
+def cmd_jobs(args, out) -> int:
+    """List jobs on a service, or inspect/cancel one."""
+    import json
+    from repro.perf.report import format_table
+    from repro.serve import ServeClient, ServeError, ServeHTTPError
+    client = ServeClient(args.host, args.port)
+    if args.cancel and args.job_id is None:
+        raise ServeError("--cancel needs a job id")
+    try:
+        if args.job_id is not None:
+            doc = (client.cancel(args.job_id) if args.cancel
+                   else client.job(args.job_id))
+            print(json.dumps(doc, indent=2), file=out)
+            return 0
+    except ServeHTTPError as e:
+        if e.status == 404:
+            raise ServeError(str(e.message)) from e
+        raise
+    docs = client.jobs()
+    if not docs:
+        print("no jobs", file=out)
+        return 0
+    rows = [{"id": d["id"], "state": d["state"], "kind": d["kind"],
+             "tenant": d["tenant"], "prio": d["priority"],
+             "steps": f"{d['progress']['steps_done']}"
+                      f"/{d['progress']['steps_total']}",
+             "lease": d["lease"] or "-"} for d in docs]
+    print(format_table(rows), file=out)
+    return 0
+
+
 def _configure_logging(verbosity: int) -> None:
     """Attach a stderr handler to the ``repro`` hierarchy (CLI only;
     as a library the package stays silent via its NullHandler)."""
@@ -615,15 +774,37 @@ def _configure_logging(verbosity: int) -> None:
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Usage-level errors -- bad argument values, missing or corrupt
+    files, malformed fault plans/job specs, an unreachable service --
+    exit 2 across every subcommand, matching both argparse's own
+    convention and ``bench``'s behaviour.  Runtime failures keep their
+    subcommand-specific nonzero codes.
+    """
     if out is None:
         out = sys.stdout
     args = build_parser().parse_args(argv)
     _configure_logging(args.verbose)
     handler = {"info": cmd_info, "run": cmd_run,
                "resume": cmd_resume, "sweep": cmd_sweep,
-               "halos": cmd_halos, "bench": cmd_bench}[args.command]
-    return handler(args, out)
+               "halos": cmd_halos, "bench": cmd_bench,
+               "serve": cmd_serve, "submit": cmd_submit,
+               "jobs": cmd_jobs}[args.command]
+    try:
+        return handler(args, out)
+    except (OSError, ValueError) as exc:
+        # covers FileNotFoundError/ConnectionError (OSError), fault-
+        # plan and JobSpec validation (ValueError incl. JobError)
+        print(f"{args.command}: {exc}", file=out)
+        return 2
+    except RuntimeError as exc:
+        from repro.serve import ServeError
+        from repro.sim.checkpoint import CheckpointCorrupt
+        if isinstance(exc, (ServeError, CheckpointCorrupt)):
+            print(f"{args.command}: {exc}", file=out)
+            return 2
+        raise
 
 
 if __name__ == "__main__":

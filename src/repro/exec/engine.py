@@ -259,6 +259,26 @@ class PipelineEngine(ForceEngine):
         """Whether any rung of the recovery ladder is enabled."""
         return self.max_retries > 0 or self.degrade
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called (engine unusable)."""
+        return self._closed
+
+    def prewarm(self, backend: ForceBackend) -> "PipelineEngine":
+        """Start the worker pool for ``backend`` ahead of the first
+        sweep.
+
+        Lease brokers call this when constructing a pooled engine so
+        the multi-second worker startup is paid at lease-pool build
+        time, not inside the first leased job's first force
+        evaluation.  Idempotent for an unchanged backend; raises
+        :class:`EngineError` for a closed engine or a backend that is
+        not parallel-safe (same checks as :meth:`evaluate`).  Returns
+        ``self`` for chaining.
+        """
+        self._ensure_pool(backend)
+        return self
+
     # -- pool management ----------------------------------------------
     def _spawn_worker(self):
         wid = self._next_wid

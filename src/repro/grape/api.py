@@ -43,6 +43,7 @@ library's hard failure on protocol misuse.
 
 from __future__ import annotations
 
+import threading
 from typing import Optional, Tuple
 
 import numpy as np
@@ -77,6 +78,19 @@ class G5Context:
         with G5Context().open() as g5:
             g5.set_eps_to_all(eps)
             ...
+
+    Concurrency
+    -----------
+    A context is single-holder hardware state, exactly like the board
+    set it models: interleaved staging from two threads would silently
+    corrupt j-memory.  :meth:`acquire` latches the context to the
+    calling thread and :meth:`release` frees it; while held, every
+    staging/run call from any *other* thread raises :class:`G5Error`,
+    as does releasing twice or releasing from a non-holder thread.
+    Unheld contexts behave exactly as before, so single-threaded code
+    (and the module-level shims) never notices the latch.  The lease
+    broker of :mod:`repro.serve` acquires each pooled context on the
+    job's worker thread for the lifetime of the lease.
     """
 
     def __init__(self, *, fault_injector: Optional[object] = None,
@@ -98,12 +112,61 @@ class G5Context:
         self.acc: Optional[np.ndarray] = None
         self.pot: Optional[np.ndarray] = None
         self.ran: bool = False
+        self._lock = threading.RLock()
+        #: ident of the thread holding the latch, or None when free
+        self._holder: Optional[int] = None
 
     # -- lifecycle -----------------------------------------------------
     def _require_open(self) -> "G5Context":
         if self.system is None:
             raise G5Error("g5_open() has not been called")
+        holder = self._holder
+        if holder is not None and holder != threading.get_ident():
+            raise G5Error(
+                "context is held by another thread (acquire() it "
+                "first, or use a separate G5Context)")
         return self
+
+    # -- concurrency ---------------------------------------------------
+    @property
+    def held(self) -> bool:
+        """Whether some thread currently holds the latch."""
+        return self._holder is not None
+
+    def acquire(self) -> "G5Context":
+        """Latch the context to the calling thread.
+
+        Exclusive and non-reentrant: acquiring a context some thread
+        (including this one) already holds raises :class:`G5Error`
+        rather than blocking -- a second holder is always a bug, and
+        hardware drivers fail fast on double-attach.  Returns ``self``
+        for chaining.
+        """
+        with self._lock:
+            if self._holder is not None:
+                owner = ("this thread"
+                         if self._holder == threading.get_ident()
+                         else f"thread {self._holder}")
+                raise G5Error(f"context already acquired by {owner}")
+            self._holder = threading.get_ident()
+        return self
+
+    def release(self) -> None:
+        """Free the latch taken by :meth:`acquire`.
+
+        Only the holding thread may release; releasing an unheld
+        context (double-release) or another thread's latch raises
+        :class:`G5Error`.
+        """
+        with self._lock:
+            if self._holder is None:
+                raise G5Error("release() without acquire() "
+                              "(double-release?)")
+            if self._holder != threading.get_ident():
+                raise G5Error(
+                    f"context is held by thread {self._holder}; only "
+                    "the holder may release it")
+            self._holder = None
 
     def open(self, system: Optional[Grape5System] = None) -> "G5Context":
         """Attach an (emulated) GRAPE-5; returns ``self`` for chaining.

@@ -1,0 +1,43 @@
+"""repro.serve: multi-tenant simulation service.
+
+The paper's deployment is one host feeding one GRAPE-5; this package
+is the service-shaped generalisation the ROADMAP's north star asks
+for: many tenants submit jobs over HTTP, a scheduler multiplexes them
+onto a pool of leased (emulated) accelerators, and backpressure keeps
+the queue bounded.  Stdlib-only, like every layer below it.
+
+Layering (each module only depends on the ones above it):
+
+``jobs``
+    Typed :class:`JobSpec`/:class:`Job`, the versioned
+    ``repro.job/v1`` document format, the lifecycle state machine.
+``leases``
+    :class:`LeaseBroker`: exclusive :class:`~repro.grape.api.G5Context`
+    (+ optional pipeline-engine pool) per running job.
+``runner``
+    Executes one job inside its lease through
+    :mod:`repro.sim.recipes` -- the same construction path as the
+    CLI, so served runs are bit-identical to ``repro run``.
+``scheduler``
+    Priority + fair-share queue, admission control,
+    :class:`AdmissionError` backpressure.
+``server`` / ``client``
+    Asyncio HTTP API and its stdlib client (``repro serve`` /
+    ``repro submit`` / ``repro jobs``).
+
+See ``docs/service.md`` for the API and schema reference.
+"""
+
+from .client import Backpressure, ServeClient, ServeHTTPError
+from .jobs import (JOB_KINDS, JOB_SCHEMA, JOB_STATES, Job, JobError,
+                   JobSpec)
+from .leases import Lease, LeaseBroker, LeaseError
+from .scheduler import AdmissionError, Scheduler
+from .server import ServeError, Server, run_server
+
+__all__ = [
+    "JOB_SCHEMA", "JOB_KINDS", "JOB_STATES", "JobSpec", "Job",
+    "JobError", "Lease", "LeaseBroker", "LeaseError", "Scheduler",
+    "AdmissionError", "Server", "ServeError", "run_server",
+    "ServeClient", "ServeHTTPError", "Backpressure",
+]

@@ -1,0 +1,178 @@
+"""Stdlib HTTP client for the simulation service.
+
+A thin, dependency-free wrapper over :mod:`http.client` speaking the
+``repro.job/v1`` wire format of :mod:`repro.serve.server`.  Used by
+the ``repro submit`` / ``repro jobs`` CLI verbs, the acceptance
+tests, and the service benchmark -- one client implementation so they
+all exercise the same protocol.
+
+Error mapping: HTTP 4xx/5xx raise :class:`ServeHTTPError`; the 429
+backpressure response raises the :class:`Backpressure` subclass
+carrying the server's ``Retry-After`` hint so callers can implement
+polite retry loops (see :meth:`ServeClient.submit_wait`).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["ServeHTTPError", "Backpressure", "ServeClient"]
+
+
+class ServeHTTPError(RuntimeError):
+    """Non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = int(status)
+        self.message = message
+
+
+class Backpressure(ServeHTTPError):
+    """429: admission control rejected the submission; retry after
+    ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float) -> None:
+        super().__init__(429, message)
+        self.retry_after = float(retry_after)
+
+
+class ServeClient:
+    """Client for one service endpoint (``host:port``).
+
+    Connections are per-request (the server speaks ``Connection:
+    close``), so a client object is cheap, stateless and
+    thread-safe.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8014, *,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    # -- plumbing ------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[dict] = None) -> Dict[str, Any]:
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else None)
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json"}
+                         if payload else {})
+            resp = conn.getresponse()
+            raw = resp.read()
+            if resp.status >= 400:
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                if resp.status == 429:
+                    raise Backpressure(
+                        message,
+                        float(resp.headers.get("Retry-After", 1)))
+                raise ServeHTTPError(resp.status, message)
+            return json.loads(raw) if raw.strip() else {}
+        finally:
+            conn.close()
+
+    # -- API -----------------------------------------------------------
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a ``repro.job/v1`` document; returns the job document.
+
+        Raises :class:`Backpressure` on 429 (queue bound hit)."""
+        return self._request("POST", "/jobs", body=spec)
+
+    def submit_wait(self, spec: Dict[str, Any], *,
+                    deadline: float = 120.0) -> Dict[str, Any]:
+        """Submit with polite backpressure retries up to ``deadline``
+        seconds, honouring each 429's Retry-After hint."""
+        t_end = time.monotonic() + deadline
+        while True:
+            try:
+                return self.submit(spec)
+            except Backpressure as e:
+                wait = min(e.retry_after, max(0.0,
+                                              t_end - time.monotonic()))
+                if time.monotonic() + wait >= t_end:
+                    raise
+                time.sleep(wait)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def pause(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/pause")
+
+    def resume(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/jobs/{job_id}/resume")
+
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll: float = 0.1) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns its final document.
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        t_end = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc["state"] in ("done", "failed", "cancelled"):
+                return doc
+            if time.monotonic() >= t_end:
+                raise TimeoutError(
+                    f"job {job_id} still {doc['state']} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Follow the NDJSON progress stream of a job.
+
+        Yields event dicts until the server closes the stream (job
+        reached a resting state)."""
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/events")
+            resp = conn.getresponse()
+            if resp.status >= 400:
+                raw = resp.read()
+                try:
+                    message = json.loads(raw).get("error", raw)
+                except ValueError:
+                    message = raw.decode("utf-8", "replace")
+                raise ServeHTTPError(resp.status, message)
+            for line in resp:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The Prometheus exposition text of /metrics."""
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            conn.request("GET", "/metrics")
+            resp = conn.getresponse()
+            raw = resp.read()
+            if resp.status >= 400:
+                raise ServeHTTPError(resp.status,
+                                     raw.decode("utf-8", "replace"))
+            return raw.decode("utf-8")
+        finally:
+            conn.close()

@@ -1,0 +1,353 @@
+"""Priority + fair-share job scheduler with admission control.
+
+The paper's host feeds one GRAPE; the service multiplexes many
+tenants onto a fixed pool of leased accelerators.  The scheduler owns
+that multiplexing: a bounded queue in front of ``slots`` worker
+threads, each of which repeatedly picks the best queued job, checks
+out a lease from the :class:`~repro.serve.leases.LeaseBroker`, and
+executes the job via :func:`repro.serve.runner.run_job`.
+
+Picking order (highest first):
+
+1. ``spec.priority`` (larger wins);
+2. fair share -- among equal priorities, the tenant with the fewest
+   *running* jobs wins, so one chatty tenant cannot starve others;
+3. FIFO (submission sequence).
+
+Admission control is a hard bound on *queued* jobs
+(``queue_depth``): a submit past the bound raises
+:class:`AdmissionError` carrying a ``retry_after`` hint, which the
+HTTP layer turns into ``429 Retry-After``.  Running jobs do not count
+against the bound -- the queue is the backpressure surface, the slots
+are the capacity.
+
+Faults stay contained: a fault-injected (or real) crash inside a
+running job is recovered *inside its slot* by
+``Simulation.run``'s checkpoint rollback (bounded by the job's
+``max_recoveries``), and a job that still fails only marks itself
+failed -- the worker thread survives and serves the next queued job.
+"""
+
+from __future__ import annotations
+
+import logging
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .jobs import Job, JobCancelled, JobError, JobPaused, JobSpec
+from .leases import LeaseBroker
+from .runner import run_job
+
+__all__ = ["AdmissionError", "Scheduler"]
+
+logger = logging.getLogger(__name__)
+
+
+class AdmissionError(RuntimeError):
+    """Queue bound hit; ``retry_after`` is the client's backoff hint
+    in seconds (HTTP 429 Retry-After)."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class Scheduler:
+    """Bounded queue, fair-share pick, leased execution.
+
+    Parameters
+    ----------
+    slots:
+        Worker threads = concurrent jobs = accelerator leases.
+    queue_depth:
+        Maximum *queued* (not running) jobs before submissions are
+        rejected with :class:`AdmissionError`.
+    workdir:
+        Directory for per-job workdirs (checkpoints); a temporary
+        directory is created when omitted.
+    metrics / tracer:
+        Shared :class:`~repro.obs.metrics.MetricsRegistry` /
+        :class:`~repro.obs.trace.Tracer`; the registry feeds the
+        server's ``/metrics`` endpoint.
+    system_factory:
+        Forwarded to the broker (one emulated GRAPE per slot).
+    """
+
+    def __init__(self, *, slots: int = 2, queue_depth: int = 16,
+                 workdir: Optional[object] = None,
+                 metrics: Optional[object] = None,
+                 tracer: Optional[object] = None,
+                 system_factory: Optional[object] = None) -> None:
+        from ..obs import MetricsRegistry, NULL_TRACER
+        if queue_depth < 1:
+            raise JobError("queue_depth must be >= 1")
+        self.metrics = metrics if metrics is not None else \
+            MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.slots = int(slots)
+        self.queue_depth = int(queue_depth)
+        self.broker = LeaseBroker(self.slots,
+                                  system_factory=system_factory,
+                                  metrics=self.metrics)
+        self._workdir = Path(workdir) if workdir is not None else \
+            Path(tempfile.mkdtemp(prefix="repro-serve-"))
+        self._workdir.mkdir(parents=True, exist_ok=True)
+        self._jobs: Dict[str, Job] = {}
+        self._queue: List[str] = []
+        self._tenant_running: Dict[str, int] = {}
+        self._tenant_served: Dict[str, int] = {}
+        self._done_seconds: List[float] = []
+        self._cv = threading.Condition()
+        self._stopping = False
+        self._threads: List[threading.Thread] = []
+        m = self.metrics
+        m.gauge("serve.queue_depth", "jobs waiting for a slot").set(0)
+        m.gauge("serve.queue_limit",
+                "admission-control queue bound").set(self.queue_depth)
+        m.gauge("serve.jobs_running", "jobs executing in a slot").set(0)
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "Scheduler":
+        """Spawn the worker threads (idempotent)."""
+        with self._cv:
+            if self._threads:
+                return self
+            self._stopping = False
+            for i in range(self.slots):
+                t = threading.Thread(target=self._worker_loop,
+                                     name=f"repro-serve-{i}",
+                                     daemon=True)
+                t.start()
+                self._threads.append(t)
+        logger.info("scheduler started: %d slot(s), queue bound %d, "
+                    "workdir %s", self.slots, self.queue_depth,
+                    self._workdir)
+        return self
+
+    def stop(self, *, timeout: float = 30.0) -> None:
+        """Shut down: cancel queued jobs, flag running ones, join the
+        workers, release the accelerator pool.  Idempotent."""
+        with self._cv:
+            if self._stopping and not self._threads:
+                return
+            self._stopping = True
+            for jid in list(self._queue):
+                self._jobs[jid].advance("cancelled")
+            self._queue.clear()
+            for job in self._jobs.values():
+                if not job.terminal:
+                    job.cancel_event.set()
+            self._set_queue_gauge()
+            self._cv.notify_all()
+            threads, self._threads = self._threads, []
+        for t in threads:
+            t.join(timeout=timeout)
+        self.broker.close()
+        logger.info("scheduler stopped")
+
+    # -- submission / control ------------------------------------------
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit a job or raise :class:`AdmissionError` (429)."""
+        with self._cv:
+            if self._stopping:
+                raise AdmissionError("scheduler is shutting down",
+                                     retry_after=5.0)
+            if len(self._queue) >= self.queue_depth:
+                self.metrics.counter(
+                    "serve.jobs_rejected",
+                    "submissions refused by admission control").inc()
+                raise AdmissionError(
+                    f"queue full ({len(self._queue)}/"
+                    f"{self.queue_depth} jobs waiting)",
+                    retry_after=self._retry_after())
+            job = Job(spec=spec)
+            wd = self._workdir / job.id
+            wd.mkdir(parents=True, exist_ok=True)
+            job.workdir = str(wd)
+            self._jobs[job.id] = job
+            self._queue.append(job.id)
+            self.metrics.counter("serve.jobs_submitted",
+                                 "jobs admitted to the queue").inc()
+            self._set_queue_gauge()
+            self._cv.notify()
+            return job
+
+    def get(self, job_id: str) -> Job:
+        with self._cv:
+            try:
+                return self._jobs[job_id]
+            except KeyError:
+                raise KeyError(f"no such job {job_id!r}") from None
+
+    def jobs(self) -> List[Job]:
+        """All known jobs, submission order."""
+        with self._cv:
+            return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: immediately for queued/paused, by flag (the
+        runner polls between steps) for running."""
+        job = self.get(job_id)
+        with self._cv:
+            job.cancel_event.set()
+            if job.state == "queued":
+                self._queue.remove(job.id)
+                job.advance("cancelled")
+                self._count_terminal(job)
+                self._set_queue_gauge()
+            elif job.state == "paused":
+                job.advance("cancelled")
+                self._count_terminal(job)
+            self._cv.notify_all()
+        return job
+
+    def pause(self, job_id: str) -> Job:
+        """Ask a running job to checkpoint and vacate its slot."""
+        job = self.get(job_id)
+        if job.terminal:
+            raise JobError(f"job {job_id} is already {job.state}")
+        job.pause_event.set()
+        return job
+
+    def resume(self, job_id: str) -> Job:
+        """Re-queue a paused job; it continues from its checkpoint."""
+        job = self.get(job_id)
+        with self._cv:
+            if job.state != "paused":
+                raise JobError(f"job {job_id} is {job.state}, "
+                               "not paused")
+            job.pause_event.clear()
+            job.advance("queued")
+            self._queue.append(job.id)
+            self._set_queue_gauge()
+            self._cv.notify()
+        return job
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal (or paused); returns whether
+        it stopped within ``timeout``."""
+        job = self.get(job_id)
+        with self._cv:
+            return self._cv.wait_for(
+                lambda: job.terminal or job.state == "paused",
+                timeout=timeout)
+
+    # -- internals -----------------------------------------------------
+    def _retry_after(self) -> float:
+        """Backoff hint: about one average job duration per queued job
+        ahead, across the slot pool (floor 1 s)."""
+        avg = (sum(self._done_seconds) / len(self._done_seconds)
+               if self._done_seconds else 1.0)
+        return max(1.0, avg * len(self._queue) / max(1, self.slots))
+
+    def _set_queue_gauge(self) -> None:
+        self.metrics.gauge("serve.queue_depth",
+                           "jobs waiting for a slot"
+                           ).set(len(self._queue))
+
+    def _count_terminal(self, job: Job) -> None:
+        self.metrics.counter(f"serve.jobs_{job.state}",
+                             f"jobs finished {job.state}").inc()
+
+    def _pick_locked(self) -> Optional[Job]:
+        """Best queued job under priority -> fair share -> FIFO."""
+        if not self._queue:
+            return None
+        def rank(jid: str):
+            j = self._jobs[jid]
+            t = j.spec.tenant
+            # fair share: tenants with fewer slots held *and* fewer
+            # jobs already served yield to the underdog, so a deep
+            # single-tenant backlog cannot starve a newcomer
+            return (-j.spec.priority,
+                    self._tenant_running.get(t, 0)
+                    + self._tenant_served.get(t, 0),
+                    j.seq)
+        jid = min(self._queue, key=rank)
+        self._queue.remove(jid)
+        return self._jobs[jid]
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                self._cv.wait_for(
+                    lambda: self._stopping or bool(self._queue))
+                if self._stopping:
+                    return
+                job = self._pick_locked()
+                if job is None:  # pragma: no cover - race safety
+                    continue
+                job.advance("scheduled")
+                t = job.spec.tenant
+                self._tenant_running[t] = \
+                    self._tenant_running.get(t, 0) + 1
+                self._tenant_served[t] = \
+                    self._tenant_served.get(t, 0) + 1
+                self._set_queue_gauge()
+                self.metrics.gauge("serve.jobs_running",
+                                   "jobs executing in a slot").set(
+                    sum(self._tenant_running.values()))
+            self._execute(job)
+            with self._cv:
+                t = job.spec.tenant
+                self._tenant_running[t] = \
+                    max(0, self._tenant_running.get(t, 0) - 1)
+                self.metrics.gauge("serve.jobs_running",
+                                   "jobs executing in a slot").set(
+                    sum(self._tenant_running.values()))
+                self._cv.notify_all()
+
+    def _execute(self, job: Job) -> None:
+        """One slot occupancy: lease, run, record the outcome."""
+        spec = job.spec
+        try:
+            lease = self.broker.acquire(engine=spec.engine,
+                                        workers=spec.workers,
+                                        timeout=60.0)
+        except Exception as e:
+            with self._cv:
+                job.error = f"lease acquisition failed: {e}"
+                job.advance("failed")
+                self._count_terminal(job)
+            return
+        job.lease = lease.id
+        job.add_event("leased", lease=lease.id, slot=lease.slot)
+        try:
+            job.advance("running")
+            if job.cancel_event.is_set():
+                raise JobCancelled(job.id)
+            result = run_job(job, lease, tracer=self.tracer,
+                             metrics=self.metrics)
+            with self._cv:
+                job.result = result
+                job.advance("done")
+                self._count_terminal(job)
+                if job.finished_at and job.started_at:
+                    self._done_seconds.append(
+                        job.finished_at - job.submitted_at)
+                    del self._done_seconds[:-32]
+            job.add_event("done")
+        except JobCancelled:
+            with self._cv:
+                job.advance("cancelled")
+                self._count_terminal(job)
+            job.add_event("cancelled")
+        except JobPaused:
+            with self._cv:
+                job.advance("paused")
+            job.add_event("paused", steps_done=job.steps_done)
+        except Exception as e:
+            logger.exception("job %s failed", job.id)
+            with self._cv:
+                job.error = f"{type(e).__name__}: {e}"
+                job.advance("failed")
+                self._count_terminal(job)
+            job.add_event("failed", error=job.error)
+        finally:
+            try:
+                self.broker.release(lease)
+            except Exception:  # pragma: no cover - broker closed
+                pass

@@ -1,0 +1,318 @@
+"""Asyncio HTTP front door for the simulation service.
+
+Stdlib-only HTTP/1.1 over :func:`asyncio.start_server` -- the same
+no-dependency discipline as the rest of the package.  Connections are
+single-request (``Connection: close``), which keeps the parser
+trivial and is plenty for a job-submission control plane.
+
+Endpoints
+---------
+=======  ==========================  =====================================
+method   path                        behaviour
+=======  ==========================  =====================================
+POST     /jobs                       submit a ``repro.job/v1`` document;
+                                     201 + job doc, 400 on a malformed
+                                     spec, **429 + Retry-After** when
+                                     admission control rejects
+GET      /jobs                       all job documents
+GET      /jobs/{id}                  one job document (404 unknown)
+GET      /jobs/{id}/events           NDJSON progress-event stream:
+                                     replays recorded events, then
+                                     follows live until the job stops
+DELETE   /jobs/{id}                  cancel; returns the job document
+POST     /jobs/{id}/pause            checkpoint + vacate the slot
+POST     /jobs/{id}/resume           re-queue a paused job
+GET      /healthz                    liveness + queue/lease snapshot
+GET      /metrics                    Prometheus exposition of the
+                                     scheduler registry (``obs.export``)
+=======  ==========================  =====================================
+
+The server owns no policy: every decision is the
+:class:`~repro.serve.scheduler.Scheduler`'s, translated to status
+codes here.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+from typing import Dict, Optional, Tuple
+
+from .jobs import JobError
+from .scheduler import AdmissionError, Scheduler
+
+__all__ = ["ServeError", "Server", "run_server"]
+
+logger = logging.getLogger(__name__)
+
+#: cap on request bodies (a job spec is tiny; anything bigger is abuse)
+MAX_BODY = 1 << 20
+
+#: poll period of the live event stream
+_EVENT_POLL = 0.05
+
+
+class ServeError(RuntimeError):
+    """Service configuration/usage error (CLI exit 2)."""
+
+
+def _response(status: int, reason: str, body: bytes,
+              content_type: str = "application/json",
+              extra: Optional[Dict[str, str]] = None) -> bytes:
+    head = [f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    for k, v in (extra or {}).items():
+        head.append(f"{k}: {v}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+def _json_response(status: int, reason: str, doc,
+                   extra: Optional[Dict[str, str]] = None) -> bytes:
+    return _response(status, reason,
+                     (json.dumps(doc) + "\n").encode("utf-8"),
+                     extra=extra)
+
+
+def _error(status: int, reason: str, message: str,
+           extra: Optional[Dict[str, str]] = None) -> bytes:
+    return _json_response(status, reason, {"error": message},
+                          extra=extra)
+
+
+class Server:
+    """One scheduler behind one listening socket.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is the
+    ``port`` attribute after :meth:`start`.
+    """
+
+    def __init__(self, scheduler: Scheduler, *,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.scheduler = scheduler
+        self.host = host
+        self.port = int(port)
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "Server":
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("serving on http://%s:%d/", self.host, self.port)
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # scheduler.stop joins worker threads; keep the loop responsive
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.scheduler.stop)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- request plumbing ----------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            parsed = await self._read_request(reader)
+            if parsed is None:
+                return
+            method, path, body = parsed
+            await self._dispatch(method, path, body, writer)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as e:  # pragma: no cover - defensive 500
+            logger.exception("request handling failed")
+            try:
+                writer.write(_error(500, "Internal Server Error",
+                                    f"{type(e).__name__}: {e}"))
+            except Exception:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _read_request(self, reader
+                            ) -> Optional[Tuple[str, str, bytes]]:
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("latin-1").split()
+        if len(parts) < 2:
+            return None
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        while True:
+            h = await reader.readline()
+            if h in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = h.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = min(MAX_BODY, int(value.strip()))
+                except ValueError:
+                    length = 0
+        body = await reader.readexactly(length) if length else b""
+        return method, path, body
+
+    async def _dispatch(self, method: str, path: str, body: bytes,
+                        writer: asyncio.StreamWriter) -> None:
+        sched = self.scheduler
+        route = (method, *[p for p in path.split("?")[0].split("/")
+                           if p])
+
+        if route == ("GET", "healthz"):
+            with_jobs = sched.jobs()
+            writer.write(_json_response(200, "OK", {
+                "status": "ok",
+                "jobs": len(with_jobs),
+                "queued": sum(j.state == "queued" for j in with_jobs),
+                "running": sum(j.state == "running" for j in
+                               with_jobs),
+                "slots": sched.slots,
+                "leases_in_use": sched.broker.in_use,
+            }))
+            return
+        if route == ("GET", "metrics"):
+            from ..obs.export import format_prometheus
+            writer.write(_response(
+                200, "OK",
+                format_prometheus(sched.metrics).encode("utf-8"),
+                content_type="text/plain; version=0.0.4"))
+            return
+        if route == ("POST", "jobs"):
+            await self._submit(body, writer)
+            return
+        if route == ("GET", "jobs"):
+            writer.write(_json_response(
+                200, "OK", {"jobs": [j.to_dict()
+                                     for j in sched.jobs()]}))
+            return
+        if len(route) >= 3 and route[1] == "jobs":
+            await self._job_route(route, writer)
+            return
+        writer.write(_error(404, "Not Found",
+                            f"no route {method} {path}"))
+
+    async def _submit(self, body: bytes,
+                      writer: asyncio.StreamWriter) -> None:
+        from .jobs import JobSpec
+        try:
+            doc = json.loads(body.decode("utf-8") or "null")
+            spec = JobSpec.from_dict(doc)
+        except (ValueError, JobError) as e:
+            writer.write(_error(400, "Bad Request", str(e)))
+            return
+        try:
+            job = self.scheduler.submit(spec)
+        except AdmissionError as e:
+            writer.write(_error(
+                429, "Too Many Requests", str(e),
+                extra={"Retry-After":
+                       str(max(1, round(e.retry_after)))}))
+            return
+        writer.write(_json_response(201, "Created", job.to_dict()))
+
+    async def _job_route(self, route, writer) -> None:
+        sched = self.scheduler
+        method, _, job_id, *rest = route
+        try:
+            job = sched.get(job_id)
+        except KeyError as e:
+            writer.write(_error(404, "Not Found", str(e)))
+            return
+        try:
+            if method == "GET" and not rest:
+                writer.write(_json_response(200, "OK", job.to_dict()))
+            elif method == "GET" and rest == ["events"]:
+                await self._stream_events(job, writer)
+            elif method == "DELETE" and not rest:
+                writer.write(_json_response(
+                    200, "OK", sched.cancel(job_id).to_dict()))
+            elif method == "POST" and rest == ["pause"]:
+                writer.write(_json_response(
+                    200, "OK", sched.pause(job_id).to_dict()))
+            elif method == "POST" and rest == ["resume"]:
+                writer.write(_json_response(
+                    200, "OK", sched.resume(job_id).to_dict()))
+            else:
+                writer.write(_error(404, "Not Found",
+                                    "no such job operation"))
+        except JobError as e:
+            writer.write(_error(409, "Conflict", str(e)))
+
+    async def _stream_events(self, job,
+                             writer: asyncio.StreamWriter) -> None:
+        """NDJSON event stream: recorded events first, then live ones
+        until the job reaches a resting state.  The body is
+        EOF-terminated (no Content-Length), so plain ``http.client``
+        readers just read lines until the connection closes."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        sent = 0
+        while True:
+            events = job.events
+            while sent < len(events):
+                writer.write((json.dumps(events[sent]) + "\n")
+                             .encode("utf-8"))
+                sent += 1
+            await writer.drain()
+            if job.terminal or job.state == "paused":
+                writer.write((json.dumps(
+                    {"event": "state", "state": job.state}) + "\n")
+                    .encode("utf-8"))
+                return
+            await asyncio.sleep(_EVENT_POLL)
+
+
+async def _run(server: Server) -> None:
+    """Serve until SIGINT/SIGTERM, then shut down cleanly."""
+    import signal
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loops
+    print(f"repro serve: listening on "
+          f"http://{server.host}:{server.port}/ "
+          f"({server.scheduler.slots} slot(s), queue bound "
+          f"{server.scheduler.queue_depth})", flush=True)
+    await stop.wait()
+    print("repro serve: shutting down", flush=True)
+    await server.stop()
+
+
+def run_server(*, host: str = "127.0.0.1", port: int = 8014,
+               slots: int = 2, queue_depth: int = 16,
+               workdir: Optional[object] = None,
+               metrics: Optional[object] = None,
+               tracer: Optional[object] = None) -> int:
+    """Blocking entry point behind ``repro serve``.
+
+    Builds the scheduler + server, runs the asyncio loop until a
+    termination signal, and returns the process exit code.
+    """
+    sched = Scheduler(slots=slots, queue_depth=queue_depth,
+                      workdir=workdir, metrics=metrics, tracer=tracer)
+    server = Server(sched, host=host, port=port)
+    try:
+        asyncio.run(_run(server))
+    except KeyboardInterrupt:
+        sched.stop()
+    return 0

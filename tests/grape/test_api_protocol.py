@@ -193,3 +193,122 @@ class TestGetForceOutParams:
             api.g5_get_force(2, np.empty((2, 3)), None)
         with pytest.raises(G5Error):
             api.g5_get_force(2, np.empty((3, 3)), np.empty(2))
+
+
+class TestConcurrencyLatch:
+    """acquire()/release(): the single-holder latch behind GRAPE
+    leasing (repro.serve).  Double-release and cross-thread use must
+    fail loudly instead of corrupting staged state."""
+
+    def test_acquire_release_roundtrip(self, rng):
+        ctx = G5Context().open()
+        assert not ctx.held
+        assert ctx.acquire() is ctx
+        assert ctx.held
+        _stage_and_run(ctx, rng)  # holder thread works normally
+        ctx.release()
+        assert not ctx.held
+        ctx.close()
+
+    def test_double_acquire_raises(self):
+        ctx = G5Context().open()
+        ctx.acquire()
+        with pytest.raises(G5Error, match="already acquired"):
+            ctx.acquire()
+        ctx.release()
+        ctx.close()
+
+    def test_double_release_raises(self):
+        ctx = G5Context().open()
+        ctx.acquire()
+        ctx.release()
+        with pytest.raises(G5Error, match="double-release"):
+            ctx.release()
+        ctx.close()
+
+    def test_release_without_acquire_raises(self):
+        ctx = G5Context().open()
+        with pytest.raises(G5Error):
+            ctx.release()
+        ctx.close()
+
+    def test_cross_thread_use_while_held_raises(self, rng):
+        import threading
+        ctx = G5Context().open()
+        ctx.acquire()
+        errors = []
+
+        def intruder():
+            for call in (lambda: ctx.set_eps_to_all(0.01),
+                         lambda: ctx.set_n(1),
+                         lambda: ctx.run(),
+                         lambda: ctx.release()):
+                try:
+                    call()
+                except G5Error as e:
+                    errors.append(str(e))
+
+        t = threading.Thread(target=intruder)
+        t.start()
+        t.join()
+        assert len(errors) == 4
+        # the holder is unaffected by the failed intrusion
+        _stage_and_run(ctx, rng)
+        ctx.release()
+        ctx.close()
+
+    def test_unheld_context_is_open_to_any_thread(self, rng):
+        import threading
+        ctx = G5Context().open()
+        ok = []
+
+        def worker():
+            _stage_and_run(ctx, rng)
+            ok.append(True)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert ok  # back-compat: no latch, no restriction
+
+    def test_acquire_then_handoff_between_threads(self):
+        """The lease broker pattern: thread A acquires, works,
+        releases; thread B then acquires the same context."""
+        import threading
+        ctx = G5Context().open()
+        order = []
+
+        def hold(name):
+            ctx.acquire()
+            order.append(name)
+            ctx.release()
+
+        a = threading.Thread(target=hold, args=("a",))
+        a.start(); a.join()
+        b = threading.Thread(target=hold, args=("b",))
+        b.start(); b.join()
+        assert order == ["a", "b"]
+        ctx.close()
+
+    def test_concurrent_acquire_admits_exactly_one(self):
+        import threading
+        ctx = G5Context().open()
+        barrier = threading.Barrier(8)
+        wins, losses = [], []
+
+        def contend():
+            barrier.wait()
+            try:
+                ctx.acquire()
+                wins.append(threading.get_ident())
+            except G5Error:
+                losses.append(threading.get_ident())
+
+        threads = [threading.Thread(target=contend) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(wins) == 1 and len(losses) == 7
+        ctx._holder = None  # the winner thread is gone; force-unlatch
+        ctx.close()

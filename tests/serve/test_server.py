@@ -1,0 +1,153 @@
+"""HTTP acceptance suite for the service.
+
+Covers the ISSUE 5 acceptance criterion end-to-end: two concurrent
+jobs submitted over HTTP run to completion with disjoint GRAPE
+leases, bit-identical results to the same run issued serially via
+``repro run``, and admission control answers 429 once the queue
+bound is hit.
+"""
+
+import io
+import time
+
+import pytest
+
+from repro.serve import JOB_SCHEMA, Backpressure, ServeHTTPError
+
+FE_SPEC = {"schema": JOB_SCHEMA, "kind": "force_eval",
+           "params": {"n": 128}}
+
+
+def _run_spec(tiny_run, **over):
+    doc = {"schema": JOB_SCHEMA, "kind": "run", "params": tiny_run}
+    doc.update(over)
+    return doc
+
+
+class TestEndpoints:
+    def test_healthz_reports_capacity(self, server_pair):
+        server, client = server_pair
+        h = client.healthz()
+        assert h["status"] == "ok"
+        assert h["slots"] == 2
+        assert h["running"] == 0 and h["queued"] == 0
+
+    def test_metrics_is_prometheus_text(self, server_pair):
+        _, client = server_pair
+        text = client.metrics()
+        assert "repro_serve_queue_limit 16" in text
+        assert "# TYPE repro_serve_jobs_running gauge" in text
+
+    def test_unknown_job_is_404(self, server_pair):
+        _, client = server_pair
+        with pytest.raises(ServeHTTPError) as exc:
+            client.job("j999999")
+        assert exc.value.status == 404
+
+    def test_malformed_spec_is_400(self, server_pair):
+        _, client = server_pair
+        with pytest.raises(ServeHTTPError) as exc:
+            client.submit({"schema": JOB_SCHEMA, "kind": "run",
+                           "color": "red"})
+        assert exc.value.status == 400
+        assert "unknown job field" in str(exc.value)
+
+    def test_unknown_route_is_404(self, server_pair):
+        _, client = server_pair
+        with pytest.raises(ServeHTTPError) as exc:
+            client._request("GET", "/teapot")
+        assert exc.value.status == 404
+
+
+class TestJobsOverHTTP:
+    def test_submit_wait_events(self, server_pair):
+        _, client = server_pair
+        doc = client.submit(FE_SPEC)
+        assert doc["state"] == "queued" and doc["id"].startswith("j")
+        final = client.wait(doc["id"], timeout=60)
+        assert final["state"] == "done"
+        assert final["result"]["interactions"] > 0
+        events = list(client.events(doc["id"]))
+        kinds = [e["event"] for e in events]
+        assert "leased" in kinds
+        assert events[-1] == {"event": "state", "state": "done"}
+
+    def test_cancel_queued_job(self, tmp_path, serve_factory, tiny_run):
+        with serve_factory(slots=1, workdir=tmp_path) as (_, client):
+            slow = client.submit(_run_spec(tiny_run))
+            victim = client.submit(FE_SPEC)
+            doc = client.cancel(victim["id"])
+            assert doc["state"] == "cancelled"
+            assert client.wait(slow["id"],
+                               timeout=120)["state"] == "done"
+
+    def test_jobs_listing(self, server_pair):
+        _, client = server_pair
+        a = client.submit(FE_SPEC)
+        b = client.submit(FE_SPEC)
+        listed = {d["id"] for d in client.jobs()}
+        assert {a["id"], b["id"]} <= listed
+        client.wait(a["id"], timeout=60)
+        client.wait(b["id"], timeout=60)
+
+
+class TestAcceptance:
+    """The ISSUE 5 acceptance criterion, verbatim."""
+
+    def _reference_digest(self, tmp_path, tiny_run):
+        """The same tiny run issued serially via ``repro run``."""
+        from repro import cli
+        from repro.sim.checkpoint import load_checkpoint
+        from repro.sim.recipes import state_digest
+        ckpt = tmp_path / "reference.npz"
+        rc = cli.main(["run", "--ngrid", str(tiny_run["ngrid"]),
+                       "--steps", str(tiny_run["steps"]),
+                       "--z-final", str(tiny_run["z_final"]),
+                       "--checkpoint", str(ckpt)], out=io.StringIO())
+        assert rc == 0
+        sim = load_checkpoint(ckpt)
+        return state_digest(sim.pos, sim.vel, sim.t)
+
+    def test_concurrent_http_jobs_disjoint_leases_bit_identical(
+            self, tmp_path, serve_factory, tiny_run):
+        expected = self._reference_digest(tmp_path, tiny_run)
+        with serve_factory(slots=2, workdir=tmp_path / "serve") as \
+                (server, client):
+            a = client.submit(_run_spec(tiny_run))
+            b = client.submit(_run_spec(tiny_run))
+            # both jobs must hold a slot at the same time
+            deadline = time.monotonic() + 30
+            seen_concurrent = False
+            while time.monotonic() < deadline:
+                h = client.healthz()
+                if h["running"] == 2 and h["leases_in_use"] == 2:
+                    seen_concurrent = True
+                    break
+                time.sleep(0.02)
+            assert seen_concurrent, "jobs never ran concurrently"
+            da = client.wait(a["id"], timeout=120)
+            db = client.wait(b["id"], timeout=120)
+            assert da["state"] == "done" and db["state"] == "done"
+            # disjoint GRAPE leases
+            assert da["lease"] != db["lease"]
+            # bit-identical to the serial CLI run
+            assert da["result"]["digest"] == expected
+            assert db["result"]["digest"] == expected
+
+    def test_admission_control_returns_429(self, tmp_path,
+                                           serve_factory, tiny_run):
+        with serve_factory(slots=1, queue_depth=1,
+                           workdir=tmp_path) as (_, client):
+            runner = client.submit(_run_spec(tiny_run))
+            # wait until the slow job holds the slot, then fill the
+            # single queue seat deterministically
+            deadline = time.monotonic() + 30
+            while (client.job(runner["id"])["state"]
+                   not in ("scheduled", "running")):
+                assert time.monotonic() < deadline
+                time.sleep(0.01)
+            client.submit(FE_SPEC)
+            with pytest.raises(Backpressure) as exc:
+                client.submit(FE_SPEC)
+            assert exc.value.retry_after >= 1.0
+            client.wait(runner["id"], timeout=120)

@@ -185,3 +185,26 @@ class TestHalos:
         code, text = run_cli("halos", str(ck), "--b", "0.05")
         assert code == 0
         assert "halos = 0" in text
+
+
+class TestExitCodes:
+    """Every subcommand signals usage errors with exit code 2 --
+    bad arguments and missing files are reported on the output
+    stream, never as tracebacks (satellite of ISSUE 5)."""
+
+    @pytest.mark.parametrize("argv", [
+        ("run", "--faults", "not-a-fault-plan"),
+        ("resume", "/nonexistent/checkpoint.npz"),
+        ("sweep", "--faults", "bogus@@selector"),
+        ("halos", "/nonexistent/checkpoint.npz"),
+        ("bench", "report", "/nonexistent/result.json"),
+        ("serve", "--slots", "0"),
+        ("submit", "-p", "missing-equals-sign"),
+        ("submit", "--spec", "/nonexistent/spec.json"),
+        ("jobs", "--cancel"),
+    ], ids=lambda a: " ".join(a[:2]))
+    def test_usage_errors_exit_2(self, argv):
+        code, text = run_cli(*argv)
+        assert code == 2
+        assert argv[0] in text            # "<command>: <reason>"
+        assert "Traceback" not in text
