@@ -31,7 +31,17 @@ Subcommands
     emulated GRAPEs to concurrent jobs.  See docs/service.md.
 ``submit`` / ``jobs``
     Client verbs against a running service: submit a job (optionally
-    polling it to completion) and list/inspect/cancel jobs.
+    polling it to completion) and list/inspect/cancel jobs;
+    ``jobs --follow <id>`` renders the live NDJSON progress stream,
+    ``jobs --job-trace <id>`` fetches the job's span tree.
+``obs``
+    Offline trace analysis: ``obs tree`` renders a recorded trace as
+    an indented span tree, ``obs critical-path`` partitions the wall
+    clock into host/worker/GRAPE resource buckets (summing exactly to
+    the traced interval) plus the dominant span chain, and ``obs
+    diff`` compares two traces phase by phase.  Inputs are ``--trace``
+    JSONL files or saved ``GET /jobs/{id}/trace`` documents.  See
+    docs/observability.md.
 
 All subcommands are deterministic for a fixed ``--seed``.
 
@@ -48,9 +58,13 @@ bit-identical to earlier releases.
 
 Observability (``run``/``resume``/``sweep``): ``--profile`` prints the
 section-5-style per-phase wall-time table at the end, ``--trace
-out.jsonl`` writes the span tree as JSON lines, ``--metrics out.prom``
-writes a Prometheus text exposition of the run counters, and ``run
---json-summary out.json`` emits the ``repro.run_summary/v1`` document.
+out.jsonl`` writes the span tree as JSON lines (with ``--engine
+pipeline`` the worker-process spans are stitched in under their
+submitting batch spans -- one coherent cross-process trace),
+``--metrics out.prom`` writes a Prometheus text exposition of the run
+counters, ``--flightrec out.jsonl`` attaches the black-box flight
+recorder and dumps its ring at the end, and ``run --json-summary
+out.json`` emits the ``repro.run_summary/v1`` document.
 ``-v``/``-vv`` (before the subcommand) turns on INFO/DEBUG logging of
 the ``repro`` logger hierarchy.
 """
@@ -87,6 +101,11 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--metrics", type=Path, default=None,
                      metavar="PROM",
                      help="write Prometheus-format metrics here")
+    obs.add_argument("--flightrec", type=Path, default=None,
+                     metavar="JSONL",
+                     help="attach a flight recorder (bounded ring of "
+                          "recent fault/recovery events) and dump it "
+                          "here at the end of the run")
     obs.add_argument("--engine", choices=("serial", "pipeline"),
                      default="serial",
                      help="force-evaluation engine: 'serial' (default, "
@@ -274,10 +293,42 @@ def build_parser() -> argparse.ArgumentParser:
 
     j = sub.add_parser("jobs", parents=[endpoint],
                        help="list jobs on a running service, or "
-                            "inspect/cancel one")
+                            "inspect/cancel/follow one")
     j.add_argument("job_id", nargs="?", default=None)
     j.add_argument("--cancel", action="store_true",
                    help="cancel the given job")
+    j.add_argument("--follow", action="store_true",
+                   help="stream the job's NDJSON progress events "
+                        "live until it reaches a resting state")
+    j.add_argument("--job-trace", action="store_true",
+                   help="print the job's repro.trace/v1 span "
+                        "document (pipe to a file for 'repro obs')")
+
+    o = sub.add_parser("obs",
+                       help="trace analysis: tree/critical-path/diff")
+    osub = o.add_subparsers(dest="obs_command", required=True)
+
+    ot = osub.add_parser("tree",
+                         help="render a trace as an indented span "
+                              "tree")
+    ot.add_argument("trace_file", type=Path,
+                    help="--trace JSONL file, or a saved "
+                         "/jobs/{id}/trace document")
+    ot.add_argument("--depth", type=int, default=None, metavar="D",
+                    help="prune spans nested deeper than D")
+    ot.add_argument("--min-ms", type=float, default=0.0, metavar="MS",
+                    help="hide spans shorter than MS milliseconds")
+
+    oc = osub.add_parser("critical-path",
+                         help="host/worker/GRAPE wall-time "
+                              "attribution + dominant span chain")
+    oc.add_argument("trace_file", type=Path)
+
+    od = osub.add_parser("diff",
+                         help="per-phase wall-time comparison of two "
+                              "traces")
+    od.add_argument("trace_a", type=Path)
+    od.add_argument("trace_b", type=Path)
     return p
 
 
@@ -305,6 +356,15 @@ def _fault_plan(args):
     return parse_fault_plan(source)
 
 
+def _make_flight(args):
+    """Flight recorder pointed at ``--flightrec`` (None when unset)."""
+    path = getattr(args, "flightrec", None)
+    if path is None:
+        return None
+    from repro.obs import FlightRecorder
+    return FlightRecorder(path=path)
+
+
 def _make_engine(args, plan=None):
     """Build the requested force-evaluation engine (or None for serial).
 
@@ -323,20 +383,25 @@ def _make_engine(args, plan=None):
                        batch_timeout=getattr(args, "batch_timeout", None))
 
 
-def _make_force(args, tracer=None, registry=None):
+def _make_force(args, tracer=None, registry=None, flight=None):
     """``(treecode, grape_backend_or_None)`` via the shared recipe.
 
     Delegates to :func:`repro.sim.recipes.build_force` -- the same
     construction path ``repro.serve`` jobs use, which is what keeps
-    served runs bit-identical to CLI runs.
+    served runs bit-identical to CLI runs.  ``flight`` (a
+    :class:`~repro.obs.FlightRecorder`) rides into the engine and the
+    force-layer fault injector so ``--flightrec`` captures fault and
+    recovery events from every layer.
     """
     from repro.sim.recipes import build_force
     plan = _fault_plan(args)
     injector = None
     if plan is not None:
         from repro.faults import FaultInjector
-        injector = FaultInjector(plan)
+        injector = FaultInjector(plan, flight=flight)
     engine = _make_engine(args, plan)
+    if engine is not None and flight is not None:
+        engine.flight = flight
     return build_force(theta=args.theta, ncrit=args.ncrit,
                        backend=args.backend, engine=engine,
                        tracer=tracer, metrics=registry,
@@ -344,7 +409,8 @@ def _make_force(args, tracer=None, registry=None):
                        max_retries=getattr(args, "max_retries", 2))
 
 
-def _emit_obs(args, tracer, registry, out, *, extra=None) -> None:
+def _emit_obs(args, tracer, registry, out, *, extra=None,
+              flight=None) -> None:
     """Write/print whatever observability outputs were requested."""
     from repro.obs.export import (format_phase_table, write_jsonl,
                                   write_json_summary, write_prometheus)
@@ -367,6 +433,10 @@ def _emit_obs(args, tracer, registry, out, *, extra=None) -> None:
         write_json_summary(args.json_summary, registry, tracer=tracer,
                            extra=extra)
         print(f"run summary written to {args.json_summary}", file=out)
+    if flight is not None and flight.path is not None:
+        n = flight.flush()
+        print(f"flight recorder dumped to {flight.path} "
+              f"({n} events)", file=out)
 
 
 def _report_run(sim, backend, out) -> None:
@@ -414,9 +484,11 @@ def cmd_run(args, out) -> int:
     logger.info("run: N=%d ngrid=%d steps=%d backend=%s",
                 region.n_particles, args.ngrid, args.steps, args.backend)
     tracer, registry = _make_obs(args)
-    force, backend = _make_force(args, tracer, registry)
+    flight = _make_flight(args)
+    force, backend = _make_force(args, tracer, registry, flight)
     sim = Simulation.from_sphere(region, force=force, tracer=tracer,
                                  metrics=registry)
+    sim.flight = flight
     sim.t = SCDM.age(args.z_init)
     sched = run_schedule(z_init=args.z_init, z_final=args.z_final,
                          steps=args.steps)
@@ -433,7 +505,7 @@ def cmd_run(args, out) -> int:
     plan = _fault_plan(args)
     if plan is not None:
         from repro.faults import FaultInjector
-        injector = FaultInjector(plan)
+        injector = FaultInjector(plan, flight=flight)
     try:
         sim.run(sched, callback=_progress,
                 checkpoint_path=args.checkpoint,
@@ -448,7 +520,8 @@ def cmd_run(args, out) -> int:
     _report_run(sim, backend, out)
     _emit_obs(args, tracer, registry, out,
               extra={"backend": args.backend, "theta": args.theta,
-                     "n_crit": args.ncrit, "seed": args.seed})
+                     "n_crit": args.ncrit, "seed": args.seed},
+              flight=flight)
 
     if args.figure4 is not None:
         xy = slab(sim.pos, width=45.0, thickness=2.5,
@@ -468,9 +541,11 @@ def cmd_resume(args, out) -> int:
     from repro.sim.checkpoint import load_checkpoint, save_checkpoint
 
     tracer, registry = _make_obs(args)
-    force, backend = _make_force(args, tracer, registry)
+    flight = _make_flight(args)
+    force, backend = _make_force(args, tracer, registry, flight)
     sim = load_checkpoint(args.checkpoint, force=force)
     sim.tracer, sim.metrics = tracer, registry
+    sim.flight = flight
     registry.gauge("sim.n_particles",
                    "particles in the run").set(sim.n_particles)
     z_now = SCDM.z_of_a(SCDM.a_of_t(sim.t))
@@ -489,7 +564,7 @@ def cmd_resume(args, out) -> int:
     finally:
         sim.close()
     _report_run(sim, backend, out)
-    _emit_obs(args, tracer, registry, out)
+    _emit_obs(args, tracer, registry, out, flight=flight)
     if args.checkpoint_out is not None:
         save_checkpoint(args.checkpoint_out, sim)
         print(f"checkpoint written to {args.checkpoint_out}", file=out)
@@ -504,7 +579,10 @@ def cmd_sweep(args, out) -> int:
     rng = np.random.default_rng(args.seed)
     pos, _, mass = plummer_model(args.n, rng)
     tracer, registry = _make_obs(args)
+    flight = _make_flight(args)
     engine = _make_engine(args, _fault_plan(args))
+    if engine is not None and flight is not None:
+        engine.flight = flight
     rows = []
     try:
         # one engine (and its worker pool) is shared across every
@@ -522,7 +600,7 @@ def cmd_sweep(args, out) -> int:
         if engine is not None:
             engine.close()
     print(format_table(rows), file=out)
-    _emit_obs(args, tracer, registry, out)
+    _emit_obs(args, tracer, registry, out, flight=flight)
     return 0
 
 
@@ -726,18 +804,52 @@ def cmd_submit(args, out) -> int:
     return 0 if final["state"] == "done" else 1
 
 
+def _follow_job(client, job_id: str, out) -> int:
+    """Render the NDJSON ``/jobs/{id}/events`` stream live.
+
+    One line per event -- ``step`` events get the compact progress
+    form, everything else dumps its attrs -- until the server closes
+    the stream at a resting state.  Exit 0 when the job ends ``done``
+    (or pauses), 1 otherwise.
+    """
+    state = None
+    for ev in client.events(job_id):
+        kind = ev.pop("event", "?")
+        ev.pop("t_wall", None)
+        if kind == "state":
+            state = ev.get("state")
+            print(f"{job_id}: {state}", file=out, flush=True)
+        elif kind == "step":
+            print(f"  step {ev.get('step')}: "
+                  f"list = {ev.get('mean_list', 0.0):.0f}, "
+                  f"{ev.get('wall', 0.0):.2f} s", file=out,
+                  flush=True)
+        else:
+            attrs = " ".join(f"{k}={v}" for k, v in ev.items())
+            print(f"  {kind}" + (f" {attrs}" if attrs else ""),
+                  file=out, flush=True)
+    return 0 if state in ("done", "paused") else 1
+
+
 def cmd_jobs(args, out) -> int:
-    """List jobs on a service, or inspect/cancel one."""
+    """List jobs on a service, or inspect/cancel/follow one."""
     import json
     from repro.perf.report import format_table
     from repro.serve import ServeClient, ServeError, ServeHTTPError
     client = ServeClient(args.host, args.port)
-    if args.cancel and args.job_id is None:
-        raise ServeError("--cancel needs a job id")
+    if (args.cancel or args.follow or args.job_trace) \
+            and args.job_id is None:
+        raise ServeError("--cancel/--follow/--job-trace need a job id")
     try:
         if args.job_id is not None:
-            doc = (client.cancel(args.job_id) if args.cancel
-                   else client.job(args.job_id))
+            if args.follow:
+                return _follow_job(client, args.job_id, out)
+            if args.job_trace:
+                doc = client.trace(args.job_id)
+            elif args.cancel:
+                doc = client.cancel(args.job_id)
+            else:
+                doc = client.job(args.job_id)
             print(json.dumps(doc, indent=2), file=out)
             return 0
     except ServeHTTPError as e:
@@ -754,6 +866,36 @@ def cmd_jobs(args, out) -> int:
                       f"/{d['progress']['steps_total']}",
              "lease": d["lease"] or "-"} for d in docs]
     print(format_table(rows), file=out)
+    return 0
+
+
+def cmd_obs(args, out) -> int:
+    """Trace analysis: ``tree`` / ``critical-path`` / ``diff``.
+
+    Operates purely on recorded traces (``--trace`` JSONL files or
+    saved ``/jobs/{id}/trace`` documents) -- no live service or
+    simulation involved.
+    """
+    from repro.obs import analyze
+    if args.obs_command == "diff":
+        a = analyze.load_trace(args.trace_a)
+        b = analyze.load_trace(args.trace_b)
+        print(analyze.format_diff(a["spans"], b["spans"],
+                                  a_label=str(args.trace_a),
+                                  b_label=str(args.trace_b)),
+              file=out)
+        return 0
+    doc = analyze.load_trace(args.trace_file)
+    if not doc["spans"]:
+        print(f"{args.trace_file}: no span events (was the run "
+              "traced?)", file=out)
+        return 2
+    if args.obs_command == "tree":
+        print(analyze.format_tree(doc["spans"], max_depth=args.depth,
+                                  min_seconds=args.min_ms / 1e3),
+              file=out)
+    else:  # critical-path
+        print(analyze.format_critical_path(doc["spans"]), file=out)
     return 0
 
 
@@ -790,9 +932,17 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                "resume": cmd_resume, "sweep": cmd_sweep,
                "halos": cmd_halos, "bench": cmd_bench,
                "serve": cmd_serve, "submit": cmd_submit,
-               "jobs": cmd_jobs}[args.command]
+               "jobs": cmd_jobs, "obs": cmd_obs}[args.command]
     try:
         return handler(args, out)
+    except BrokenPipeError:
+        # downstream pipe closed early (e.g. `repro obs tree | head`);
+        # stop quietly instead of dumping a traceback
+        try:
+            out.close()
+        except (OSError, ValueError):
+            pass
+        return 0
     except (OSError, ValueError) as exc:
         # covers FileNotFoundError/ConnectionError (OSError), fault-
         # plan and JobSpec validation (ValueError incl. JobError)

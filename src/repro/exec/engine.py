@@ -47,8 +47,18 @@ re-execution always safe; on top of that the engine layers a ladder:
 
 Every rung increments an ``exec.fault.*`` counter and emits an
 ``exec.fault`` span event, so injected (or real) faults are visible in
-metrics and traces.  With ``max_retries=0`` and ``degrade=False`` the
-ladder is disabled and any fault raises :class:`EngineError` promptly.
+metrics and traces; with a :class:`~repro.obs.flightrec.FlightRecorder`
+attached (``flight=``), each fault and recovery decision also lands in
+the black-box ring, flushed whenever a sweep saw faults or aborted.
+With ``max_retries=0`` and ``degrade=False`` the ladder is disabled and
+any fault raises :class:`EngineError` promptly.
+
+Tracing crosses the process boundary: when the sweep runs under an
+enabled tracer, each batch ships a :class:`~repro.obs.context.
+SpanContext` and the worker's phase timings come back on the ``done``
+message, stitched under the submitting ``eval`` span as ``exec.batch``
+spans -- ``repro run --engine pipeline --trace out.jsonl`` yields one
+coherent tree spanning host and workers.
 """
 
 from __future__ import annotations
@@ -64,9 +74,10 @@ import numpy as np
 from ..core.kernels import ForceBackend
 from ..core.traversal import InteractionLists, concatenate_lists
 from ..faults import as_fault_plan
-from ..obs.trace import as_tracer
+from ..obs.context import SpanContext, new_span_id
+from ..obs.trace import Span, as_tracer
 from .plan import (DEFAULT_BATCH_NJ, SweepSpec, assemble_sources,
-                   plan_batches)
+                   batch_message, plan_batches)
 from .workers import (STOP, _run_batch, batch_checksum, create_shm,
                       worker_main)
 
@@ -210,6 +221,12 @@ class PipelineEngine(ForceEngine):
         Evaluate a retry-exhausted batch inline through the parent's
         backend (bit-identical) instead of raising
         :class:`EngineError`.
+    flight:
+        Optional :class:`~repro.obs.flightrec.FlightRecorder`.  Every
+        fault-ladder event (and each recovery decision) is recorded
+        into it, and the ring is flushed to its configured path
+        whenever a sweep saw faults or aborted -- the engine-level
+        black box.
     """
 
     name = "pipeline"
@@ -222,7 +239,8 @@ class PipelineEngine(ForceEngine):
                  max_retries: int = 2,
                  batch_timeout: Optional[float] = None,
                  retry_backoff: float = 0.05,
-                 degrade: bool = True) -> None:
+                 degrade: bool = True,
+                 flight: Optional[object] = None) -> None:
         import multiprocessing as mp
         import os
         if workers is None:
@@ -240,6 +258,7 @@ class PipelineEngine(ForceEngine):
                               if batch_timeout is not None else None)
         self.retry_backoff = max(0.0, float(retry_backoff))
         self.degrade = bool(degrade)
+        self.flight = flight
         if start_method is None:
             start_method = ("fork" if "fork" in mp.get_all_start_methods()
                             else "spawn")
@@ -377,6 +396,8 @@ class PipelineEngine(ForceEngine):
     def evaluate(self, backend, spec, *, tracer=None, metrics=None):
         import queue as _queue
         tr = as_tracer(tracer)
+        tracing = bool(getattr(tr, "enabled", False))
+        fl = self.flight
         self._ensure_pool(backend)
         caps = backend.capabilities()
         cap_nj = min(c for c in (caps.max_nj,
@@ -435,6 +456,8 @@ class PipelineEngine(ForceEngine):
             if metrics is not None:
                 metrics.counter(f"exec.fault.{kind}",
                                 _FAULT_HELP.get(kind, "")).inc()
+            if fl is not None:
+                fl.record(f"fault.{kind}", sweep=sweep_id, **attrs)
             logger.warning("pipeline sweep %d: fault %s %s", sweep_id,
                            kind, attrs)
 
@@ -453,9 +476,12 @@ class PipelineEngine(ForceEngine):
             bit-identical to the serial engine)."""
             nonlocal t_fallback
             task = pending_task[bid]
-            _, _, _, _, shard_meta, a0, g0, g1 = task
+            _, _, _, _, shard_meta, a0, g0, g1, _ctx = task
             shard = shard_by_name[shard_meta[0]]
             _fault_event("serial_fallbacks", batch=bid)
+            if fl is not None:
+                fl.record("recovery", decision="serial_fallback",
+                          sweep=sweep_id, batch=bid)
             k0 = time.perf_counter()
             # domain already announced on the parent backend by the
             # driver (TreeCode.set_domain precedes the sweep)
@@ -479,6 +505,10 @@ class PipelineEngine(ForceEngine):
                     + (f":\n{error}" if error else ""))
             _fault_event("batch_retries", batch=bid, reason=reason,
                          attempt=attempts[bid])
+            if fl is not None:
+                fl.record("recovery", decision="retry", sweep=sweep_id,
+                          batch=bid, reason=reason,
+                          attempt=attempts[bid])
             if backoff and self.retry_backoff:
                 time.sleep(self.retry_backoff * attempts[bid])
             _submit(bid)
@@ -498,6 +528,11 @@ class PipelineEngine(ForceEngine):
             self._rebuild_pool()
             _fault_event("respawns", reason=reason,
                          workers=len(bad_wids))
+            if fl is not None:
+                fl.record("recovery", decision="rebuild_pool",
+                          sweep=sweep_id, reason=reason,
+                          workers=sorted(bad_wids),
+                          resubmitted=len(outstanding))
             started.clear()
             for bid in sorted(outstanding):
                 _retry(bid, reason, backoff=False)
@@ -549,7 +584,7 @@ class PipelineEngine(ForceEngine):
                     started[bid] = (wid, time.perf_counter())
                 return
             if kind == "done":
-                _, bid, wid, sid, delta, busy, _ns, crc = msg
+                _, bid, wid, sid, delta, busy, _ns, crc, wspans = msg
                 if sid != sweep_id or bid not in outstanding:
                     return  # stale or duplicate: stats dropped too
                 task = pending_task[bid]
@@ -562,6 +597,25 @@ class PipelineEngine(ForceEngine):
                             f"(worker {wid})")
                     _retry(bid, "corrupt_result")
                     return
+                ctx = task[8]
+                if ctx is not None and wspans:
+                    # stitch the worker's phase timings into the parent
+                    # trace: one exec.batch span (submit -> last worker
+                    # phase, on the shared monotonic clock) whose id was
+                    # pre-allocated at submit time, with the worker's
+                    # queue-wait/shm-attach/eval spans as children.
+                    bsp = Span("exec.batch", span_id=ctx.span_id,
+                               attrs={"batch": bid, "worker": wid,
+                                      "sweep": sid,
+                                      "attempt": attempts.get(bid, 0)})
+                    bsp.t_start = ctx.t_origin or wspans[0]["t_start"]
+                    bsp.t_end = max(d["t_end"] for d in wspans)
+                    for d in wspans:
+                        child = Span(d["name"], attrs=d.get("attrs"))
+                        child.t_start = d["t_start"]
+                        child.t_end = d["t_end"]
+                        bsp.children.append(child)
+                    tr.attach(bsp)
                 _complete(bid)
                 busy_by_worker[wid] = busy_by_worker.get(wid, 0.0) \
                     + float(busy)
@@ -623,9 +677,13 @@ class PipelineEngine(ForceEngine):
                     next_batch += 1
                     n_batches += 1
                     outstanding.add(bid)
-                    pending_task[bid] = ("batch", bid, sweep_id,
-                                         sweep_meta, shard_block.meta,
-                                         a, a + u, a + v)
+                    ctx = (SpanContext(getattr(tr, "trace_id", ""),
+                                       new_span_id(),
+                                       time.perf_counter())
+                           if tracing else None)
+                    pending_task[bid] = batch_message(
+                        bid, sweep_id, sweep_meta, shard_block.meta,
+                        a, a + u, a + v, ctx)
                     attempts[bid] = 0
                     _submit(bid)
                     if metrics is not None:
@@ -637,11 +695,16 @@ class PipelineEngine(ForceEngine):
                 # result queue short while we keep traversing
                 _pump(block=False)
             _pump(block=True)
-        except Exception:
+        except Exception as e:
             # workers may still be computing into the shared segments;
             # kill the pool before the memory goes away (the next sweep
             # restarts it).  Forceful on purpose: a graceful STOP drain
             # can hang on queues a dead worker left locked.
+            if fl is not None:
+                fl.record("sweep_abort", sweep=sweep_id,
+                          error=f"{type(e).__name__}: {e}",
+                          faults=dict(fault_counts))
+                fl.flush()
             self._kill_workers()
             self._release(sweep_block, shard_blocks)
             raise
@@ -670,6 +733,8 @@ class PipelineEngine(ForceEngine):
             m.gauge("exec.overlap",
                     "worker busy seconds per sweep wall second "
                     "(effective concurrency)").set(overlap)
+        if fl is not None and fault_counts:
+            fl.flush()
         logger.debug("pipeline sweep %d: sinks=%d batches=%d wall=%.3fs "
                      "busy=%.3fs overlap=%.2f faults=%s", sweep_id,
                      s_count, n_batches, wall, busy_total, overlap,

@@ -25,7 +25,7 @@ import numpy as np
 from ..core.traversal import InteractionLists
 
 __all__ = ["SweepSpec", "assemble_sources", "plan_batches",
-           "DEFAULT_BATCH_NJ"]
+           "batch_message", "DEFAULT_BATCH_NJ"]
 
 #: j-terms per batch for unbounded backends: big enough to amortise the
 #: per-task IPC, small enough that a handful of batches per worker keeps
@@ -85,6 +85,24 @@ def assemble_sources(spec_pos: np.ndarray, spec_pmass: np.ndarray,
     xj = np.concatenate([spec_com[cells], spec_pos[parts]])
     mj = np.concatenate([spec_cmass[cells], spec_pmass[parts]])
     return xj, mj
+
+
+def batch_message(batch_id: int, sweep_id: int, sweep_meta, shard_meta,
+                  a0: int, g0: int, g1: int, ctx=None) -> tuple:
+    """The pipeline task message for one batch (sans trailing attempt).
+
+    One place owns the wire shape shared by
+    :class:`~repro.exec.engine.PipelineEngine` (producer) and
+    :func:`~repro.exec.workers.worker_main` (consumer): evaluate sinks
+    ``[g0, g1)`` whose shard lists start at sink ``a0``, reading and
+    writing the named shared-memory blocks.  ``ctx`` is the optional
+    :class:`~repro.obs.context.SpanContext` of the submitting trace --
+    ``None`` when tracing is off, so the disabled path ships no extra
+    bytes and workers skip all span bookkeeping.  The engine appends
+    the attempt number at submit time.
+    """
+    return ("batch", batch_id, sweep_id, sweep_meta, shard_meta,
+            a0, g0, g1, ctx)
 
 
 def plan_batches(lengths: np.ndarray, max_nj: Optional[int]

@@ -180,14 +180,24 @@ def worker_main(worker_id: int, factory_bytes: bytes,
     parent side):
 
     ``("batch", batch_id, sweep_id, sweep_meta, shard_meta, a0, g0, g1,
-    attempt)``
+    ctx, attempt)`` (see :func:`repro.exec.plan.batch_message`)
         Evaluate sinks ``[g0, g1)`` (global ids; the shard's lists start
         at sink ``a0``).  The worker first announces
         ``("start", batch_id, worker_id, sweep_id)`` -- the parent's
         assignment record for timeout and crash accounting -- then
         replies ``("done", batch_id, worker_id, sweep_id, stats_delta,
-        busy_s, n_sinks, checksum)`` or ``("error", batch_id,
+        busy_s, n_sinks, checksum, spans)`` or ``("error", batch_id,
         worker_id, sweep_id, traceback_text, transient)``.
+
+        ``ctx`` is the submitting trace's
+        :class:`~repro.obs.context.SpanContext` or ``None``; when set,
+        the worker times its phases -- queue wait (from ``ctx.t_origin``
+        to dequeue), shared-memory attach, and the evaluation itself --
+        as plain span dicts (``{"name", "t_start", "t_end", "attrs"}``
+        on the shared monotonic clock) shipped back on the ``done``
+        message, where the parent stitches them under the submitting
+        span.  ``spans`` is ``None`` when tracing is off, so the
+        disabled path serialises nothing extra.
     ``("stop",)``
         Close cached segments and exit.
 
@@ -223,10 +233,17 @@ def worker_main(worker_id: int, factory_bytes: bytes,
     try:
         while True:
             msg = task_queue.get()
+            t_recv = time.perf_counter()
             if msg[0] == STOP:
                 break
             (_, batch_id, sweep_id, sweep_meta, shard_meta,
-             a0, g0, g1, attempt) = msg
+             a0, g0, g1, ctx, attempt) = msg
+            spans: Optional[list] = [] if ctx is not None else None
+            if spans is not None and ctx.t_origin:
+                spans.append({"name": "exec.queue_wait",
+                              "t_start": ctx.t_origin, "t_end": t_recv,
+                              "attrs": {"worker": worker_id,
+                                        "attempt": attempt}})
             result_queue.put(("start", batch_id, worker_id, sweep_id))
             try:
                 fault = (injector.batch_fault(sweep=sweep_id,
@@ -245,6 +262,9 @@ def worker_main(worker_id: int, factory_bytes: bytes,
                     raise TransientBackendError(
                         f"injected transient error in batch {batch_id}")
 
+                t_shm = time.perf_counter()
+                fresh_shm = (sweep_id not in sweep_cache
+                             or shard_meta[0] not in shard_cache)
                 if sweep_id not in sweep_cache:
                     # a new sweep supersedes everything cached
                     _drop_sweeps()
@@ -253,6 +273,11 @@ def worker_main(worker_id: int, factory_bytes: bytes,
                 if shard_meta[0] not in shard_cache:
                     shard_cache[shard_meta[0]] = open_shm(shard_meta)
                 shard = shard_cache[shard_meta[0]]
+                if spans is not None and fresh_shm:
+                    spans.append({"name": "exec.shm_attach",
+                                  "t_start": t_shm,
+                                  "t_end": time.perf_counter(),
+                                  "attrs": {"worker": worker_id}})
 
                 t0 = time.perf_counter()
                 stats0 = backend.snapshot_stats()
@@ -267,10 +292,15 @@ def worker_main(worker_id: int, factory_bytes: bytes,
                          for k in stats1}
                 busy = time.perf_counter() - t0
                 crc = batch_checksum(sweep, g0, g1)
+                if spans is not None:
+                    spans.append({"name": "exec.eval",
+                                  "t_start": t0, "t_end": t0 + busy,
+                                  "attrs": {"worker": worker_id,
+                                            "sinks": g1 - g0}})
                 if fault is not None and fault.kind == "corrupt_result":
                     _scribble(sweep, g0, g1)
                 result_queue.put(("done", batch_id, worker_id, sweep_id,
-                                  delta, busy, g1 - g0, crc))
+                                  delta, busy, g1 - g0, crc, spans))
             except TransientBackendError:
                 result_queue.put(("error", batch_id, worker_id, sweep_id,
                                   traceback.format_exc(), True))

@@ -53,15 +53,27 @@ class FaultInjector:
 
     ``worker`` is the owning worker id (``None`` in the parent or in
     backend-only contexts); specs selecting a different worker never
-    fire here.
+    fire here.  ``flight`` is an optional
+    :class:`~repro.obs.flightrec.FlightRecorder`: every fault that
+    fires is recorded into it (kind, site, selectors), so a postmortem
+    dump names the exact injection point.  The recorder is *not*
+    shipped to worker processes -- workers build their own injector
+    from the pickled plan.
     """
 
     def __init__(self, plan: FaultPlan, *,
-                 worker: Optional[int] = None) -> None:
+                 worker: Optional[int] = None,
+                 flight: Optional[object] = None) -> None:
         self.plan = plan
         self.worker = worker
+        self.flight = flight
         self._remaining = [s.count for s in plan.specs]
         self._site_calls: dict = {}
+
+    def _note(self, spec: FaultSpec, site: str, **attrs) -> None:
+        if self.flight is not None:
+            self.flight.record("fault.injected", fault=spec.kind,
+                               site=site, worker=self.worker, **attrs)
 
     # -- matching ------------------------------------------------------
     @staticmethod
@@ -98,6 +110,8 @@ class FaultInjector:
                 continue
             if self._fire(i, s, ("batch", sweep, batch, self.worker,
                                  attempt)):
+                self._note(s, "batch", sweep=sweep, batch=batch,
+                           attempt=attempt)
                 return s
         return None
 
@@ -112,6 +126,7 @@ class FaultInjector:
             if s.call is not None and n < s.call:
                 continue
             if self._fire(i, s, (site, n)):
+                self._note(s, site, call=n)
                 raise TransientBackendError(
                     f"injected transient error at {site} (call {n})")
 
@@ -124,6 +139,7 @@ class FaultInjector:
             if not self._sel(s.step, step):
                 continue
             if self._fire(i, s, ("checkpoint", step)):
+                self._note(s, "checkpoint", step=step)
                 return s
         return None
 

@@ -81,8 +81,16 @@ def write_jsonl(path, source: Union[Tracer, Iterable[Span]], *,
                 metrics: Optional[MetricsRegistry] = None,
                 meta: Optional[Dict[str, Any]] = None) -> int:
     """Write span events (plus optional meta and metrics-snapshot
-    events) to ``path``; returns the number of lines written."""
+    events) to ``path``; returns the number of lines written.
+
+    When ``source`` is a tracer carrying a ``trace_id``, the id is
+    stamped into the meta event so the trace stays identifiable after
+    the file leaves the process that produced it."""
     n = 0
+    meta = dict(meta) if meta else {}
+    trace_id = getattr(source, "trace_id", "")
+    if trace_id and "trace_id" not in meta:
+        meta["trace_id"] = trace_id
     with open(path, "w", encoding="utf-8") as fh:
         if meta:
             fh.write(json.dumps({"type": "meta", **meta}) + "\n")
@@ -112,9 +120,25 @@ def _prom_value(v: float) -> str:
     return str(int(v))
 
 
+def _escape_help(text: str) -> str:
+    """HELP-line escaping per the text format: backslash and newline."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label(value: str) -> str:
+    """Label-value escaping: backslash, double quote, newline."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def format_prometheus(registry: MetricsRegistry, *,
                       prefix: str = "repro_") -> str:
-    """The registry in Prometheus text exposition format (0.0.4)."""
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    HELP text and label values are escaped per the format grammar
+    (``\\`` / newline, plus ``\"`` inside label values), so metric
+    help strings may contain arbitrary prose.
+    """
     lines: List[str] = []
     snap = registry.snapshot()
     for name in sorted(snap):
@@ -122,13 +146,15 @@ def format_prometheus(registry: MetricsRegistry, *,
         pname = _prom_name(name, prefix)
         entry = snap[name]
         if entry.get("help"):
-            lines.append(f"# HELP {pname} {entry['help']}")
+            lines.append(
+                f"# HELP {pname} {_escape_help(entry['help'])}")
         lines.append(f"# TYPE {pname} {entry['type']}")
         if isinstance(metric, Histogram):
             cum = 0
             for bound, cnt in zip(metric.bounds, metric.bucket_counts):
                 cum += cnt
-                lines.append(f'{pname}_bucket{{le="{bound:g}"}} {cum}')
+                le = _escape_label(f"{bound:g}")
+                lines.append(f'{pname}_bucket{{le="{le}"}} {cum}')
             cum += metric.bucket_counts[-1]
             lines.append(f'{pname}_bucket{{le="+Inf"}} {cum}')
             lines.append(f"{pname}_sum {_prom_value(metric.total)}")

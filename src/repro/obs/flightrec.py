@@ -1,0 +1,137 @@
+"""Black-box flight recorder: a bounded ring of recent events.
+
+Chaos postmortems used to mean "rerun it with ``--trace`` and hope
+the fault is deterministic enough to re-fire".  The flight recorder
+removes the rerun: every job (and every pipeline engine under fault
+pressure) keeps a bounded in-memory ring of its most recent
+span/metric/fault events, and whenever the fault layer triggers a
+recovery -- or the job dies -- the ring is dumped *atomically* as
+``flightrec.jsonl`` next to the job's checkpoints.  The last
+``capacity`` events before the incident are exactly what a postmortem
+needs: which fault fired where, what the recovery ladder decided, and
+what the job was doing at the time.
+
+The recorder is deliberately dumb and cheap: a :class:`~collections.
+deque` of plain dicts behind a lock, wall-clock stamped, no schema
+beyond ``{"t_wall": ..., "kind": ..., **attrs}``.  ``dump`` writes to
+a temporary file and :func:`os.replace`-renames it into place, so a
+reader never sees a torn file even if the recorder is dumped from a
+dying process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent events with atomic JSONL dumps.
+
+    Parameters
+    ----------
+    capacity:
+        Events retained; older ones fall off the front (black-box
+        semantics -- the *last* moments matter).
+    path:
+        Default dump destination for :meth:`flush`; may be (re)assigned
+        after construction (the scheduler points each job's recorder
+        at its workdir).
+    clock:
+        Injectable wall clock for deterministic tests.
+    """
+
+    def __init__(self, capacity: int = 512, *,
+                 path: Optional[Union[str, Path]] = None,
+                 clock=time.time) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.path = Path(path) if path is not None else None
+        self.clock = clock
+        self._events: deque = deque(maxlen=self.capacity)
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed off the ring since construction."""
+        with self._lock:
+            return self._dropped
+
+    # -- recording -----------------------------------------------------
+    def record(self, kind: str, /, **attrs: Any) -> Dict[str, Any]:
+        """Append one event (``kind`` plus arbitrary JSON-able attrs).
+
+        ``kind`` is positional-only so attrs may themselves carry a
+        ``kind`` key (e.g. a job spec's workload kind) -- the event's
+        own ``kind`` always wins."""
+        ev = {"t_wall": self.clock(), **attrs, "kind": str(kind)}
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(ev)
+        return ev
+
+    def extend(self, events) -> None:
+        """Absorb pre-built event dicts (worker buffers, span events)."""
+        with self._lock:
+            for ev in events:
+                if len(self._events) == self.capacity:
+                    self._dropped += 1
+                self._events.append(dict(ev))
+
+    # -- inspection ----------------------------------------------------
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first (copies)."""
+        with self._lock:
+            return [dict(ev) for ev in self._events]
+
+    def count(self, prefix: str) -> int:
+        """How many retained events have ``kind`` starting with
+        ``prefix`` (e.g. ``"fault"`` matches ``fault.batch``)."""
+        with self._lock:
+            return sum(1 for ev in self._events
+                       if str(ev.get("kind", "")).startswith(prefix))
+
+    # -- dumping -------------------------------------------------------
+    def dump(self, path: Union[str, Path]) -> int:
+        """Write the ring to ``path`` as JSONL, atomically.
+
+        A header line records the capacity and drop count, then one
+        line per event, oldest first.  The write lands in a sibling
+        temporary file and is renamed into place, so concurrent
+        readers only ever see a complete dump.  Returns the number of
+        event lines written.
+        """
+        path = Path(path)
+        events = self.snapshot()
+        tmp = path.with_name(path.name + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "flightrec_meta",
+                                 "capacity": self.capacity,
+                                 "dropped": self._dropped,
+                                 "events": len(events)}) + "\n")
+            for ev in events:
+                fh.write(json.dumps(ev, default=repr) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return len(events)
+
+    def flush(self) -> Optional[int]:
+        """Dump to the configured :attr:`path` (no-op without one)."""
+        if self.path is None:
+            return None
+        return self.dump(self.path)

@@ -28,10 +28,14 @@ from typing import Any, Dict, Iterable, Optional, Sequence, Tuple
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "DEFAULT_BUCKETS"]
 
-#: Default histogram bounds: powers of two covering 1 .. ~1e6, the
-#: range of list lengths / group sizes / call shapes the stack produces.
+#: Default histogram bounds: powers of two covering ~0.24 ms .. ~1e6.
+#: The top decades fit the list lengths / group sizes / call shapes the
+#: stack produces; the sub-unit tail (2^-12 .. 2^-2) keeps *duration*
+#: histograms -- queue wait, lease acquisition, submit-to-done -- from
+#: collapsing into one bucket on fast machines, where those waits are
+#: routinely well under a millisecond.
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
-    float(1 << k) for k in range(0, 21, 2))
+    float(2.0 ** k) for k in range(-12, 21, 2))
 
 
 class Counter:

@@ -24,6 +24,8 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from .context import SpanContext, new_span_id, new_trace_id
+
 __all__ = ["Span", "Tracer", "NullSpan", "NullTracer", "NULL_TRACER",
            "as_tracer"]
 
@@ -37,15 +39,19 @@ class Span:
     """
 
     __slots__ = ("name", "attrs", "children", "t_start", "t_end",
-                 "_tracer")
+                 "span_id", "_tracer")
 
     def __init__(self, name: str, tracer: Optional["Tracer"] = None,
-                 attrs: Optional[Dict[str, Any]] = None) -> None:
+                 attrs: Optional[Dict[str, Any]] = None,
+                 span_id: str = "") -> None:
         self.name = str(name)
         self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
         self.children: List["Span"] = []
         self.t_start: float = 0.0
         self.t_end: float = 0.0
+        #: persistent 64-bit hex identity, assigned by the owning
+        #: tracer (empty on spans never attached to a real tracer)
+        self.span_id = span_id
         self._tracer = tracer
 
     # -- lifecycle -----------------------------------------------------
@@ -89,8 +95,10 @@ class Span:
             yield from c.walk()
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (used by the JSONL exporter)."""
-        return {
+        """Plain-dict form (used by the JSONL exporter).  The hex
+        ``sid`` rides along when assigned (the flat exporter keeps its
+        own compact integer ``span_id``/``parent_id`` scheme)."""
+        d = {
             "name": self.name,
             "t_start": self.t_start,
             "t_end": self.t_end,
@@ -98,6 +106,9 @@ class Span:
             "attrs": dict(self.attrs),
             "n_children": len(self.children),
         }
+        if self.span_id:
+            d["sid"] = self.span_id
+        return d
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Span({self.name!r}, {self.duration:.6f}s, "
@@ -110,13 +121,19 @@ class Tracer:
     Finished top-level spans accumulate in :attr:`roots`; nested spans
     hang off their parents.  ``clock`` is injectable for deterministic
     tests (defaults to :func:`time.perf_counter`).
+
+    Every tracer owns a ``trace_id`` (fresh unless given) and assigns
+    each span a persistent hex ``span_id`` when it joins the tree, so
+    spans recorded in other processes can be stitched under a known
+    parent (see :mod:`repro.obs.context`).
     """
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter
-                 ) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 *, trace_id: Optional[str] = None) -> None:
         self.clock = clock
+        self.trace_id = trace_id or new_trace_id()
         self.roots: List[Span] = []
         self._stack: List[Span] = []
 
@@ -140,14 +157,48 @@ class Tracer:
         The synthetic span ends "now" and is backdated by ``seconds``.
         """
         now = self.clock()
-        sp = Span(name, tracer=None, attrs=attrs)
+        sp = Span(name, tracer=None, attrs=attrs,
+                  span_id=new_span_id())
         sp.t_start = now - max(0.0, float(seconds))
         sp.t_end = now
         self._attach(sp)
         return sp
 
+    def attach(self, span: Span) -> Span:
+        """Adopt an externally built, already-finished span (tree).
+
+        The stitching entry point for cross-process tracing: a span
+        assembled from worker-recorded timings is attached under the
+        currently open span (or as a root at top level), exactly like
+        :meth:`record` but with caller-controlled interval and
+        children.  Ids are assigned to any span in the subtree that
+        lacks one.
+        """
+        for sp in span.walk():
+            if not sp.span_id:
+                sp.span_id = new_span_id()
+        self._attach(span)
+        return span
+
+    def context(self) -> SpanContext:
+        """The propagation context of the innermost open span.
+
+        Carries this tracer's ``trace_id``, the current span's id (a
+        fresh root id when no span is open) and the current clock
+        reading -- everything a worker needs to parent its spans here.
+        """
+        cur = self.current
+        if cur is not None and not cur.span_id:
+            cur.span_id = new_span_id()
+        return SpanContext(self.trace_id,
+                           cur.span_id if cur is not None
+                           else new_span_id(),
+                           self.clock())
+
     # -- internals -----------------------------------------------------
     def _push(self, span: Span) -> None:
+        if not span.span_id:
+            span.span_id = new_span_id()
         self._stack.append(span)
 
     def _pop(self, span: Span) -> None:
@@ -189,6 +240,7 @@ class NullSpan:
     t_end = 0.0
     duration = 0.0
     self_seconds = 0.0
+    span_id = ""
 
     def __enter__(self) -> "NullSpan":
         return self
@@ -216,6 +268,7 @@ class NullTracer:
 
     enabled = False
     roots: List[Span] = []
+    trace_id = ""
 
     def span(self, name: str, **attrs: Any) -> NullSpan:
         return _NULL_SPAN
@@ -226,6 +279,12 @@ class NullTracer:
 
     def record(self, name: str, seconds: float, **attrs: Any) -> NullSpan:
         return _NULL_SPAN
+
+    def attach(self, span: Any) -> NullSpan:
+        return _NULL_SPAN
+
+    def context(self) -> None:
+        return None
 
     def iter_spans(self):
         return iter(())

@@ -135,6 +135,12 @@ class ServeClient:
                     f"{timeout}s")
             time.sleep(poll)
 
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's ``repro.trace/v1`` document: its ``trace_id`` and
+        flat span events (pre-order ``span_id``/``parent_id``/``path``,
+        suitable for ``repro obs tree`` / ``critical-path``)."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
     def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
         """Follow the NDJSON progress stream of a job.
 
@@ -160,6 +166,9 @@ class ServeClient:
             conn.close()
 
     def healthz(self) -> Dict[str, Any]:
+        """The liveness snapshot: job/queue counts plus scheduler
+        ``queue_depth``/``queue_limit``, ``leases_in_use`` and server
+        ``uptime_seconds``."""
         return self._request("GET", "/healthz")
 
     def metrics(self) -> str:

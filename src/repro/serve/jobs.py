@@ -231,6 +231,18 @@ class Job:
     steps_total: int = 0
     #: job-private workdir (checkpoints, artifacts)
     workdir: Optional[str] = None
+    #: distributed-trace identity, assigned at admission; every span
+    #: this job produces (scheduler, runner, engine, workers) carries it
+    trace_id: str = ""
+    #: admission time on the monotonic clock (queue-wait attribution;
+    #: reset on resume so a pause does not count as queue wait)
+    submitted_mono: float = field(default_factory=time.perf_counter)
+    #: per-job :class:`~repro.obs.trace.Tracer` (assigned at admission)
+    tracer: Optional[Any] = field(default=None, repr=False)
+    #: per-job :class:`~repro.obs.flightrec.FlightRecorder`; its ring
+    #: mirrors progress events and fault-layer decisions, dumped to the
+    #: workdir when the job dies or recovered from a fault
+    flight: Optional[Any] = field(default=None, repr=False)
 
     cancel_event: threading.Event = field(default_factory=threading.Event,
                                           repr=False)
@@ -263,9 +275,12 @@ class Job:
             self.finished_at = time.time()
 
     def add_event(self, kind: str, **attrs: Any) -> Dict[str, Any]:
-        """Append one progress event (thread-safe by list append)."""
+        """Append one progress event (thread-safe by list append);
+        mirrored into the flight-recorder ring when one is attached."""
         ev = {"event": kind, "t_wall": time.time(), **attrs}
         self.events.append(ev)
+        if self.flight is not None:
+            self.flight.record(f"job.{kind}", job=self.id, **attrs)
         return ev
 
     # -- serialisation -------------------------------------------------
@@ -283,6 +298,7 @@ class Job:
             "result": self.result,
             "lease": self.lease,
             "recoveries": self.recoveries,
+            "trace_id": self.trace_id,
             "progress": {"steps_done": self.steps_done,
                          "steps_total": self.steps_total,
                          "events": len(self.events)},

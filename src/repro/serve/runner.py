@@ -46,7 +46,7 @@ logger = logging.getLogger(__name__)
 _EPS_SYNTH = 0.01
 
 
-def _job_engine(spec, lease, plan):
+def _job_engine(spec, lease, plan, flight=None):
     """The force-evaluation engine for this job (None = serial).
 
     Pipeline jobs normally ride the lease slot's prewarmed pool; a job
@@ -56,6 +56,8 @@ def _job_engine(spec, lease, plan):
     (``degrade=False``), so an injected worker crash escalates to
     :class:`~repro.exec.EngineError` and the job recovers through its
     own checkpoints -- the chaos path the scheduler tests exercise.
+    The job's flight recorder rides into the private engine so every
+    ladder decision lands in the job's black box.
     """
     if spec.engine != "pipeline":
         return None, False
@@ -64,7 +66,8 @@ def _job_engine(spec, lease, plan):
     from ..exec import PipelineEngine
     eng = PipelineEngine(workers=spec.workers, faults=plan,
                          max_retries=spec.max_retries,
-                         degrade=spec.max_retries > 0)
+                         degrade=spec.max_retries > 0,
+                         flight=flight)
     return eng, True
 
 
@@ -93,8 +96,10 @@ def _run_run(job: Job, lease, *, tracer, metrics) -> Dict[str, Any]:
 
     spec, p = job.spec, job.spec.params
     plan = parse_fault_plan(spec.faults) if spec.faults else None
-    injector = FaultInjector(plan) if plan is not None else None
-    engine, private_engine = _job_engine(spec, lease, plan)
+    injector = (FaultInjector(plan, flight=job.flight)
+                if plan is not None else None)
+    engine, private_engine = _job_engine(spec, lease, plan,
+                                         flight=job.flight)
     force, gb = build_force(
         theta=p["theta"], ncrit=p["ncrit"], backend=p["backend"],
         system=(lease.context.system if p["backend"] == "grape"
@@ -123,6 +128,7 @@ def _run_run(job: Job, lease, *, tracer, metrics) -> Dict[str, Any]:
         sim = Simulation.from_sphere(region, force=force,
                                      tracer=tracer, metrics=metrics)
         sim.t = SCDM.age(p["z_init"])
+    sim.flight = job.flight
 
     dts = run_schedule(z_init=p["z_init"], z_final=p["z_final"],
                        steps=p["steps"])
@@ -152,7 +158,12 @@ def _run_run(job: Job, lease, *, tracer, metrics) -> Dict[str, Any]:
         if private_engine and engine is not None:
             engine.close()
     if ckpt is not None:
+        c0 = time.perf_counter()
         save_checkpoint(ckpt, sim, rotate=True)
+        from ..obs import as_tracer
+        as_tracer(tracer).record("serve.checkpoint",
+                                 time.perf_counter() - c0,
+                                 job=job.id, final=True)
     d = interaction_totals(sim)
     return {
         "digest": state_digest(sim.pos, sim.vel, sim.t),
@@ -234,18 +245,24 @@ def run_job(job: Job, lease, *, tracer=None,
     lease's context latch).  Raises :class:`JobCancelled` /
     :class:`JobPaused` when the corresponding flag is observed, and
     lets simulation errors propagate for the scheduler to record.
-    A ``serve.job`` span (wall seconds, job id, kind, lease) is
-    recorded on the tracer either way.
+    The whole execution runs inside an *open* ``serve.job`` span (job
+    id, kind, lease, outcome), so every span the simulation stack
+    produces -- steps, evaluations, stitched worker batches -- nests
+    under it in the job's trace.
     """
     from ..obs import NULL_TRACER
     tr = tracer if tracer is not None else NULL_TRACER
     t0 = time.perf_counter()
     outcome = "done"
+    sp = tr.span("serve.job", job=job.id, kind=job.spec.kind,
+                 lease=lease.id)
     try:
-        result = _KIND_RUNNERS[job.spec.kind](job, lease, tracer=tr,
-                                              metrics=metrics)
-        result["lease"] = lease.id
-        return result
+        with sp:
+            result = _KIND_RUNNERS[job.spec.kind](job, lease,
+                                                  tracer=tr,
+                                                  metrics=metrics)
+            result["lease"] = lease.id
+            return result
     except JobCancelled:
         outcome = "cancelled"
         raise
@@ -256,8 +273,7 @@ def run_job(job: Job, lease, *, tracer=None,
         outcome = "failed"
         raise
     finally:
-        tr.record("serve.job", time.perf_counter() - t0, job=job.id,
-                  kind=job.spec.kind, lease=lease.id, outcome=outcome)
+        sp.set(outcome=outcome)
         if metrics is not None:
             metrics.histogram(
                 "serve.job_seconds",

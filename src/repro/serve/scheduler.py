@@ -33,9 +33,11 @@ from __future__ import annotations
 import logging
 import tempfile
 import threading
+import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..obs import FlightRecorder, Tracer, new_trace_id
 from .jobs import Job, JobCancelled, JobError, JobPaused, JobSpec
 from .leases import LeaseBroker
 from .runner import run_job
@@ -166,6 +168,15 @@ class Scheduler:
             wd = self._workdir / job.id
             wd.mkdir(parents=True, exist_ok=True)
             job.workdir = str(wd)
+            # per-job observability: a trace identity + tracer at
+            # admission (every span from queue wait to worker batches
+            # carries it) and a flight-recorder ring pointed at the
+            # job's workdir
+            job.trace_id = new_trace_id()
+            job.tracer = Tracer(trace_id=job.trace_id)
+            job.flight = FlightRecorder(path=wd / "flightrec.jsonl")
+            job.flight.record("job.submitted", job=job.id,
+                              kind=spec.kind, tenant=spec.tenant)
             self._jobs[job.id] = job
             self._queue.append(job.id)
             self.metrics.counter("serve.jobs_submitted",
@@ -219,6 +230,7 @@ class Scheduler:
                 raise JobError(f"job {job_id} is {job.state}, "
                                "not paused")
             job.pause_event.clear()
+            job.submitted_mono = time.perf_counter()
             job.advance("queued")
             self._queue.append(job.id)
             self._set_queue_gauge()
@@ -281,6 +293,14 @@ class Scheduler:
                 if job is None:  # pragma: no cover - race safety
                     continue
                 job.advance("scheduled")
+                wait = time.perf_counter() - job.submitted_mono
+                if job.tracer is not None:
+                    job.tracer.record("serve.queue_wait", wait,
+                                      job=job.id)
+                self.metrics.histogram(
+                    "serve.queue_wait_seconds",
+                    "seconds jobs waited in the queue for a slot"
+                    ).observe(wait)
                 t = job.spec.tenant
                 self._tenant_running[t] = \
                     self._tenant_running.get(t, 0) + 1
@@ -300,9 +320,25 @@ class Scheduler:
                     sum(self._tenant_running.values()))
                 self._cv.notify_all()
 
+    def _flight_dump(self, job: Job) -> None:
+        """Dump the job's black box when it is worth keeping: the job
+        died, recovered from a fault, or ran under an injected fault
+        plan.  Clean, fault-free jobs leave no ``flightrec.jsonl``."""
+        fl = job.flight
+        if fl is None:
+            return
+        if (job.state == "failed" or job.recoveries > 0
+                or job.spec.faults or fl.count("fault") > 0):
+            try:
+                fl.flush()
+            except OSError:  # pragma: no cover - workdir gone
+                pass
+
     def _execute(self, job: Job) -> None:
         """One slot occupancy: lease, run, record the outcome."""
         spec = job.spec
+        jtr = job.tracer if job.tracer is not None else self.tracer
+        t_lease = time.perf_counter()
         try:
             lease = self.broker.acquire(engine=spec.engine,
                                         workers=spec.workers,
@@ -312,14 +348,19 @@ class Scheduler:
                 job.error = f"lease acquisition failed: {e}"
                 job.advance("failed")
                 self._count_terminal(job)
+            job.add_event("failed", error=job.error)
+            self._flight_dump(job)
             return
+        jtr.record("serve.lease_acquire",
+                   time.perf_counter() - t_lease,
+                   job=job.id, lease=lease.id, slot=lease.slot)
         job.lease = lease.id
         job.add_event("leased", lease=lease.id, slot=lease.slot)
         try:
             job.advance("running")
             if job.cancel_event.is_set():
                 raise JobCancelled(job.id)
-            result = run_job(job, lease, tracer=self.tracer,
+            result = run_job(job, lease, tracer=jtr,
                              metrics=self.metrics)
             with self._cv:
                 job.result = result
@@ -329,6 +370,11 @@ class Scheduler:
                     self._done_seconds.append(
                         job.finished_at - job.submitted_at)
                     del self._done_seconds[:-32]
+                self.metrics.histogram(
+                    "serve.submit_to_done_seconds",
+                    "submission-to-completion wall seconds of "
+                    "successful jobs").observe(
+                    job.finished_at - job.submitted_at)
             job.add_event("done")
         except JobCancelled:
             with self._cv:
@@ -347,6 +393,7 @@ class Scheduler:
                 self._count_terminal(job)
             job.add_event("failed", error=job.error)
         finally:
+            self._flight_dump(job)
             try:
                 self.broker.release(lease)
             except Exception:  # pragma: no cover - broker closed

@@ -19,6 +19,10 @@ GET      /jobs/{id}                  one job document (404 unknown)
 GET      /jobs/{id}/events           NDJSON progress-event stream:
                                      replays recorded events, then
                                      follows live until the job stops
+GET      /jobs/{id}/trace            the job's span tree
+                                     (``repro.trace/v1``): queue wait,
+                                     lease acquisition, run, steps,
+                                     stitched worker batches
 DELETE   /jobs/{id}                  cancel; returns the job document
 POST     /jobs/{id}/pause            checkpoint + vacate the slot
 POST     /jobs/{id}/resume           re-queue a paused job
@@ -37,6 +41,7 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import time
 from typing import Dict, Optional, Tuple
 
 from .jobs import JobError
@@ -94,11 +99,13 @@ class Server:
         self.scheduler = scheduler
         self.host = host
         self.port = int(port)
+        self.started_at: Optional[float] = None
         self._server: Optional[asyncio.AbstractServer] = None
 
     # -- lifecycle -----------------------------------------------------
     async def start(self) -> "Server":
         self.scheduler.start()
+        self.started_at = time.time()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -175,14 +182,19 @@ class Server:
 
         if route == ("GET", "healthz"):
             with_jobs = sched.jobs()
+            queued = sum(j.state == "queued" for j in with_jobs)
             writer.write(_json_response(200, "OK", {
                 "status": "ok",
                 "jobs": len(with_jobs),
-                "queued": sum(j.state == "queued" for j in with_jobs),
+                "queued": queued,
                 "running": sum(j.state == "running" for j in
                                with_jobs),
                 "slots": sched.slots,
                 "leases_in_use": sched.broker.in_use,
+                "queue_depth": queued,
+                "queue_limit": sched.queue_depth,
+                "uptime_seconds": (time.time() - self.started_at
+                                   if self.started_at else 0.0),
             }))
             return
         if route == ("GET", "metrics"):
@@ -238,6 +250,17 @@ class Server:
                 writer.write(_json_response(200, "OK", job.to_dict()))
             elif method == "GET" and rest == ["events"]:
                 await self._stream_events(job, writer)
+            elif method == "GET" and rest == ["trace"]:
+                from ..obs.export import span_events
+                spans = (list(span_events(job.tracer))
+                         if job.tracer is not None else [])
+                writer.write(_json_response(200, "OK", {
+                    "schema": "repro.trace/v1",
+                    "job": job.id,
+                    "state": job.state,
+                    "trace_id": job.trace_id,
+                    "spans": spans,
+                }))
             elif method == "DELETE" and not rest:
                 writer.write(_json_response(
                     200, "OK", sched.cancel(job_id).to_dict()))

@@ -133,6 +133,9 @@ class Simulation:
         self._integrator = LeapfrogKDK(force=self._eval)
         #: checkpoint recoveries performed by :meth:`run` so far
         self.fault_recoveries = 0
+        #: optional :class:`~repro.obs.flightrec.FlightRecorder`;
+        #: recovery decisions land in its ring and force a dump
+        self.flight = None
         if self.metrics is not None:
             self.metrics.gauge("sim.n_particles",
                                "particles in the run").set(n)
@@ -288,6 +291,12 @@ class Simulation:
                 self.tracer.record("sim.recovery", 0.0,
                                    error=type(e).__name__,
                                    recoveries=recoveries)
+                if self.flight is not None:
+                    self.flight.record(
+                        "recovery", decision="checkpoint_rollback",
+                        step=done + 1, error=type(e).__name__,
+                        recoveries=recoveries)
+                    self.flight.flush()
                 if self.metrics is not None:
                     self.metrics.counter(
                         "sim.fault_recoveries",

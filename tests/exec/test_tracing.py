@@ -1,0 +1,117 @@
+"""Cross-process trace stitching: worker spans join the host trace.
+
+The acceptance criterion under test: a pipeline-engine evaluation
+traced on the host produces ONE coherent trace -- every batch
+evaluated in a worker process appears as an ``exec.batch`` span
+parented under the submitting host-side ``eval`` span, carrying the
+worker's own ``exec.queue_wait`` / ``exec.eval`` children on the
+host's ``perf_counter`` timeline -- and the critical-path analysis
+partitions the traced wall clock into host/worker/GRAPE buckets that
+sum to the total (within 5%; the partition is exact by construction,
+so we assert much tighter).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import TreeCode
+from repro.exec import PipelineEngine
+from repro.obs import Tracer
+from repro.obs.analyze import critical_path
+from repro.obs.export import span_events
+from repro.sim.models import plummer_model
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    rng = np.random.default_rng(7)
+    pos, _, mass = plummer_model(1500, rng)
+    tr = Tracer()
+    engine = PipelineEngine(workers=2)
+    tc = TreeCode(theta=0.75, n_crit=64, engine=engine, tracer=tr)
+    try:
+        tc.accelerations(pos, mass, 0.01)
+    finally:
+        tc.close()
+    return tr, list(span_events(tr))
+
+
+class TestStitchedTrace:
+    def test_one_trace_with_worker_spans(self, traced_run):
+        tr, events = traced_run
+        names = {e["name"] for e in events}
+        assert "exec.batch" in names
+        assert "exec.queue_wait" in names
+        assert "exec.eval" in names
+        # a single trace identity owns all of it
+        assert len(tr.trace_id) == 32
+
+    def test_batches_parent_under_eval(self, traced_run):
+        _, events = traced_run
+        by_id = {e["span_id"]: e for e in events}
+        batches = [e for e in events if e["name"] == "exec.batch"]
+        assert batches
+        for b in batches:
+            parent = by_id[b["parent_id"]]
+            assert parent["name"] == "eval"
+            assert b["path"].endswith("eval/exec.batch")
+            # stitched batch spans keep their submit-side identity
+            assert "batch" in b["attrs"] and "worker" in b["attrs"]
+
+    def test_worker_children_inside_batch_interval(self, traced_run):
+        _, events = traced_run
+        by_id = {e["span_id"]: e for e in events}
+        kids = [e for e in events
+                if e["name"] in ("exec.queue_wait", "exec.eval")]
+        assert kids
+        for k in kids:
+            batch = by_id[k["parent_id"]]
+            assert batch["name"] == "exec.batch"
+            # same monotonic timeline: child intervals nest (small
+            # slack for the enqueue-side t_origin backdating)
+            assert k["t_start"] >= batch["t_start"] - 1e-6
+            assert k["t_end"] <= batch["t_end"] + 1e-6
+
+    def test_batch_intervals_inside_eval(self, traced_run):
+        _, events = traced_run
+        evals = {e["span_id"]: e for e in events
+                 if e["name"] == "eval"}
+        for b in (e for e in events if e["name"] == "exec.batch"):
+            ev = evals[b["parent_id"]]
+            assert b["t_end"] <= ev["t_end"] + 1e-6
+
+    def test_every_batch_is_stitched(self, traced_run):
+        """No worker measurement is lost: one exec.batch per batch
+        the engine evaluated, queue-wait + eval under each."""
+        _, events = traced_run
+        batches = [e for e in events if e["name"] == "exec.batch"]
+        waits = [e for e in events if e["name"] == "exec.queue_wait"]
+        assert len(waits) == len(batches)
+        seen = {e["attrs"]["batch"] for e in batches}
+        assert seen == set(range(len(batches)))
+
+
+class TestCriticalPathAttribution:
+    def test_resources_sum_to_total(self, traced_run):
+        _, events = traced_run
+        cp = critical_path(events)
+        total = cp["total_seconds"]
+        assert total > 0
+        parts = sum(cp["resources"].values())
+        # acceptance bound is 5%; the timeline partition is exact
+        assert parts == pytest.approx(total, rel=1e-9)
+        assert cp["resources"]["worker"] > 0
+
+    def test_untraced_run_records_nothing(self):
+        """Tracing off (NULL_TRACER) must ship no contexts and stitch
+        no spans -- the overhead-free default."""
+        rng = np.random.default_rng(8)
+        pos, _, mass = plummer_model(800, rng)
+        tr = Tracer()
+        engine = PipelineEngine(workers=2)
+        tc = TreeCode(theta=0.75, n_crit=64, engine=engine)  # no tracer
+        try:
+            tc.accelerations(pos, mass, 0.01)
+        finally:
+            tc.close()
+        assert list(span_events(tr)) == []

@@ -1,0 +1,142 @@
+"""Trace analysis: tree building, critical path, diff."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.analyze import (build_tree, critical_path, diff_traces,
+                               format_critical_path, format_diff,
+                               format_tree, load_trace)
+from repro.obs.export import span_events, write_jsonl
+
+
+def _ev(name, t0, t1, span_id, parent_id=-1, path=None, attrs=None):
+    return {"type": "span", "name": name, "t_start": t0, "t_end": t1,
+            "duration": t1 - t0, "span_id": span_id,
+            "parent_id": parent_id, "path": path or name,
+            "attrs": attrs or {}}
+
+
+def overlap_trace():
+    """The paper's overlap shape: host traverses shard k+1 while the
+    workers (and the GRAPE inside them) evaluate shard k.
+
+    step [0, 10]
+      traverse        [0, 2]          host
+      exec.batch      [1, 7]          worker ...
+        grape_force   [2, 5]          ... with GRAPE inside
+      traverse        [2, 4]          host, overlapping the batch
+    """
+    return [
+        _ev("step", 0.0, 10.0, 0),
+        _ev("traverse", 0.0, 2.0, 1, 0, "step/traverse"),
+        _ev("exec.batch", 1.0, 7.0, 2, 0, "step/exec.batch"),
+        _ev("grape_force", 2.0, 5.0, 3, 2,
+            "step/exec.batch/grape_force"),
+        _ev("traverse", 2.0, 4.0, 4, 0, "step/traverse"),
+    ]
+
+
+class TestLoadTrace:
+    def _tracer(self):
+        ticks = iter([0.0, 1.0, 2.0, 3.0])
+        tr = Tracer(clock=lambda: next(ticks))
+        with tr.span("step"):
+            with tr.span("eval"):
+                pass
+        return tr
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tr = self._tracer()
+        reg = MetricsRegistry()
+        reg.counter("n").inc(2)
+        path = tmp_path / "t.jsonl"
+        write_jsonl(path, tr, metrics=reg, meta={"run": "x"})
+        doc = load_trace(path)
+        assert [s["name"] for s in doc["spans"]] == ["step", "eval"]
+        assert doc["meta"]["run"] == "x"
+        assert doc["metrics"]["n"]["value"] == 2
+
+    def test_trace_document_from_dict_and_file(self, tmp_path):
+        """The ``GET /jobs/{id}/trace`` response works directly and
+        saved to a file (what ``jobs --job-trace > f`` produces)."""
+        doc = {"schema": "repro.trace/v1", "job": "j-1",
+               "trace_id": "ab" * 16,
+               "spans": list(span_events(self._tracer()))}
+        parsed = load_trace(doc)
+        assert [s["name"] for s in parsed["spans"]] == ["step", "eval"]
+        assert parsed["meta"]["job"] == "j-1"
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(doc, indent=2))
+        assert load_trace(path)["spans"] == parsed["spans"]
+
+
+class TestBuildTree:
+    def test_nesting_and_order(self):
+        roots = build_tree(overlap_trace())
+        assert [r["name"] for r in roots] == ["step"]
+        kids = roots[0]["children"]
+        assert [k["name"] for k in kids] == ["traverse", "exec.batch",
+                                             "traverse"]
+        assert kids[1]["children"][0]["name"] == "grape_force"
+
+    def test_orphans_promoted(self):
+        roots = build_tree([_ev("lost", 0.0, 1.0, 5, parent_id=99)])
+        assert [r["name"] for r in roots] == ["lost"]
+
+    def test_format_tree_prunes_and_summarises(self):
+        text = format_tree(overlap_trace(), max_depth=1)
+        assert "step" in text and "exec.batch" in text
+        assert "grape_force" not in text
+        assert "child span(s)" in text
+        hidden = format_tree(overlap_trace(), min_seconds=3.0)
+        assert "span(s) under" in hidden
+
+
+class TestCriticalPath:
+    def test_partition_is_exact(self):
+        cp = critical_path(overlap_trace())
+        res = cp["resources"]
+        assert cp["total_seconds"] == pytest.approx(10.0)
+        # grape wins [2,5]; worker gets the rest of the batch [1,2]+[5,7]
+        assert res["grape"] == pytest.approx(3.0)
+        assert res["worker"] == pytest.approx(3.0)
+        assert res["host"] == pytest.approx(4.0)
+        assert sum(res.values()) == pytest.approx(cp["total_seconds"])
+
+    def test_chain_follows_longest_child(self):
+        chain = critical_path(overlap_trace())["chain"]
+        assert [c["name"] for c in chain] == ["step", "exec.batch",
+                                              "grape_force"]
+        assert chain[1]["seconds"] == pytest.approx(6.0)
+
+    def test_format_sums_to_100(self):
+        text = format_critical_path(overlap_trace())
+        assert "100.0%" in text
+        assert "dominant chain" in text
+
+    def test_empty_trace(self):
+        cp = critical_path([])
+        assert cp["total_seconds"] == 0.0
+        assert cp["chain"] == []
+
+
+class TestDiff:
+    def test_rows_sorted_by_delta(self):
+        a = [_ev("eval", 0.0, 1.0, 0), _ev("build", 1.0, 1.1, 1)]
+        b = [_ev("eval", 0.0, 3.0, 0), _ev("build", 3.0, 3.1, 1),
+             _ev("exec.batch", 0.5, 0.6, 2)]
+        rows = diff_traces(a, b)
+        assert rows[0]["phase"] == "eval"
+        assert rows[0]["delta_seconds"] == pytest.approx(2.0)
+        assert rows[0]["ratio"] == pytest.approx(3.0)
+        new = next(r for r in rows if r["phase"] == "exec.batch")
+        assert new["a_calls"] == 0 and new["ratio"] is None
+
+    def test_format_diff(self):
+        a = [_ev("eval", 0.0, 1.0, 0)]
+        text = format_diff(a, a, a_label="serial", b_label="pipeline")
+        assert "serial" in text and "pipeline" in text
+        assert "1.00x" in text
+        assert format_diff([], []) == "(no spans in either trace)"

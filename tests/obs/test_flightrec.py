@@ -1,0 +1,112 @@
+"""Flight recorder: bounded ring, kind precedence, atomic dumps."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import FlightRecorder
+
+
+def _clock(start=100.0):
+    t = [start]
+
+    def tick():
+        t[0] += 1.0
+        return t[0]
+
+    return tick
+
+
+class TestRing:
+    def test_bounded_with_drop_accounting(self):
+        fr = FlightRecorder(capacity=3, clock=_clock())
+        for i in range(5):
+            fr.record("tick", i=i)
+        assert len(fr) == 3
+        assert fr.dropped == 2
+        # black-box semantics: the *last* events survive
+        assert [ev["i"] for ev in fr.snapshot()] == [2, 3, 4]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_event_kind_beats_attr_kind(self):
+        """Job specs carry a ``kind`` attr of their own; the event's
+        kind must win, not raise, not be overwritten."""
+        fr = FlightRecorder(clock=_clock())
+        ev = fr.record("job.submitted", kind="run", job="j-1")
+        assert ev["kind"] == "job.submitted"
+
+    def test_count_by_prefix(self):
+        fr = FlightRecorder(clock=_clock())
+        fr.record("fault.batch")
+        fr.record("fault.timeout")
+        fr.record("recovery", decision="retry")
+        assert fr.count("fault") == 2
+        assert fr.count("recovery") == 1
+
+    def test_extend_absorbs_dicts(self):
+        fr = FlightRecorder(capacity=2, clock=_clock())
+        fr.extend([{"kind": "a"}, {"kind": "b"}, {"kind": "c"}])
+        assert [e["kind"] for e in fr.snapshot()] == ["b", "c"]
+        assert fr.dropped == 1
+
+
+class TestDump:
+    def test_jsonl_with_meta_header(self, tmp_path):
+        fr = FlightRecorder(capacity=8, clock=_clock())
+        fr.record("fault.batch", sweep=0, batch=1)
+        fr.record("recovery", decision="retry")
+        out = tmp_path / "flightrec.jsonl"
+        assert fr.dump(out) == 2
+        lines = [json.loads(l) for l in
+                 out.read_text().splitlines()]
+        assert lines[0] == {"type": "flightrec_meta", "capacity": 8,
+                            "dropped": 0, "events": 2}
+        assert lines[1]["kind"] == "fault.batch"
+        assert lines[2]["decision"] == "retry"
+        assert all("t_wall" in ev for ev in lines[1:])
+
+    def test_dump_is_atomic(self, tmp_path):
+        """A dump replaces the previous file wholesale -- no partial
+        or appended content, and no leftover temp file."""
+        fr = FlightRecorder(clock=_clock())
+        out = tmp_path / "flightrec.jsonl"
+        fr.record("one")
+        fr.dump(out)
+        fr.record("two")
+        fr.dump(out)
+        lines = out.read_text().splitlines()
+        assert len(lines) == 3  # meta + both events, not 1 + 1 + 2
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_flush_uses_configured_path(self, tmp_path):
+        out = tmp_path / "fr.jsonl"
+        fr = FlightRecorder(path=out, clock=_clock())
+        fr.record("x")
+        assert fr.flush() == 1
+        assert out.exists()
+        assert FlightRecorder(clock=_clock()).flush() is None
+
+    def test_unjsonable_attrs_fall_back_to_repr(self, tmp_path):
+        fr = FlightRecorder(clock=_clock())
+        fr.record("fault", error=ValueError("boom"))
+        out = tmp_path / "fr.jsonl"
+        fr.dump(out)
+        ev = json.loads(out.read_text().splitlines()[1])
+        assert "boom" in ev["error"]
+
+
+class TestThreading:
+    def test_concurrent_records(self):
+        fr = FlightRecorder(capacity=10_000)
+        threads = [threading.Thread(
+            target=lambda: [fr.record("t") for _ in range(500)])
+            for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(fr) == 2000

@@ -1,0 +1,170 @@
+"""Prometheus text-exposition conformance (format 0.0.4).
+
+A scrape target that emits malformed exposition text fails silently
+-- Prometheus drops the whole scrape.  These tests parse
+:func:`~repro.obs.export.format_prometheus` output with an
+independent, grammar-level parser (names, HELP/TYPE comments, label
+escaping, sample values) and check the histogram invariants the
+format requires: cumulative ``_bucket`` series ending in ``+Inf``,
+with ``_bucket{le="+Inf"} == _count`` and ``_sum`` equal to the sum
+of observations.
+"""
+
+import math
+import re
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+from repro.obs.export import format_prometheus
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+                    r"(?:\{(?P<labels>[^}]*)\})? "
+                    r"(?P<value>\S+)$")
+LABEL = re.compile(r'^(?P<k>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<v>.*)"$')
+
+
+def parse_exposition(text):
+    """``(samples, helps, types)`` with format-level validation."""
+    samples, helps, types = [], {}, {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            assert METRIC_NAME.match(name), name
+            helps[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            assert len(parts) == 4, line
+            name, kind = parts[2], parts[3]
+            assert METRIC_NAME.match(name), name
+            assert kind in ("counter", "gauge", "histogram",
+                            "summary", "untyped"), line
+            types[name] = kind
+            continue
+        assert not line.startswith("#"), f"unknown comment: {line}"
+        m = SAMPLE.match(line)
+        assert m, f"unparseable sample line: {line!r}"
+        labels = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                lm = LABEL.match(pair)
+                assert lm, f"bad label pair {pair!r} in {line!r}"
+                labels[lm.group("k")] = lm.group("v")
+        samples.append((m.group("name"), labels,
+                        float(m.group("value"))))
+    return samples, helps, types
+
+
+def family(sample_name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[:-len(suffix)]
+    return sample_name
+
+
+def serve_like_registry():
+    """Counters/gauges/histograms shaped like the scheduler's."""
+    reg = MetricsRegistry()
+    reg.counter("serve.jobs_submitted", "jobs accepted").inc(7)
+    reg.gauge("serve.queue_depth", "queued jobs").set(2)
+    h = reg.histogram("serve.submit_to_done_seconds",
+                      "admission to completion")
+    for v in (0.0001, 0.004, 0.25, 3.0):
+        h.observe(v)
+    reg.histogram("serve.queue_wait_seconds").observe(0.002)
+    return reg
+
+
+class TestGrammar:
+    def test_every_sample_parses(self):
+        samples, _, _ = parse_exposition(
+            format_prometheus(serve_like_registry()))
+        assert samples
+        for name, _, value in samples:
+            assert METRIC_NAME.match(name)
+            assert not math.isnan(value)
+
+    def test_every_family_has_one_type_line(self):
+        text = format_prometheus(serve_like_registry())
+        samples, _, types = parse_exposition(text)
+        for name, _, _ in samples:
+            assert family(name) in types, name
+        for fam in types:
+            assert text.count(f"# TYPE {fam} ") == 1
+
+    def test_help_before_type_before_samples(self):
+        lines = format_prometheus(serve_like_registry()).splitlines()
+        seen_samples = set()
+        for line in lines:
+            if line.startswith("# HELP "):
+                fam = line.split(" ")[2]
+                assert fam not in seen_samples
+            elif not line.startswith("#") and line:
+                seen_samples.add(family(line.split("{")[0]
+                                        .split(" ")[0]))
+
+    def test_help_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("weird", 'back\\slash and\nnewline').inc()
+        text = format_prometheus(reg)
+        help_line = next(l for l in text.splitlines()
+                         if l.startswith("# HELP repro_weird "))
+        escaped = help_line.split(" ", 3)[3]
+        assert "\n" not in escaped
+        unescaped = escaped.replace("\\n", "\n").replace("\\\\", "\\")
+        assert unescaped == 'back\\slash and\nnewline'
+
+    def test_dotted_names_become_legal(self):
+        reg = MetricsRegistry()
+        reg.counter("a.b-c.d").inc()
+        samples, _, _ = parse_exposition(format_prometheus(reg))
+        assert samples[0][0] == "repro_a_b_c_d"
+
+
+class TestHistogramInvariants:
+    def test_bucket_sum_count_consistency(self):
+        samples, _, types = parse_exposition(
+            format_prometheus(serve_like_registry()))
+        hist_fams = [f for f, k in types.items() if k == "histogram"]
+        assert hist_fams
+        for fam in hist_fams:
+            buckets = [(labels["le"], v) for n, labels, v in samples
+                       if n == fam + "_bucket"]
+            count = next(v for n, _, v in samples
+                         if n == fam + "_count")
+            total = next(v for n, _, v in samples
+                         if n == fam + "_sum")
+            assert buckets[-1][0] == "+Inf"
+            counts = [v for _, v in buckets]
+            assert counts == sorted(counts), "buckets not cumulative"
+            assert counts[-1] == count
+            bounds = [float(le) for le, _ in buckets[:-1]]
+            assert bounds == sorted(bounds)
+            assert total >= 0
+
+    def test_sum_matches_observations(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("x", buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        samples, _, _ = parse_exposition(format_prometheus(reg))
+        by = {(n, labels.get("le")): v for n, labels, v in samples}
+        assert by[("repro_x_sum", None)] == pytest.approx(55.5)
+        assert by[("repro_x_bucket", "1")] == 1
+        assert by[("repro_x_bucket", "10")] == 2
+        assert by[("repro_x_bucket", "+Inf")] == 3
+
+    def test_default_buckets_resolve_sub_millisecond(self):
+        """Duration histograms must not collapse into one bucket on a
+        fast machine: the default bounds reach below 1 ms."""
+        assert DEFAULT_BUCKETS[0] < 1e-3
+        assert any(b < 1e-3 for b in DEFAULT_BUCKETS[:3])
+        reg = MetricsRegistry()
+        h = reg.histogram("serve.queue_wait_seconds")
+        h.observe(0.0002)
+        h.observe(0.002)
+        assert sum(1 for c in h.bucket_counts if c) >= 2

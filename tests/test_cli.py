@@ -149,6 +149,74 @@ class TestObservability:
         code, _ = run_cli("-v", "info")
         assert code == 0
 
+    def test_flightrec_dumps_engine_faults(self, tmp_path):
+        import json
+        fr = tmp_path / "flightrec.jsonl"
+        code, text = run_cli("run", "--ngrid", "6", "--steps", "1",
+                             "--z-final", "16",
+                             "--engine", "pipeline", "--workers", "2",
+                             "--faults", "worker_crash@batch=0",
+                             "--flightrec", str(fr))
+        assert code == 0
+        assert f"flight recorder dumped to {fr}" in text
+        events = [json.loads(l) for l in
+                  fr.read_text().splitlines()]
+        assert events[0]["type"] == "flightrec_meta"
+        kinds = {e.get("kind") for e in events[1:]}
+        assert any(k.startswith("fault.") for k in kinds)
+        assert "recovery" in kinds
+
+
+class TestObsVerbs:
+    @pytest.fixture(scope="class")
+    def pipeline_trace(self, tmp_path_factory):
+        trace = tmp_path_factory.mktemp("obs") / "t.jsonl"
+        code, _ = run_cli("run", "--ngrid", "6", "--steps", "2",
+                          "--z-final", "12", "--engine", "pipeline",
+                          "--workers", "2", "--trace", str(trace))
+        assert code == 0
+        return trace
+
+    def test_tree_renders_stitched_spans(self, pipeline_trace):
+        code, text = run_cli("obs", "tree", str(pipeline_trace))
+        assert code == 0
+        assert "step" in text
+        assert "exec.batch" in text
+        assert "exec.queue_wait" in text
+        code, pruned = run_cli("obs", "tree", str(pipeline_trace),
+                               "--depth", "1")
+        assert code == 0
+        assert "exec.queue_wait" not in pruned
+
+    def test_critical_path_partitions_wall(self, pipeline_trace):
+        code, text = run_cli("obs", "critical-path",
+                             str(pipeline_trace))
+        assert code == 0
+        assert "resource attribution" in text
+        for res in ("grape", "worker", "host"):
+            assert res in text
+        assert "100.0%" in text
+        assert "dominant chain" in text
+
+    def test_diff_compares_two_traces(self, pipeline_trace,
+                                      tmp_path):
+        serial = tmp_path / "serial.jsonl"
+        code, _ = run_cli("run", "--ngrid", "6", "--steps", "2",
+                          "--z-final", "12", "--trace", str(serial))
+        assert code == 0
+        code, text = run_cli("obs", "diff", str(serial),
+                             str(pipeline_trace))
+        assert code == 0
+        assert "delta s" in text
+        assert "exec.batch" in text  # pipeline-only phase shows up
+
+    def test_traceless_file_is_usage_error(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, text = run_cli("obs", "tree", str(empty))
+        assert code == 2
+        assert "no span events" in text
+
 
 class TestHalos:
     def test_halo_catalogue_from_checkpoint(self, tmp_path):
@@ -202,6 +270,10 @@ class TestExitCodes:
         ("submit", "-p", "missing-equals-sign"),
         ("submit", "--spec", "/nonexistent/spec.json"),
         ("jobs", "--cancel"),
+        ("jobs", "--follow"),
+        ("obs", "tree", "/nonexistent/trace.jsonl"),
+        ("obs", "diff", "/nonexistent/a.jsonl",
+         "/nonexistent/b.jsonl"),
     ], ids=lambda a: " ".join(a[:2]))
     def test_usage_errors_exit_2(self, argv):
         code, text = run_cli(*argv)
