@@ -42,11 +42,15 @@ from .schema import make_document, wall_stats
 from .workloads import PROVIDERS, workload
 
 __all__ = ["BenchTimer", "RunnerConfig", "run_benchmarks",
-           "current_tracer"]
+           "current_tracer", "current_kernels"]
 
 #: Tracer handed to benchmarks while profiling (NULL_TRACER otherwise).
 _TRACER: contextvars.ContextVar = contextvars.ContextVar(
     "repro_bench_tracer", default=None)
+
+#: Kernel-set name selected by ``repro bench run --kernels``.
+_KERNELS: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_bench_kernels", default=None)
 
 
 def current_tracer():
@@ -62,6 +66,18 @@ def current_tracer():
         from repro.obs import NULL_TRACER
         return NULL_TRACER
     return tracer
+
+
+def current_kernels() -> str:
+    """The kernel-set name of the benchmark run in progress.
+
+    ``repro bench run --kernels numpy`` routes the selection here;
+    benchmark bodies pass it to ``TreeCode(kernels=...)``.  Under plain
+    pytest (or with no ``--kernels`` flag) it returns ``"python"``, the
+    reference set, so results stay comparable to earlier releases
+    unless a mode is requested explicitly.
+    """
+    return _KERNELS.get() or "python"
 
 
 class BenchTimer:
@@ -131,6 +147,9 @@ class RunnerConfig:
     warmup: Optional[int] = None
     #: Enable cProfile + obs phase timers per benchmark.
     profile: bool = False
+    #: Kernel-set selection exposed via :func:`current_kernels`
+    #: (None: the "python" reference set).
+    kernels: Optional[str] = None
     #: Rows of the cProfile top-N hot-path table.
     profile_top: int = 15
     #: Artifact directory (tables, .prof dumps); default
@@ -143,7 +162,8 @@ class RunnerConfig:
     def as_json(self) -> Dict[str, Any]:
         """The ``config`` section of the result document."""
         return {"tier": self.tier or "full", "rounds": self.rounds,
-                "warmup": self.warmup, "profile": self.profile}
+                "warmup": self.warmup, "profile": self.profile,
+                "kernels": self.kernels or "python"}
 
 
 def _resolve_params(spec: BenchmarkSpec, timer: BenchTimer,
@@ -190,6 +210,7 @@ def _run_one(spec: BenchmarkSpec, config: RunnerConfig,
     tracer = None
     profiler = None
     token = None
+    ktoken = _KERNELS.set(config.kernels)
     if config.profile:
         from repro.obs import Tracer
         tracer = Tracer()
@@ -212,6 +233,7 @@ def _run_one(spec: BenchmarkSpec, config: RunnerConfig,
     finally:
         if token is not None:
             _TRACER.reset(token)
+        _KERNELS.reset(ktoken)
     total = time.perf_counter() - t0
 
     # a benchmark that never called the timer is still a measurement:

@@ -56,6 +56,12 @@ pipeline`` evaluates forces on a pool of worker processes (size
 the default ``--engine serial`` is the sequential path and is
 bit-identical to earlier releases.
 
+Kernel selection (``run``/``resume``/``sweep``/``bench run``):
+``--kernels numpy`` switches the treecode onto the vectorized batch
+kernels (identical tree, forces equal to tight float tolerance; see
+docs/kernels.md); the default ``--kernels python`` is the per-particle
+reference path, bit-identical to earlier releases.
+
 Observability (``run``/``resume``/``sweep``): ``--profile`` prints the
 section-5-style per-phase wall-time table at the end, ``--trace
 out.jsonl`` writes the span tree as JSON lines (with ``--engine
@@ -115,6 +121,16 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--workers", type=int, default=None, metavar="N",
                      help="pipeline worker processes "
                           "(default: all cores)")
+    # no argparse choices= here: unknown names flow through
+    # resolve_kernels() so the error lands on the command stream as a
+    # uniform exit-2 usage error (and stays open to registered
+    # third-party kernel sets)
+    obs.add_argument("--kernels", default=None,
+                     metavar="{python,numpy}",
+                     help="force/tree kernel set: 'python' (default, "
+                          "the per-particle reference path) or 'numpy' "
+                          "(vectorized batch kernels; identical tree, "
+                          "forces equal to tight float tolerance)")
     obs.add_argument("--faults", type=str, default=None, metavar="PLAN",
                      help="deterministic fault plan: a JSON file, a "
                           "JSON string, or the compact DSL (e.g. "
@@ -233,6 +249,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="after running, gate against this baseline "
                          "(a path, or a name under "
                          "benchmarks/baselines/)")
+    br.add_argument("--kernels", default=None,
+                    metavar="{python,numpy}",
+                    help="kernel set exposed to benchmark bodies via "
+                         "current_kernels() (default: python)")
 
     bc = bsub.add_parser("compare", parents=[gate],
                          help="gate a result document against a "
@@ -285,6 +305,10 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument("--max-recoveries", type=int, default=3,
                    metavar="K")
     u.add_argument("--faults", default=None, metavar="PLAN")
+    u.add_argument("--kernels", default=None,
+                   metavar="{python,numpy}",
+                   help="kernel set the job runs under "
+                        "(default: python)")
     u.add_argument("--wait", action="store_true",
                    help="poll the job to completion; nonzero exit if "
                         "it does not finish 'done'")
@@ -406,7 +430,8 @@ def _make_force(args, tracer=None, registry=None, flight=None):
                        backend=args.backend, engine=engine,
                        tracer=tracer, metrics=registry,
                        fault_injector=injector,
-                       max_retries=getattr(args, "max_retries", 2))
+                       max_retries=getattr(args, "max_retries", 2),
+                       kernels=getattr(args, "kernels", None))
 
 
 def _emit_obs(args, tracer, registry, out, *, extra=None,
@@ -472,11 +497,13 @@ def cmd_info(args, out) -> int:
 
 def cmd_run(args, out) -> int:
     from repro.cosmo import SCDM
+    from repro.core.kernels import resolve_kernels
     from repro.sim import Simulation, slab
     from repro.sim.checkpoint import save_checkpoint
     from repro.sim.recipes import carve_run_region, run_schedule
     from repro.viz import surface_density, write_pgm
 
+    resolve_kernels(args.kernels)  # usage check before the (slow) ICs
     region = carve_run_region(ngrid=args.ngrid, seed=args.seed,
                               z_init=args.z_init)
     print(f"N = {region.n_particles} particles of "
@@ -520,7 +547,8 @@ def cmd_run(args, out) -> int:
     _report_run(sim, backend, out)
     _emit_obs(args, tracer, registry, out,
               extra={"backend": args.backend, "theta": args.theta,
-                     "n_crit": args.ncrit, "seed": args.seed},
+                     "n_crit": args.ncrit, "seed": args.seed,
+                     "kernels": force.kernels.name},
               flight=flight)
 
     if args.figure4 is not None:
@@ -576,6 +604,8 @@ def cmd_sweep(args, out) -> int:
     from repro.perf.report import format_table
     from repro.sim.models import plummer_model
 
+    from repro.core.kernels import resolve_kernels
+    kernels = resolve_kernels(args.kernels)  # fail fast on bad names
     rng = np.random.default_rng(args.seed)
     pos, _, mass = plummer_model(args.n, rng)
     tracer, registry = _make_obs(args)
@@ -589,7 +619,8 @@ def cmd_sweep(args, out) -> int:
         # n_crit setting -- the pool outlives individual TreeCodes
         for ncrit in (64, 256, 1024, 4096):
             tc = TreeCode(theta=args.theta, n_crit=ncrit, engine=engine,
-                          tracer=tracer, metrics=registry)
+                          tracer=tracer, metrics=registry,
+                          kernels=kernels)
             tc.accelerations(pos, mass, 0.01)
             s = tc.last_stats
             rows.append({"n_crit": ncrit,
@@ -719,9 +750,11 @@ def _dispatch_bench(args, out, cmd) -> int:
                   f"(median {w['median']:.4g} s over "
                   f"{w['n_rounds']} round(s))", file=out, flush=True)
 
+    from repro.core.kernels import resolve_kernels
     config = RunnerConfig(tier=args.tier if not args.ids else "ids",
                           rounds=args.rounds, warmup=args.warmup,
-                          profile=args.profile, progress=progress)
+                          profile=args.profile, progress=progress,
+                          kernels=resolve_kernels(args.kernels).name)
     print(f"running {len(specs)} benchmark(s):", file=out)
     doc = run_benchmarks(specs, config)
     write_document(args.out, doc)
@@ -777,7 +810,7 @@ def _submit_spec(args) -> dict:
             "engine": args.engine, "workers": args.workers,
             "checkpoint_every": args.checkpoint_every,
             "max_recoveries": args.max_recoveries,
-            "faults": args.faults}
+            "faults": args.faults, "kernels": args.kernels}
 
 
 def cmd_submit(args, out) -> int:

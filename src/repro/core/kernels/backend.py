@@ -25,6 +25,15 @@ it; :func:`pairwise_accpot` provides the shared tiled float64 kernel.
 Tiles are sized to keep the (n_i, n_j_chunk) temporaries inside the CPU
 cache region where NumPy broadcasting is efficient (guide: "beware of
 cache effects"; do not materialise the full N x M matrix).
+
+Backends additionally expose a **batch list protocol**
+(:meth:`ForceBackend.eval_lists` / :meth:`ForceBackend.compute_batched`)
+driven by the ``numpy`` kernel set (see :mod:`repro.core.kernels`): one
+call evaluates *every* sink of a CSR interaction-list sweep, with no
+per-sink Python round-trips.  The base implementations fall back to the
+per-sink submit/gather loop, so every backend is batch-complete; the
+bundled backends override them with vectorised CSR walks
+(:mod:`repro.core.kernels.batch`).
 """
 
 from __future__ import annotations
@@ -180,6 +189,51 @@ class ForceBackend:
         self.__dict__["_pending_results"] = []
         return pending
 
+    # -- batch list protocol (the ``numpy`` kernel set) ----------------
+    def eval_lists(self, pos: np.ndarray, pmass: np.ndarray,
+                   com: np.ndarray, cmass: np.ndarray, lists,
+                   sink_start: np.ndarray, sink_count: np.ndarray,
+                   eps: float, out_acc: np.ndarray, out_pot: np.ndarray
+                   ) -> None:
+        """Evaluate one whole CSR list sweep into ``out_acc``/``out_pot``.
+
+        ``lists`` is a :class:`~repro.core.traversal.InteractionLists`
+        whose sink ``g`` corresponds to rows
+        ``sink_start[g]:sink_start[g]+sink_count[g]`` of ``pos`` (and of
+        the output arrays).  Sources are cell monopoles then direct
+        particles, in the same concatenation order as the per-sink path.
+
+        The base implementation is the reference loop -- one
+        submit/gather round-trip per sink, so any backend works; the
+        bundled backends override it with a vectorised CSR walk (the C
+        fast path of :mod:`repro.core.kernels.cnative` when a compiler
+        is available).  Output rows are *assigned*, never accumulated,
+        so re-evaluating a sink range is idempotent (the pipeline
+        engine's retry ladder depends on this).
+        """
+        for g in range(int(sink_start.shape[0])):
+            s, n = int(sink_start[g]), int(sink_count[g])
+            cells = lists.cells_of(g)
+            parts = lists.parts_of(g)
+            xj = np.concatenate([com[cells], pos[parts]])
+            mj = np.concatenate([cmass[cells], pmass[parts]])
+            self.submit(g, pos[s:s + n], xj, mj, eps)
+            for _, a, p in self.gather():
+                out_acc[s:s + n] = a
+                out_pot[s:s + n] = p
+
+    def compute_batched(self, xi: np.ndarray, xj: np.ndarray,
+                        mj: np.ndarray, eps: float
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """One-shot dense force call through the batch fast path.
+
+        Same contract as :meth:`compute`; backends with a native kernel
+        override this to bypass their per-pair reference arithmetic
+        (used by drivers whose source lists are rebuilt per sink, e.g.
+        the periodic treecode's minimum-image near field).
+        """
+        return self.compute(xi, xj, mj, eps)
+
     # -- worker-process support ----------------------------------------
     def worker_factory(self) -> Optional[Tuple[Callable[..., "ForceBackend"],
                                                tuple, dict]]:
@@ -233,6 +287,27 @@ class Float64Backend(ForceBackend):
     def compute(self, xi, xj, mj, eps):
         self._interactions += int(np.asarray(xi).shape[0]) * int(np.asarray(xj).shape[0])
         return pairwise_accpot(xi, xj, mj, eps, tile=self.tile)
+
+    def eval_lists(self, pos, pmass, com, cmass, lists, sink_start,
+                   sink_count, eps, out_acc, out_pot):
+        from .batch import f64_eval_lists
+        done, inter = f64_eval_lists(pos, pmass, com, cmass, lists,
+                                     sink_start, sink_count, eps,
+                                     out_acc, out_pot)
+        if not done:
+            super().eval_lists(pos, pmass, com, cmass, lists, sink_start,
+                               sink_count, eps, out_acc, out_pot)
+            return
+        self._interactions += inter
+
+    def compute_batched(self, xi, xj, mj, eps):
+        from .batch import f64_pairwise
+        res = f64_pairwise(xi, xj, mj, eps)
+        if res is None:
+            return self.compute(xi, xj, mj, eps)
+        self._interactions += int(np.asarray(xi).shape[0]) \
+            * int(np.asarray(xj).shape[0])
+        return res
 
     def capabilities(self) -> BackendCaps:
         return BackendCaps(max_nj=None, parallel_safe=True)

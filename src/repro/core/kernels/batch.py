@@ -1,0 +1,195 @@
+"""Batch drivers: NumPy arrays in, compiled CSR list walk out.
+
+These functions marshal :class:`~repro.core.traversal.InteractionLists`
+CSR blocks and dense source sets into the compiled kernels of
+:mod:`repro.core.kernels.cnative`.  Every driver is *total*: when the
+native library is unavailable (no compiler, kill-switch set, unsupported
+numerics) it reports failure -- ``(False, 0)`` / ``False`` / ``None`` --
+and the caller falls back to the per-sink reference loop.  Callers never
+need to know whether the fast path exists.
+
+Two properties the execution layer depends on:
+
+* **Assignment semantics** -- output rows are written with ``=``, never
+  ``+=``, so re-running a sink range (the pipeline engine's retry
+  ladder, the corrupt-result checksum path) is idempotent.
+* **Non-rebased CSR views** -- the ``lists`` argument may carry offset
+  slices that do not start at zero, with index arrays spanning the whole
+  shard; the kernels index ``idx[off[g]:off[g+1]]`` directly, so workers
+  can evaluate a half-open batch ``[g0, g1)`` without copying lists.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from typing import Optional, Tuple
+
+import numpy as np
+
+from . import cnative
+
+__all__ = ["f64_eval_lists", "g5_eval_lists", "f64_pairwise",
+           "g5_pairwise", "native_available"]
+
+
+def native_available() -> bool:
+    """Whether the compiled fast path is usable in this process."""
+    return cnative.available()
+
+
+def _dp(a: np.ndarray):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_double))
+
+
+def _ip(a: np.ndarray):
+    return a.ctypes.data_as(ctypes.POINTER(ctypes.c_longlong))
+
+
+def _f64c(a) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.float64)
+
+
+def _i64c(a) -> np.ndarray:
+    return np.ascontiguousarray(a, dtype=np.int64)
+
+
+def _writable(a: np.ndarray) -> bool:
+    return a.dtype == np.float64 and a.flags.c_contiguous \
+        and a.flags.writeable
+
+
+def _csr_args(lists, sink_start, sink_count):
+    """Marshal the CSR block; returns None when outputs can't be used
+    in place (the reference loop handles those)."""
+    cell_idx = _i64c(lists.cell_idx)
+    cell_off = _i64c(lists.cell_off)
+    part_idx = _i64c(lists.part_idx)
+    part_off = _i64c(lists.part_off)
+    start = _i64c(sink_start)
+    count = _i64c(sink_count)
+    n_groups = int(start.shape[0])
+    lengths = np.diff(cell_off) + np.diff(part_off)
+    max_len = int(lengths.max()) if n_groups else 0
+    scratch = np.empty((4, max(max_len, 1)), dtype=np.float64)
+    inter = int(np.sum(count * lengths)) if n_groups else 0
+    return (cell_idx, cell_off, part_idx, part_off, start, count,
+            n_groups, scratch, inter)
+
+
+def f64_eval_lists(pos, pmass, com, cmass, lists, sink_start, sink_count,
+                   eps, out_acc, out_pot) -> Tuple[bool, int]:
+    """IEEE-double CSR list walk.  Returns ``(done, interactions)``."""
+    lib = cnative.load()
+    if lib is None or not (_writable(out_acc) and _writable(out_pot)):
+        return False, 0
+    (cell_idx, cell_off, part_idx, part_off, start, count,
+     n_groups, scratch, inter) = _csr_args(lists, sink_start, sink_count)
+    if n_groups == 0:
+        return True, 0
+    pos = _f64c(pos)
+    lib.repro_f64_csr(
+        _dp(pos), _dp(_f64c(pmass)), _dp(_f64c(com)), _dp(_f64c(cmass)),
+        _ip(cell_idx), _ip(cell_off), _ip(part_idx), _ip(part_off),
+        _ip(start), _ip(count), n_groups, float(eps) ** 2,
+        _dp(scratch[0]), _dp(scratch[1]), _dp(scratch[2]), _dp(scratch[3]),
+        _dp(out_acc), _dp(out_pot))
+    return True, inter
+
+
+def _g5_params(eps, numerics, fixed):
+    """The reduced-precision constants, or None when the datapath falls
+    outside what the compiled kernel models (then use the Python
+    pipeline, which is authoritative)."""
+    fb = int(numerics.force_fraction_bits)
+    if not 1 <= fb <= 52:
+        return None
+    from repro.grape.numerics import round_mantissa
+    eps2q = float(round_mantissa(np.float64(eps) ** 2, fb))
+    if fixed is not None:
+        use_quant = 1
+        xmin = float(fixed.xmin)
+        res = float(fixed.resolution)
+        qmax = float((1 << int(fixed.bits)) - 1)
+    else:
+        use_quant, xmin, res, qmax = 0, 0.0, 1.0, 0.0
+    return eps2q, fb, use_quant, xmin, res, qmax
+
+
+def g5_eval_lists(pos, pmass, com, cmass, lists, sink_start, sink_count,
+                  eps, out_acc, out_pot, *, numerics, fixed) -> bool:
+    """GRAPE-5 datapath CSR list walk, bit-identical per pair to
+    :class:`repro.grape.pipeline.G5Pipeline`.  Returns ``done``."""
+    lib = cnative.load()
+    if lib is None or not (_writable(out_acc) and _writable(out_pot)):
+        return False
+    params = _g5_params(eps, numerics, fixed)
+    if params is None:
+        return False
+    eps2q, fb, use_quant, xmin, res, qmax = params
+    (cell_idx, cell_off, part_idx, part_off, start, count,
+     n_groups, scratch, _) = _csr_args(lists, sink_start, sink_count)
+    if n_groups == 0:
+        return True
+    pos = _f64c(pos)
+    lib.repro_g5_csr(
+        _dp(pos), _dp(_f64c(pmass)), _dp(_f64c(com)), _dp(_f64c(cmass)),
+        _ip(cell_idx), _ip(cell_off), _ip(part_idx), _ip(part_off),
+        _ip(start), _ip(count), n_groups, eps2q, fb,
+        use_quant, xmin, res, qmax,
+        _dp(scratch[0]), _dp(scratch[1]), _dp(scratch[2]), _dp(scratch[3]),
+        _dp(out_acc), _dp(out_pot))
+    return True
+
+
+def f64_pairwise(xi, xj, mj, eps
+                 ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Dense one-shot IEEE-double call; ``None`` → use the NumPy path."""
+    lib = cnative.load()
+    if lib is None:
+        return None
+    xi = _f64c(xi)
+    xj = _f64c(xj)
+    mj = _f64c(mj)
+    n_i, n_j = int(xi.shape[0]), int(xj.shape[0])
+    acc = np.empty((n_i, 3), dtype=np.float64)
+    pot = np.empty(n_i, dtype=np.float64)
+    if n_i == 0:
+        return acc, pot
+    if n_j == 0:
+        acc[:] = 0.0
+        pot[:] = 0.0
+        return acc, pot
+    lib.repro_f64_pairwise(_dp(xi), n_i, _dp(xj), _dp(mj), n_j,
+                           float(eps) ** 2, _dp(acc), _dp(pot))
+    return acc, pot
+
+
+def g5_pairwise(xi, xj, mj, eps, *, numerics, fixed
+                ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Dense one-shot GRAPE-datapath call; ``None`` → use G5Pipeline."""
+    lib = cnative.load()
+    if lib is None:
+        return None
+    params = _g5_params(eps, numerics, fixed)
+    if params is None:
+        return None
+    eps2q, fb, use_quant, xmin, res, qmax = params
+    xi = _f64c(xi)
+    xj = _f64c(xj)
+    mj = _f64c(mj)
+    n_i, n_j = int(xi.shape[0]), int(xj.shape[0])
+    acc = np.empty((n_i, 3), dtype=np.float64)
+    pot = np.empty(n_i, dtype=np.float64)
+    if n_i == 0:
+        return acc, pot
+    if n_j == 0:
+        acc[:] = 0.0
+        pot[:] = 0.0
+        return acc, pot
+    scratch = np.empty((4, n_j), dtype=np.float64)
+    lib.repro_g5_pairwise(
+        _dp(xi), n_i, _dp(xj), _dp(mj), n_j, eps2q, fb,
+        use_quant, xmin, res, qmax,
+        _dp(scratch[0]), _dp(scratch[1]), _dp(scratch[2]), _dp(scratch[3]),
+        _dp(acc), _dp(pot))
+    return acc, pot

@@ -1,0 +1,460 @@
+"""Compiled CSR list-walk kernels (the ``numpy`` kernel set's fast path).
+
+The batch evaluators in :mod:`repro.core.kernels.batch` bottom out in
+four tiny C routines -- a CSR list walk and a dense pairwise call, each
+in two arithmetic flavours:
+
+* ``f64``: plain IEEE double precision (the :class:`Float64Backend`
+  datapath);
+* ``g5``: the GRAPE-5 reduced-precision datapath -- fixed-point
+  coordinate quantisation plus short-mantissa rounding after every
+  pipeline stage, *bit-identical per pair* to
+  :class:`repro.grape.pipeline.G5Pipeline` (only the accumulation order
+  over a sink's sources differs, which the documented force tolerance
+  covers; see ``docs/kernels.md``).
+
+The mantissa rounding is the branch-free integer form of
+:func:`repro.grape.numerics.round_mantissa`: add the round bit plus a
+ties-to-even correction to the IEEE fraction field, clear the dropped
+bits, and pass subnormals/infinities through untouched.  ``shift =
+53 - fraction_bits`` reproduces the frexp-mantissa convention exactly.
+
+Compilation happens **at first use** with the system C compiler
+(``$CC``, else ``gcc``, else ``cc``) into a per-user cache directory
+keyed by the source hash; a container with no compiler, a read-only
+filesystem, or ``REPRO_KERNELS_NO_CNATIVE=1`` in the environment simply
+leaves :func:`available` false and every caller falls back to the
+NumPy path.  No third-party build dependency is involved.
+
+``-ffp-contract=off`` keeps the arithmetic FMA-free (matching NumPy's
+separate multiply/add), so results are reproducible across compilers on
+the same ISA; ``-march=native`` is attempted first and dropped if the
+compiler rejects it.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from typing import Optional
+
+__all__ = ["available", "load", "SOURCE"]
+
+SOURCE = r"""
+#include <math.h>
+
+typedef long long i64;
+typedef unsigned long long u64;
+
+/* round-to-nearest-even mantissa rounding; s = 53 - fraction_bits */
+static inline double rd_mant(double x, int s) {
+    union {double d; u64 u;} v; v.d = x;
+    u64 u = v.u;
+    u64 expo = (u >> 52) & 0x7FFULL;
+    u64 half = 1ULL << (s - 1);
+    u64 r = u + (((u >> s) & 1ULL) + (half - 1ULL));
+    r &= ~((1ULL << s) - 1ULL);
+    v.u = (expo == 0ULL || expo == 0x7FFULL) ? u : r;
+    return v.d;
+}
+
+/* fixed-point coordinate roundtrip (g5_set_range grid, saturating) */
+static inline double quant(double x, double xmin, double res, double qmax) {
+    double q = rint((x - xmin) / res);
+    q = q < 0.0 ? 0.0 : (q > qmax ? qmax : q);
+    return xmin + q * res;
+}
+
+/* ----------------------------------------------------------------- */
+/* IEEE-double CSR list walk: for each sink group g, assign forces on
+   rows sink_start[g]..+sink_count[g] from its cell monopoles then its
+   direct particles.  Outputs are assigned (idempotent re-runs).      */
+int repro_f64_csr(const double *pos, const double *pmass,
+                  const double *com, const double *cmass,
+                  const i64 *cell_idx, const i64 *cell_off,
+                  const i64 *part_idx, const i64 *part_off,
+                  const i64 *sink_start, const i64 *sink_count,
+                  i64 n_groups, double eps2,
+                  double *sx, double *sy, double *sz, double *sm,
+                  double *out_acc, double *out_pot)
+{
+    for (i64 g = 0; g < n_groups; g++) {
+        i64 c0 = cell_off[g], c1 = cell_off[g + 1];
+        i64 p0 = part_off[g], p1 = part_off[g + 1];
+        i64 nj = (c1 - c0) + (p1 - p0);
+        i64 k = 0;
+        for (i64 c = c0; c < c1; c++, k++) {
+            i64 j = cell_idx[c];
+            sx[k] = com[3*j]; sy[k] = com[3*j+1]; sz[k] = com[3*j+2];
+            sm[k] = cmass[j];
+        }
+        for (i64 p = p0; p < p1; p++, k++) {
+            i64 j = part_idx[p];
+            sx[k] = pos[3*j]; sy[k] = pos[3*j+1]; sz[k] = pos[3*j+2];
+            sm[k] = pmass[j];
+        }
+        i64 s0 = sink_start[g], n_i = sink_count[g];
+        for (i64 i = 0; i < n_i; i++) {
+            i64 row = s0 + i;
+            double xi = pos[3*row], yi = pos[3*row+1], zi = pos[3*row+2];
+            double ax = 0.0, ay = 0.0, az = 0.0, pp = 0.0;
+            if (eps2 > 0.0) {
+                for (i64 j = 0; j < nj; j++) {
+                    double dx = sx[j] - xi, dy = sy[j] - yi,
+                           dz = sz[j] - zi;
+                    double r2 = ((dx*dx + dy*dy) + dz*dz) + eps2;
+                    double rinv = 1.0 / sqrt(r2);
+                    double mr = sm[j] * rinv;
+                    double mr3 = mr * rinv * rinv;
+                    pp -= mr;
+                    ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+                }
+            } else {
+                for (i64 j = 0; j < nj; j++) {
+                    double dx = sx[j] - xi, dy = sy[j] - yi,
+                           dz = sz[j] - zi;
+                    double r2 = (dx*dx + dy*dy) + dz*dz;
+                    double rs = r2 > 0.0 ? r2 : 1.0;
+                    double rinv = r2 > 0.0 ? 1.0 / sqrt(rs) : 0.0;
+                    double mr = sm[j] * rinv;
+                    double mr3 = mr * rinv * rinv;
+                    pp -= mr;
+                    ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+                }
+            }
+            out_acc[3*row] = ax; out_acc[3*row+1] = ay;
+            out_acc[3*row+2] = az;
+            out_pot[row] = pp;
+        }
+    }
+    return 0;
+}
+
+/* ----------------------------------------------------------------- */
+/* G5-datapath CSR list walk: same structure, with the reduced
+   precision applied per stage exactly as G5Pipeline.compute does.    */
+int repro_g5_csr(const double *pos, const double *pmass,
+                 const double *com, const double *cmass,
+                 const i64 *cell_idx, const i64 *cell_off,
+                 const i64 *part_idx, const i64 *part_off,
+                 const i64 *sink_start, const i64 *sink_count,
+                 i64 n_groups, double eps2q, int fb,
+                 int use_quant, double xmin, double res, double qmax,
+                 double *sx, double *sy, double *sz, double *sm,
+                 double *out_acc, double *out_pot)
+{
+    const int s = 53 - fb;
+    for (i64 g = 0; g < n_groups; g++) {
+        i64 c0 = cell_off[g], c1 = cell_off[g + 1];
+        i64 p0 = part_off[g], p1 = part_off[g + 1];
+        i64 nj = (c1 - c0) + (p1 - p0);
+        i64 k = 0;
+        if (use_quant) {
+            for (i64 c = c0; c < c1; c++, k++) {
+                i64 j = cell_idx[c];
+                sx[k] = quant(com[3*j],   xmin, res, qmax);
+                sy[k] = quant(com[3*j+1], xmin, res, qmax);
+                sz[k] = quant(com[3*j+2], xmin, res, qmax);
+                sm[k] = rd_mant(cmass[j], s);
+            }
+            for (i64 p = p0; p < p1; p++, k++) {
+                i64 j = part_idx[p];
+                sx[k] = quant(pos[3*j],   xmin, res, qmax);
+                sy[k] = quant(pos[3*j+1], xmin, res, qmax);
+                sz[k] = quant(pos[3*j+2], xmin, res, qmax);
+                sm[k] = rd_mant(pmass[j], s);
+            }
+        } else {
+            for (i64 c = c0; c < c1; c++, k++) {
+                i64 j = cell_idx[c];
+                sx[k] = com[3*j]; sy[k] = com[3*j+1]; sz[k] = com[3*j+2];
+                sm[k] = rd_mant(cmass[j], s);
+            }
+            for (i64 p = p0; p < p1; p++, k++) {
+                i64 j = part_idx[p];
+                sx[k] = pos[3*j]; sy[k] = pos[3*j+1]; sz[k] = pos[3*j+2];
+                sm[k] = rd_mant(pmass[j], s);
+            }
+        }
+        i64 s0 = sink_start[g], n_i = sink_count[g];
+        for (i64 i = 0; i < n_i; i++) {
+            i64 row = s0 + i;
+            double xi = pos[3*row], yi = pos[3*row+1], zi = pos[3*row+2];
+            if (use_quant) {
+                xi = quant(xi, xmin, res, qmax);
+                yi = quant(yi, xmin, res, qmax);
+                zi = quant(zi, xmin, res, qmax);
+            }
+            double ax = 0.0, ay = 0.0, az = 0.0, pp = 0.0;
+            if (eps2q > 0.0) {
+                for (i64 j = 0; j < nj; j++) {
+                    double dx = sx[j] - xi, dy = sy[j] - yi,
+                           dz = sz[j] - zi;
+                    double dx2 = rd_mant(dx*dx, s);
+                    double dy2 = rd_mant(dy*dy, s);
+                    double dz2 = rd_mant(dz*dz, s);
+                    double r2 = rd_mant(((dx2 + dy2) + dz2) + eps2q, s);
+                    double rinv = rd_mant(1.0 / sqrt(r2), s);
+                    double rinv3 = rd_mant(rinv * rinv * rinv, s);
+                    double mr = rd_mant(sm[j] * rinv, s);
+                    double mr3 = rd_mant(sm[j] * rinv3, s);
+                    pp -= mr;
+                    ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+                }
+            } else {
+                for (i64 j = 0; j < nj; j++) {
+                    double dx = sx[j] - xi, dy = sy[j] - yi,
+                           dz = sz[j] - zi;
+                    double dx2 = rd_mant(dx*dx, s);
+                    double dy2 = rd_mant(dy*dy, s);
+                    double dz2 = rd_mant(dz*dz, s);
+                    double r2 = rd_mant((dx2 + dy2) + dz2, s);
+                    double rs = r2 > 0.0 ? r2 : 1.0;
+                    double rinv = r2 > 0.0 ? 1.0 / sqrt(rs) : 0.0;
+                    rinv = rd_mant(rinv, s);
+                    double rinv3 = rd_mant(rinv * rinv * rinv, s);
+                    double mr = rd_mant(sm[j] * rinv, s);
+                    double mr3 = rd_mant(sm[j] * rinv3, s);
+                    pp -= mr;
+                    ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+                }
+            }
+            out_acc[3*row] = ax; out_acc[3*row+1] = ay;
+            out_acc[3*row+2] = az;
+            out_pot[row] = pp;
+        }
+    }
+    return 0;
+}
+
+/* ----------------------------------------------------------------- */
+/* Dense one-shot calls (the periodic near field rebuilds its source
+   list per group, so there is no CSR to walk).                       */
+int repro_f64_pairwise(const double *xi, i64 n_i,
+                       const double *xj, const double *mj, i64 n_j,
+                       double eps2, double *out_acc, double *out_pot)
+{
+    for (i64 i = 0; i < n_i; i++) {
+        double x = xi[3*i], y = xi[3*i+1], z = xi[3*i+2];
+        double ax = 0.0, ay = 0.0, az = 0.0, pp = 0.0;
+        if (eps2 > 0.0) {
+            for (i64 j = 0; j < n_j; j++) {
+                double dx = xj[3*j] - x, dy = xj[3*j+1] - y,
+                       dz = xj[3*j+2] - z;
+                double r2 = ((dx*dx + dy*dy) + dz*dz) + eps2;
+                double rinv = 1.0 / sqrt(r2);
+                double mr = mj[j] * rinv;
+                double mr3 = mr * rinv * rinv;
+                pp -= mr;
+                ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+            }
+        } else {
+            for (i64 j = 0; j < n_j; j++) {
+                double dx = xj[3*j] - x, dy = xj[3*j+1] - y,
+                       dz = xj[3*j+2] - z;
+                double r2 = (dx*dx + dy*dy) + dz*dz;
+                double rs = r2 > 0.0 ? r2 : 1.0;
+                double rinv = r2 > 0.0 ? 1.0 / sqrt(rs) : 0.0;
+                double mr = mj[j] * rinv;
+                double mr3 = mr * rinv * rinv;
+                pp -= mr;
+                ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+            }
+        }
+        out_acc[3*i] = ax; out_acc[3*i+1] = ay; out_acc[3*i+2] = az;
+        out_pot[i] = pp;
+    }
+    return 0;
+}
+
+int repro_g5_pairwise(const double *xi, i64 n_i,
+                      const double *xj, const double *mj, i64 n_j,
+                      double eps2q, int fb,
+                      int use_quant, double xmin, double res, double qmax,
+                      double *sx, double *sy, double *sz, double *sm,
+                      double *out_acc, double *out_pot)
+{
+    const int s = 53 - fb;
+    for (i64 j = 0; j < n_j; j++) {
+        if (use_quant) {
+            sx[j] = quant(xj[3*j],   xmin, res, qmax);
+            sy[j] = quant(xj[3*j+1], xmin, res, qmax);
+            sz[j] = quant(xj[3*j+2], xmin, res, qmax);
+        } else {
+            sx[j] = xj[3*j]; sy[j] = xj[3*j+1]; sz[j] = xj[3*j+2];
+        }
+        sm[j] = rd_mant(mj[j], s);
+    }
+    for (i64 i = 0; i < n_i; i++) {
+        double x = xi[3*i], y = xi[3*i+1], z = xi[3*i+2];
+        if (use_quant) {
+            x = quant(x, xmin, res, qmax);
+            y = quant(y, xmin, res, qmax);
+            z = quant(z, xmin, res, qmax);
+        }
+        double ax = 0.0, ay = 0.0, az = 0.0, pp = 0.0;
+        if (eps2q > 0.0) {
+            for (i64 j = 0; j < n_j; j++) {
+                double dx = sx[j] - x, dy = sy[j] - y, dz = sz[j] - z;
+                double dx2 = rd_mant(dx*dx, s);
+                double dy2 = rd_mant(dy*dy, s);
+                double dz2 = rd_mant(dz*dz, s);
+                double r2 = rd_mant(((dx2 + dy2) + dz2) + eps2q, s);
+                double rinv = rd_mant(1.0 / sqrt(r2), s);
+                double rinv3 = rd_mant(rinv * rinv * rinv, s);
+                double mr = rd_mant(sm[j] * rinv, s);
+                double mr3 = rd_mant(sm[j] * rinv3, s);
+                pp -= mr;
+                ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+            }
+        } else {
+            for (i64 j = 0; j < n_j; j++) {
+                double dx = sx[j] - x, dy = sy[j] - y, dz = sz[j] - z;
+                double dx2 = rd_mant(dx*dx, s);
+                double dy2 = rd_mant(dy*dy, s);
+                double dz2 = rd_mant(dz*dz, s);
+                double r2 = rd_mant((dx2 + dy2) + dz2, s);
+                double rs = r2 > 0.0 ? r2 : 1.0;
+                double rinv = r2 > 0.0 ? 1.0 / sqrt(rs) : 0.0;
+                rinv = rd_mant(rinv, s);
+                double rinv3 = rd_mant(rinv * rinv * rinv, s);
+                double mr = rd_mant(sm[j] * rinv, s);
+                double mr3 = rd_mant(sm[j] * rinv3, s);
+                pp -= mr;
+                ax += mr3 * dx; ay += mr3 * dy; az += mr3 * dz;
+            }
+        }
+        out_acc[3*i] = ax; out_acc[3*i+1] = ay; out_acc[3*i+2] = az;
+        out_pot[i] = pp;
+    }
+    return 0;
+}
+"""
+
+#: base flags; ``-ffp-contract=off`` forbids FMA contraction so the C
+#: arithmetic matches NumPy's separate multiply/add per stage
+_BASE_FLAGS = ["-O3", "-fno-math-errno", "-ffp-contract=off",
+               "-shared", "-fPIC"]
+
+_lock = threading.Lock()
+_lib: Optional[ctypes.CDLL] = None
+_tried = False
+
+_c_double_p = ctypes.POINTER(ctypes.c_double)
+_c_i64_p = ctypes.POINTER(ctypes.c_longlong)
+
+_SIGNATURES = {
+    "repro_f64_csr": [_c_double_p] * 4 + [_c_i64_p] * 6
+    + [ctypes.c_longlong, ctypes.c_double] + [_c_double_p] * 6,
+    "repro_g5_csr": [_c_double_p] * 4 + [_c_i64_p] * 6
+    + [ctypes.c_longlong, ctypes.c_double, ctypes.c_int, ctypes.c_int,
+       ctypes.c_double, ctypes.c_double, ctypes.c_double]
+    + [_c_double_p] * 6,
+    "repro_f64_pairwise": [_c_double_p, ctypes.c_longlong, _c_double_p,
+                           _c_double_p, ctypes.c_longlong,
+                           ctypes.c_double, _c_double_p, _c_double_p],
+    "repro_g5_pairwise": [_c_double_p, ctypes.c_longlong, _c_double_p,
+                          _c_double_p, ctypes.c_longlong, ctypes.c_double,
+                          ctypes.c_int, ctypes.c_int, ctypes.c_double,
+                          ctypes.c_double, ctypes.c_double]
+    + [_c_double_p] * 6,
+}
+
+
+def _cache_dir() -> Optional[str]:
+    """A writable directory to keep the compiled library in."""
+    candidates = []
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    if xdg:
+        candidates.append(os.path.join(xdg, "repro-kernels"))
+    home = os.path.expanduser("~")
+    if home and home != "~":
+        candidates.append(os.path.join(home, ".cache", "repro-kernels"))
+    for path in candidates:
+        try:
+            os.makedirs(path, exist_ok=True)
+            return path
+        except OSError:
+            continue
+    try:
+        return tempfile.mkdtemp(prefix="repro-kernels-")
+    except OSError:
+        return None
+
+
+def _compiler() -> Optional[str]:
+    cc = os.environ.get("CC")
+    if cc:
+        return cc
+    for cand in ("gcc", "cc"):
+        for d in os.environ.get("PATH", "").split(os.pathsep):
+            if d and os.access(os.path.join(d, cand), os.X_OK):
+                return cand
+    return None
+
+
+def _compile_and_load() -> Optional[ctypes.CDLL]:
+    cache = _cache_dir()
+    cc = _compiler()
+    if cache is None or cc is None:
+        return None
+    tag = hashlib.sha256(
+        (SOURCE + " ".join(_BASE_FLAGS)).encode()).hexdigest()[:16]
+    so_path = os.path.join(cache, f"repro_kernels_{tag}.so")
+    if not os.path.exists(so_path):
+        c_path = os.path.join(cache, f"repro_kernels_{tag}.c")
+        try:
+            with open(c_path, "w") as f:
+                f.write(SOURCE)
+        except OSError:
+            return None
+        tmp = so_path + f".tmp{os.getpid()}"
+        for extra in (["-march=native"], []):
+            cmd = [cc] + _BASE_FLAGS + extra + ["-o", tmp, c_path, "-lm"]
+            try:
+                proc = subprocess.run(cmd, capture_output=True, timeout=120)
+            except (OSError, subprocess.TimeoutExpired):
+                return None
+            if proc.returncode == 0:
+                break
+        else:
+            return None
+        try:
+            os.replace(tmp, so_path)  # atomic: concurrent builds race safely
+        except OSError:
+            return None
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError:
+        return None
+    for name, argtypes in _SIGNATURES.items():
+        fn = getattr(lib, name)
+        fn.argtypes = argtypes
+        fn.restype = ctypes.c_int
+    return lib
+
+
+def load() -> Optional[ctypes.CDLL]:
+    """The compiled library, building it on first call; ``None`` when
+    compilation is unavailable, failed, or disabled via
+    ``REPRO_KERNELS_NO_CNATIVE``."""
+    global _lib, _tried
+    if _tried:
+        return _lib
+    with _lock:
+        if not _tried:
+            if os.environ.get("REPRO_KERNELS_NO_CNATIVE"):
+                _lib = None
+            else:
+                _lib = _compile_and_load()
+            _tried = True
+    return _lib
+
+
+def available() -> bool:
+    """Whether the compiled fast path can be used."""
+    return load() is not None

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import logging
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -33,7 +34,8 @@ import numpy as np
 
 from ..obs.trace import as_tracer
 from .groups import GroupSet, make_groups
-from .kernels import Float64Backend, ForceBackend, self_potential_correction
+from .kernels import (Float64Backend, ForceBackend, KernelSet,
+                      resolve_kernels, self_potential_correction)
 from .mac import MAC, BarnesHutMAC
 from .multipole import compute_moments
 from .quadkernel import quadrupole_accpot
@@ -43,6 +45,9 @@ from .traversal import InteractionLists, build_interaction_lists
 __all__ = ["TreeCode", "TreeStats"]
 
 logger = logging.getLogger(__name__)
+
+#: subclasses already warned about the batched-kernels downgrade
+_batch_shim_warned: set = set()
 
 
 @dataclass
@@ -133,7 +138,22 @@ class TreeCode:
         counters (``tree.force_evals``, ``tree.interactions_total``)
         and histograms (``tree.list_length``, ``tree.group_size``) are
         recorded when present.
+    kernels:
+        Kernel-set name or :class:`~repro.core.kernels.KernelSet`
+        (``"python"`` default, ``"numpy"`` for batched CSR evaluation).
+        Both sets share the same tree kernels, so the tree and the
+        interaction lists are bit-identical; they differ only in how
+        lists are evaluated.  Subclasses that override ``_eval_sink``
+        without declaring ``_batched_eval_native = True`` are
+        transparently downgraded to ``"python"`` with a one-time
+        :class:`DeprecationWarning` -- the historical per-sink hook
+        cannot see batched sweeps.
     """
+
+    #: subclasses that override ``_eval_sink`` but are batch-aware
+    #: (route their backend work through ``compute_batched``) set this
+    #: to keep ``kernels="numpy"`` instead of the deprecation shim
+    _batched_eval_native = False
 
     def __init__(self, *, theta: float = 0.75, n_crit: int = 2000,
                  leaf_size: int = 8,
@@ -142,7 +162,8 @@ class TreeCode:
                  quadrupole: bool = False,
                  engine: Optional[object] = None,
                  tracer: Optional[object] = None,
-                 metrics: Optional[object] = None) -> None:
+                 metrics: Optional[object] = None,
+                 kernels: Optional[object] = None) -> None:
         if n_crit < 1:
             raise ValueError("n_crit must be >= 1")
         self.theta = float(theta)
@@ -151,6 +172,20 @@ class TreeCode:
         self.backend = backend if backend is not None else Float64Backend()
         self.mac = mac if mac is not None else BarnesHutMAC(theta=theta)
         self.quadrupole = bool(quadrupole)
+        self.kernels = resolve_kernels(kernels)
+        if (self.kernels.batched
+                and type(self)._eval_sink is not TreeCode._eval_sink
+                and not type(self)._batched_eval_native):
+            if type(self) not in _batch_shim_warned:
+                _batch_shim_warned.add(type(self))
+                warnings.warn(
+                    f"{type(self).__name__} overrides _eval_sink without "
+                    "declaring _batched_eval_native; falling back to "
+                    "kernels='python'.  Route backend work through "
+                    "compute_batched and set _batched_eval_native = True "
+                    "to use batched kernel sets.",
+                    DeprecationWarning, stacklevel=2)
+            self.kernels = resolve_kernels("python")
         self.engine = engine
         self.tracer = as_tracer(tracer)
         self.metrics = metrics
@@ -173,8 +208,8 @@ class TreeCode:
         Also re-announces the root cube to the backend (the GRAPE's
         fixed-point coordinate window must track the particle extent).
         """
-        tree = build_octree(pos, mass, leaf_size=self.leaf_size,
-                            tracer=self.tracer)
+        tree = self.kernels.build_tree(pos, mass, leaf_size=self.leaf_size,
+                                       tracer=self.tracer)
         with self.tracer.span("moments", quadrupole=self.quadrupole):
             compute_moments(tree, quadrupole=self.quadrupole)
         lo = float(np.min(tree.corner))
@@ -248,16 +283,27 @@ class TreeCode:
         else:
             t0 = time.perf_counter()
             with tr.span("traverse", n_sinks=int(sink_center.shape[0])):
-                lists = build_interaction_lists(tree, sink_center,
-                                                sink_radius, self.mac)
+                lists = self.kernels.traverse(tree, sink_center,
+                                              sink_radius, self.mac)
             t_traverse = time.perf_counter() - t0
 
             t0 = time.perf_counter()
             self._kernel_seconds = 0.0
-            with tr.span("eval", algorithm=algorithm):
+            batched = (self.kernels.batched
+                       and type(self)._eval_sink is TreeCode._eval_sink)
+            with tr.span("eval", algorithm=algorithm,
+                         kernels=self.kernels.name):
                 acc_s = np.empty((tree.n_particles, 3), dtype=np.float64)
                 pot_s = np.empty(tree.n_particles, dtype=np.float64)
                 if algorithm == "modified":
+                    sink_start, sink_count = groups.start, groups.count
+                else:
+                    sink_start = np.arange(tree.n_particles, dtype=np.int64)
+                    sink_count = np.ones(tree.n_particles, dtype=np.int64)
+                if batched:
+                    self._eval_batched(tree, lists, sink_start, sink_count,
+                                       eps, acc_s, pot_s)
+                elif algorithm == "modified":
                     for g in range(groups.n_groups):
                         s, n = int(groups.start[g]), int(groups.count[g])
                         xi = tree.pos_sorted[s:s + n]
@@ -361,14 +407,57 @@ class TreeCode:
             sink_count = np.ones(tree.n_particles, dtype=np.int64)
 
         def build_lists(a: int, b: int) -> InteractionLists:
-            return build_interaction_lists(tree, sink_center[a:b],
-                                           sink_radius[a:b], self.mac)
+            return self.kernels.traverse(tree, sink_center[a:b],
+                                         sink_radius[a:b], self.mac)
 
         return SweepSpec(pos=tree.pos_sorted, pmass=tree.mass_sorted,
                          com=tree.com, cmass=tree.mass,
                          sink_start=sink_start, sink_count=sink_count,
                          eps=float(eps), domain=self._last_domain,
-                         build_lists=build_lists)
+                         build_lists=build_lists,
+                         kernels=self.kernels.name)
+
+    # ------------------------------------------------------------------
+    def _eval_batched(self, tree: Octree, lists: InteractionLists,
+                      sink_start: np.ndarray, sink_count: np.ndarray,
+                      eps: float, acc_s: np.ndarray, pot_s: np.ndarray
+                      ) -> None:
+        """Evaluate every sink's list in one batched backend sweep.
+
+        Monopole mode ships the whole CSR block (cells + direct
+        particles) through :meth:`ForceBackend.eval_lists`.  Quadrupole
+        mode batches the direct-particle terms the same way and adds
+        the host-side monopole+quadrupole cell terms per sink group --
+        the same hybrid split as the per-sink path, evaluated on whole
+        i-particle batches.
+        """
+        if not self.quadrupole:
+            k0 = time.perf_counter()
+            self.backend.eval_lists(tree.pos_sorted, tree.mass_sorted,
+                                    tree.com, tree.mass, lists,
+                                    sink_start, sink_count, eps,
+                                    acc_s, pot_s)
+            self._kernel_seconds += time.perf_counter() - k0
+            return
+        parts_only = InteractionLists(
+            n_sinks=lists.n_sinks,
+            cell_idx=np.empty(0, dtype=np.int64),
+            cell_off=np.zeros(lists.n_sinks + 1, dtype=np.int64),
+            part_idx=lists.part_idx, part_off=lists.part_off)
+        k0 = time.perf_counter()
+        self.backend.eval_lists(tree.pos_sorted, tree.mass_sorted,
+                                tree.com, tree.mass, parts_only,
+                                sink_start, sink_count, eps, acc_s, pot_s)
+        self._kernel_seconds += time.perf_counter() - k0
+        for g in range(int(sink_start.shape[0])):
+            s, n = int(sink_start[g]), int(sink_count[g])
+            cells = lists.cells_of(g)
+            a_c, p_c = quadrupole_accpot(tree.pos_sorted[s:s + n],
+                                         tree.com[cells],
+                                         tree.mass[cells],
+                                         tree.quad[cells], eps)
+            acc_s[s:s + n] += a_c
+            pot_s[s:s + n] += p_c
 
     # ------------------------------------------------------------------
     def _eval_sink(self, tree: Octree, lists: InteractionLists, sink: int,

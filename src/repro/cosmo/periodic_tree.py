@@ -48,7 +48,18 @@ class PeriodicTreeCode(TreeCode):
         Precomputed :class:`~repro.cosmo.ewald.EwaldCorrectionTable`
         (built once per box size when omitted -- reuse tables across
         steps, they are position-independent).
+    kernels:
+        Kernel-set selection, as in :class:`~repro.core.treecode.
+        TreeCode`.  The periodic sweep is batch-aware: with a batched
+        set the anchored nearest-image kernel goes through
+        ``backend.compute_batched`` (one dense native call per group)
+        while the Ewald correction stays on the host, unchanged.
     """
+
+    #: the overridden ``_eval_sink`` routes its backend work through
+    #: ``compute_batched``, so batched kernel sets apply directly
+    #: (no deprecation downgrade)
+    _batched_eval_native = True
 
     def __init__(self, *, box: float, theta: float = 0.75,
                  n_crit: int = 2000, leaf_size: int = 8,
@@ -56,7 +67,8 @@ class PeriodicTreeCode(TreeCode):
                  mac: Optional[MAC] = None,
                  ewald_table: Optional[EwaldCorrectionTable] = None,
                  tracer: Optional[object] = None,
-                 metrics: Optional[object] = None
+                 metrics: Optional[object] = None,
+                 kernels: Optional[object] = None
                  ) -> None:
         if box <= 0:
             raise ValueError("box must be positive")
@@ -67,7 +79,7 @@ class PeriodicTreeCode(TreeCode):
         # periodic sweep always runs the sequential submit/gather path
         super().__init__(theta=theta, n_crit=n_crit,
                          leaf_size=leaf_size, backend=backend, mac=mac,
-                         tracer=tracer, metrics=metrics)
+                         tracer=tracer, metrics=metrics, kernels=kernels)
         self.box = float(box)
         if ewald_table is None:
             ewald_table = EwaldCorrectionTable(self.box)
@@ -79,8 +91,9 @@ class PeriodicTreeCode(TreeCode):
     def build(self, pos: np.ndarray, mass: np.ndarray) -> Octree:
         """Build the octree over the wrapped fundamental box."""
         wrapped = np.mod(np.asarray(pos, dtype=np.float64), self.box)
-        tree = build_octree(wrapped, mass, leaf_size=self.leaf_size,
-                            corner=np.zeros(3), size=self.box)
+        tree = self.kernels.build_tree(wrapped, mass,
+                                       leaf_size=self.leaf_size,
+                                       corner=np.zeros(3), size=self.box)
         compute_moments(tree, quadrupole=self.quadrupole)
         self._last_domain = (-0.5 * self.box, 1.5 * self.box)
         self.backend.set_domain(-0.5 * self.box, 1.5 * self.box)
@@ -109,8 +122,11 @@ class PeriodicTreeCode(TreeCode):
         xj, mj = self._sources(tree, lists, sink)
         anchor = xi[0]
         xj_near = anchor + minimum_image(xj - anchor, self.box)
-        self.backend.submit(sink, xi, xj_near, mj, eps)
-        ((_, acc, pot),) = self.backend.gather()
+        if self.kernels.batched:
+            acc, pot = self.backend.compute_batched(xi, xj_near, mj, eps)
+        else:
+            self.backend.submit(sink, xi, xj_near, mj, eps)
+            ((_, acc, pot),) = self.backend.gather()
 
         n_i = xi.shape[0]
         eps2 = float(eps) ** 2

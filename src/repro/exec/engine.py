@@ -157,6 +157,7 @@ class SerialEngine(ForceEngine):
     name = "serial"
 
     def evaluate(self, backend, spec, *, tracer=None, metrics=None):
+        from ..core.kernels import resolve_kernels
         t0 = time.perf_counter()
         lists = spec.build_lists(0, spec.n_sinks)
         t_traverse = time.perf_counter() - t0
@@ -164,6 +165,20 @@ class SerialEngine(ForceEngine):
         acc = np.empty((spec.n_particles, 3), dtype=np.float64)
         pot = np.empty(spec.n_particles, dtype=np.float64)
         t_kernel = 0.0
+        if resolve_kernels(spec.kernels).batched:
+            sink_start = np.ascontiguousarray(spec.sink_start,
+                                              dtype=np.int64)
+            sink_count = np.ascontiguousarray(spec.sink_count,
+                                              dtype=np.int64)
+            k0 = time.perf_counter()
+            backend.eval_lists(spec.pos, spec.pmass, spec.com, spec.cmass,
+                               lists, sink_start, sink_count, spec.eps,
+                               acc, pot)
+            t_kernel = time.perf_counter() - k0
+            return EvalResult(acc=acc, pot=pot, lists=lists,
+                              traverse_seconds=t_traverse,
+                              kernel_seconds=t_kernel,
+                              stats={"workers": 0.0})
         for g in range(spec.n_sinks):
             s, n = int(spec.sink_start[g]), int(spec.sink_count[g])
             xi = spec.pos[s:s + n]
@@ -476,7 +491,7 @@ class PipelineEngine(ForceEngine):
             bit-identical to the serial engine)."""
             nonlocal t_fallback
             task = pending_task[bid]
-            _, _, _, _, shard_meta, a0, g0, g1, _ctx = task
+            _, _, _, _, shard_meta, a0, g0, g1, _ctx, kern = task
             shard = shard_by_name[shard_meta[0]]
             _fault_event("serial_fallbacks", batch=bid)
             if fl is not None:
@@ -485,7 +500,8 @@ class PipelineEngine(ForceEngine):
             k0 = time.perf_counter()
             # domain already announced on the parent backend by the
             # driver (TreeCode.set_domain precedes the sweep)
-            _run_batch(backend, sweep_block, shard, a0, g0, g1, False)
+            _run_batch(backend, sweep_block, shard, a0, g0, g1, False,
+                       kern)
             t_fallback += time.perf_counter() - k0
             _complete(bid)
 
@@ -683,7 +699,7 @@ class PipelineEngine(ForceEngine):
                            if tracing else None)
                     pending_task[bid] = batch_message(
                         bid, sweep_id, sweep_meta, shard_block.meta,
-                        a, a + u, a + v, ctx)
+                        a, a + u, a + v, ctx, spec.kernels)
                     attempts[bid] = 0
                     _submit(bid)
                     if metrics is not None:

@@ -59,6 +59,10 @@ class SweepSpec:
     #: lists for the sink range [a, b) -- engines may call this in
     #: shards, interleaved with evaluation
     build_lists: Callable[[int, int], InteractionLists]
+    #: kernel-set name governing list evaluation ("python" = per-sink
+    #: reference loop, "numpy" = batched CSR eval_lists); shipped to
+    #: workers so every shard evaluates with the selected kernels
+    kernels: str = "python"
 
     @property
     def n_sinks(self) -> int:
@@ -88,7 +92,8 @@ def assemble_sources(spec_pos: np.ndarray, spec_pmass: np.ndarray,
 
 
 def batch_message(batch_id: int, sweep_id: int, sweep_meta, shard_meta,
-                  a0: int, g0: int, g1: int, ctx=None) -> tuple:
+                  a0: int, g0: int, g1: int, ctx=None,
+                  kernels: str = "python") -> tuple:
     """The pipeline task message for one batch (sans trailing attempt).
 
     One place owns the wire shape shared by
@@ -98,11 +103,12 @@ def batch_message(batch_id: int, sweep_id: int, sweep_meta, shard_meta,
     writing the named shared-memory blocks.  ``ctx`` is the optional
     :class:`~repro.obs.context.SpanContext` of the submitting trace --
     ``None`` when tracing is off, so the disabled path ships no extra
-    bytes and workers skip all span bookkeeping.  The engine appends
-    the attempt number at submit time.
+    bytes and workers skip all span bookkeeping.  ``kernels`` names the
+    kernel set the worker must evaluate with.  The engine appends the
+    attempt number at submit time.
     """
     return ("batch", batch_id, sweep_id, sweep_meta, shard_meta,
-            a0, g0, g1, ctx)
+            a0, g0, g1, ctx, kernels)
 
 
 def plan_batches(lengths: np.ndarray, max_nj: Optional[int]

@@ -196,6 +196,59 @@ class Grape5System:
                         "j-particles (list length) per force call"
                         ).observe(n_j)
 
+    def charge_batch(self, n_i: np.ndarray, n_j: np.ndarray) -> None:
+        """Charge a batch of force calls to the performance model.
+
+        The batched kernel path evaluates whole CSR blocks of calls in
+        one native sweep, so the per-call accounting of
+        :meth:`_compute_resident` is replayed here vectorised: empty
+        calls are dropped (the functional path returns before charging
+        them) and calls whose j-set exceeds the combined particle
+        memory are expanded into the same sequential passes
+        :meth:`compute` would have issued.
+        """
+        n_i = np.asarray(n_i, dtype=np.int64)
+        n_j = np.asarray(n_j, dtype=np.int64)
+        live = (n_i > 0) & (n_j > 0)
+        n_i, n_j = n_i[live], n_j[live]
+        if n_i.size == 0:
+            return
+        capacity = sum(b.jmem_capacity for b in self.boards)
+        over = n_j > capacity
+        if np.any(over):
+            extra_i, extra_j = [], []
+            for ni, nj in zip(n_i[over], n_j[over]):
+                for c0 in range(0, int(nj), capacity):
+                    extra_i.append(int(ni))
+                    extra_j.append(min(int(nj) - c0, capacity))
+            n_i = np.concatenate([n_i[~over], np.asarray(extra_i)])
+            n_j = np.concatenate([n_j[~over], np.asarray(extra_j)])
+
+        calls = int(n_i.size)
+        inter = int(np.sum(n_i * n_j))
+        t = self.timing.force_call_time_batch(n_i, n_j)
+        t_total = float(np.sum(t))
+        self.n_calls += calls
+        self.interactions += inter
+        self.model_seconds += t_total
+        if self.record_calls:
+            self.call_log.extend(
+                (int(a), int(b)) for a, b in zip(n_i, n_j))
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("grape.force_calls",
+                      "force calls shipped to the boards").inc(calls)
+            m.counter("grape.interactions_total",
+                      "pairwise interactions on the pipelines").inc(inter)
+            m.counter("grape.model_seconds",
+                      "modelled GRAPE-5 wall seconds").inc(t_total)
+            m.histogram("grape.call_ni",
+                        "i-particles (sinks) per force call"
+                        ).observe_many(n_i)
+            m.histogram("grape.call_nj",
+                        "j-particles (list length) per force call"
+                        ).observe_many(n_j)
+
     # ------------------------------------------------------------------
     @property
     def model_flops(self) -> float:
@@ -246,6 +299,96 @@ class GrapeBackend(ForceBackend):
                               "backend error").inc()
                 if attempt > self.max_retries:
                     raise
+
+    def _coord_format(self):
+        """The fixed-point format every pipeline currently holds, or
+        ``None`` when quantisation is off or no range is announced."""
+        from .numerics import FixedPointFormat
+        if self.system.numerics.position_bits <= 0:
+            return None
+        if self.system.coordinate_range is None:
+            return None
+        lo, hi = self.system.coordinate_range
+        return FixedPointFormat(bits=self.system.numerics.position_bits,
+                                xmin=lo, xmax=hi)
+
+    def eval_lists(self, pos, pmass, com, cmass, lists, sink_start,
+                   sink_count, eps, out_acc, out_pot):
+        """Batched CSR evaluation on the emulated datapath.
+
+        Requires an announced coordinate range (the treecode always
+        announces the tree domain before evaluating); without one the
+        per-call auto-range of :meth:`Grape5System.compute` is the
+        authoritative behaviour, so evaluation falls back to the
+        reference loop.  Per-pair arithmetic is bit-identical to
+        :class:`~repro.grape.pipeline.G5Pipeline`; only the summation
+        order over a list differs (documented force tolerance).
+        """
+        from ..core.kernels import batch as _batch
+        if self.system.coordinate_range is None:
+            super().eval_lists(pos, pmass, com, cmass, lists, sink_start,
+                               sink_count, eps, out_acc, out_pot)
+            return
+        attempt = 0
+        while True:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.maybe_raise("grape.compute")
+                done = _batch.g5_eval_lists(
+                    pos, pmass, com, cmass, lists, sink_start, sink_count,
+                    eps, out_acc, out_pot,
+                    numerics=self.system.numerics,
+                    fixed=self._coord_format())
+                break
+            except TransientBackendError:
+                attempt += 1
+                self.transient_retries += 1
+                m = self.system.metrics
+                if m is not None:
+                    m.counter("exec.fault.backend_retries",
+                              "force calls re-issued after a transient "
+                              "backend error").inc()
+                if attempt > self.max_retries:
+                    raise
+        if not done:
+            super().eval_lists(pos, pmass, com, cmass, lists, sink_start,
+                               sink_count, eps, out_acc, out_pot)
+            return
+        self.system.charge_batch(np.asarray(sink_count),
+                                 lists.list_lengths)
+
+    def compute_batched(self, xi, xj, mj, eps):
+        """One dense call on the native datapath (periodic near field);
+        charged exactly like :meth:`compute`, falls back to it whenever
+        the native kernel or an announced range is unavailable."""
+        from ..core.kernels import batch as _batch
+        if self.system.coordinate_range is None:
+            return self.compute(xi, xj, mj, eps)
+        attempt = 0
+        while True:
+            try:
+                if self.fault_injector is not None:
+                    self.fault_injector.maybe_raise("grape.compute")
+                res = _batch.g5_pairwise(
+                    xi, xj, mj, eps, numerics=self.system.numerics,
+                    fixed=self._coord_format())
+                break
+            except TransientBackendError:
+                attempt += 1
+                self.transient_retries += 1
+                m = self.system.metrics
+                if m is not None:
+                    m.counter("exec.fault.backend_retries",
+                              "force calls re-issued after a transient "
+                              "backend error").inc()
+                if attempt > self.max_retries:
+                    raise
+        if res is None:
+            return self.compute(xi, xj, mj, eps)
+        n_i = int(np.asarray(xi).shape[0])
+        n_j = int(np.asarray(xj).shape[0])
+        self.system.charge_batch(np.asarray([n_i]), np.asarray([n_j]))
+        return res
 
     def capabilities(self) -> BackendCaps:
         """Batch planning data: the combined particle data memory is the

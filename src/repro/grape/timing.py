@@ -124,6 +124,26 @@ class GrapeTimingModel:
                 + self.transfer_time(n_i, n_j_board)
                 + self.pipeline_time(n_i, n_j_board))
 
+    def force_call_time_batch(self, n_i, n_j):
+        """Vectorised :meth:`force_call_time` over call arrays.
+
+        Used by the batched kernel path to charge a whole CSR block of
+        calls in one shot; term-for-term identical to the scalar method
+        (same ceil splits, same operation order) so batched and
+        per-call charging produce the same ``model_seconds``.
+        """
+        import numpy as np
+        n_i = np.asarray(n_i, dtype=np.float64)
+        n_j = np.asarray(n_j, dtype=np.float64)
+        n_j_board = np.ceil(n_j / self.n_boards)
+        nbytes = (n_j_board * self.bytes_per_j + n_i * self.bytes_per_i
+                  + n_i * self.bytes_per_f)
+        passes = np.ceil(n_i / self.i_per_pass)
+        t = (self.call_latency
+             + nbytes / self.interface_bandwidth
+             + passes * n_j_board / self.memory_clock_hz)
+        return np.where((n_i > 0) & (n_j > 0), t, 0.0)
+
     def sustained_flops(self, n_i: int, n_j: int) -> float:
         """Effective speed of a single force call (38-op convention)."""
         t = self.force_call_time(n_i, n_j)

@@ -131,6 +131,9 @@ class JobSpec:
     faults: Optional[str] = None
     #: engine/backend retry budget
     max_retries: int = 2
+    #: kernel-set selection (``repro.core.kernels`` registry name);
+    #: ``None`` means the default pure-python reference set
+    kernels: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in JOB_KINDS:
@@ -138,6 +141,12 @@ class JobSpec:
                            f"(choose from {', '.join(JOB_KINDS)})")
         if self.engine not in ("serial", "pipeline"):
             raise JobError(f"unknown engine {self.engine!r}")
+        if self.kernels is not None:
+            from ..core.kernels import resolve_kernels
+            try:
+                self.kernels = resolve_kernels(self.kernels).name
+            except (TypeError, ValueError) as e:
+                raise JobError(str(e)) from e
         if self.max_recoveries < 0 or self.max_retries < 0:
             raise JobError("retry/recovery budgets must be >= 0")
         if self.checkpoint_every < 0:
@@ -171,6 +180,7 @@ class JobSpec:
             "max_recoveries": self.max_recoveries,
             "checkpoint_every": self.checkpoint_every,
             "faults": self.faults, "max_retries": self.max_retries,
+            "kernels": self.kernels,
         }
 
     @classmethod
@@ -187,7 +197,7 @@ class JobSpec:
             raise JobError("job document is missing 'kind'")
         known = {"kind", "params", "priority", "tenant", "engine",
                  "workers", "max_recoveries", "checkpoint_every",
-                 "faults", "max_retries"}
+                 "faults", "max_retries", "kernels"}
         unknown = sorted(set(doc) - known)
         if unknown:
             raise JobError(f"unknown job field(s): {', '.join(unknown)}")

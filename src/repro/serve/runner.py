@@ -105,7 +105,8 @@ def _run_run(job: Job, lease, *, tracer, metrics) -> Dict[str, Any]:
         system=(lease.context.system if p["backend"] == "grape"
                 else None),
         engine=engine, tracer=tracer, metrics=metrics,
-        fault_injector=injector, max_retries=spec.max_retries)
+        fault_injector=injector, max_retries=spec.max_retries,
+        kernels=spec.kernels)
 
     ckpt = (Path(job.workdir) / "checkpoint.npz" if job.workdir
             else None)
@@ -192,7 +193,8 @@ def _run_sweep(job: Job, lease, *, tracer, metrics) -> Dict[str, Any]:
         tc, _ = build_force(theta=p["theta"], ncrit=ncrit,
                             system=lease.context.system,
                             tracer=tracer, metrics=metrics,
-                            max_retries=spec.max_retries)
+                            max_retries=spec.max_retries,
+                            kernels=spec.kernels)
         tc.accelerations(pos, mass, _EPS_SYNTH)
         s = tc.last_stats
         rows.append({"n_crit": ncrit,
@@ -218,7 +220,8 @@ def _run_force_eval(job: Job, lease, *, tracer,
     tc, _ = build_force(theta=p["theta"], ncrit=p["ncrit"],
                         system=lease.context.system,
                         tracer=tracer, metrics=metrics,
-                        max_retries=spec.max_retries)
+                        max_retries=spec.max_retries,
+                        kernels=spec.kernels)
     acc, pot = tc.accelerations(pos, mass, p["eps"])
     s = tc.last_stats
     job.steps_done = job.steps_total = 1

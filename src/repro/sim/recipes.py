@@ -45,7 +45,9 @@ def build_force(*, theta: float, ncrit: int, backend: str = "grape",
                 tracer: Optional[object] = None,
                 metrics: Optional[object] = None,
                 fault_injector: Optional[object] = None,
-                max_retries: int = 2) -> Tuple[object, Optional[object]]:
+                max_retries: int = 2,
+                kernels: Optional[object] = None
+                ) -> Tuple[object, Optional[object]]:
     """Build the treecode force solver the way ``repro run`` does.
 
     Returns ``(treecode, grape_backend_or_None)``.  ``backend`` is
@@ -55,13 +57,18 @@ def build_force(*, theta: float, ncrit: int, backend: str = "grape",
     job the accelerator behind its lease, so concurrent jobs never
     share boards.  The arithmetic is identical either way (every
     default system is the same paper configuration), which keeps
-    leased runs bit-identical to interactive ones.
+    leased runs bit-identical to interactive ones.  ``kernels`` is the
+    uniform kernel-set selection (see
+    :func:`repro.core.kernels.resolve_kernels`); bad values raise
+    :class:`ValueError` before any resources are built.
     """
     from ..core import TreeCode
+    from ..core.kernels import resolve_kernels
     from ..grape import GrapeBackend
     if backend not in ("grape", "host"):
         raise ValueError(f"unknown backend {backend!r} "
                          "(choose 'grape' or 'host')")
+    kernels = resolve_kernels(kernels)
     gb = None
     if backend == "grape":
         gb = (GrapeBackend(system=system) if system is not None
@@ -71,7 +78,8 @@ def build_force(*, theta: float, ncrit: int, backend: str = "grape",
         gb.max_retries = int(max_retries)
         gb.fault_injector = fault_injector
     tc = TreeCode(theta=float(theta), n_crit=int(ncrit), backend=gb,
-                  engine=engine, tracer=tracer, metrics=metrics)
+                  engine=engine, tracer=tracer, metrics=metrics,
+                  kernels=kernels)
     return tc, gb
 
 

@@ -94,6 +94,12 @@ class Simulation:
         ``force`` solver is supplied -- configure that solver's engine
         directly).  :meth:`close` releases it either way; use the
         simulation as a context manager for pipeline runs.
+    kernels:
+        Kernel-set selection handed to the default
+        :class:`~repro.core.treecode.TreeCode` (same rule as
+        ``engine``: ignored when an explicit ``force`` solver is
+        supplied).  A name or :class:`~repro.core.kernels.KernelSet`;
+        bad names raise :class:`ValueError` at construction.
     """
 
     pos: np.ndarray
@@ -106,6 +112,7 @@ class Simulation:
     tracer: object = None
     metrics: object = None
     engine: object = None
+    kernels: object = None
 
     history: List[StepRecord] = field(default_factory=list)
     _integrator: LeapfrogKDK = field(default=None, repr=False)
@@ -128,7 +135,8 @@ class Simulation:
                                   n_crit=min(2000, max(1, n // 8)),
                                   engine=self.engine,
                                   tracer=self.tracer,
-                                  metrics=self.metrics)
+                                  metrics=self.metrics,
+                                  kernels=self.kernels)
         self._mass_eff = self.G * self.mass
         self._integrator = LeapfrogKDK(force=self._eval)
         #: checkpoint recoveries performed by :meth:`run` so far
@@ -145,7 +153,8 @@ class Simulation:
     def from_sphere(cls, region: SphereRegion, *, eps: Optional[float] = None,
                     force: object = None, t: float = 0.0,
                     tracer: object = None,
-                    metrics: object = None) -> "Simulation":
+                    metrics: object = None,
+                    kernels: object = None) -> "Simulation":
         """Build a run from a carved cosmological sphere.
 
         ``eps`` defaults to 4% of the mean interparticle spacing of the
@@ -159,7 +168,7 @@ class Simulation:
             eps = 0.04 * spacing
         return cls(pos=region.pos.copy(), vel=region.vel.copy(),
                    mass=region.mass.copy(), eps=float(eps), force=force,
-                   t=t, tracer=tracer, metrics=metrics)
+                   t=t, tracer=tracer, metrics=metrics, kernels=kernels)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -1,0 +1,284 @@
+"""Differential harness for the kernel-set registry (docs/kernels.md).
+
+The contract between the ``python`` reference set and the vectorized
+``numpy`` set:
+
+* **tree structure and Morton keys are bit-identical** -- both sets
+  share the same construction kernels, and this suite pins that as an
+  observable property, not an implementation accident;
+* **forces and potentials agree to tight float tolerance** -- the
+  batched evaluators re-associate sums, so exact equality is not
+  required, but the error budget is a few ULPs per interaction;
+* the selection is **uniform**: the same ``kernels=`` value works on
+  :class:`~repro.core.treecode.TreeCode`,
+  :class:`~repro.cosmo.periodic_tree.PeriodicTreeCode`, the serial
+  engine and the pipeline engine, and unknown names fail loudly.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import TreeCode
+from repro.core.kernels import (KernelSet, kernel_names,
+                                register_kernels, resolve_kernels)
+from repro.cosmo.periodic_tree import PeriodicTreeCode
+from repro.exec import PipelineEngine
+from repro.grape import GrapeBackend
+from repro.sim.models import plummer_model
+
+#: relative tolerance of the batched-vs-reference force comparison;
+#: the observed error is ~1e-15 (re-association of per-interaction
+#: sums), so 1e-12 is two-plus decades of headroom without masking a
+#: real kernel bug
+RTOL = 1e-12
+
+EPS = 0.01
+BOX = 10.0
+
+#: (n, geometry, theta) sweep; the large-N points run one theta to
+#: keep the suite inside tier-1 budgets
+CASES = [
+    (64, "open", 0.75),
+    (64, "periodic", 0.75),
+    (1000, "open", 0.5),
+    (1000, "open", 0.75),
+    (1000, "periodic", 0.5),
+    (1000, "periodic", 0.75),
+    (10000, "open", 0.75),
+    (10000, "periodic", 0.75),
+]
+
+
+@pytest.fixture(scope="module")
+def snapshots():
+    """Deterministic particle sets per (n, geometry)."""
+    cache = {}
+    for n in sorted({c[0] for c in CASES}):
+        rng = np.random.default_rng(1000 + n)
+        pos, _, mass = plummer_model(n, rng)
+        cache[(n, "open")] = (pos, mass)
+        cache[(n, "periodic")] = (rng.uniform(0.0, BOX, size=(n, 3)),
+                                  np.full(n, 1.0 / n))
+    return cache
+
+
+@pytest.fixture(scope="module")
+def ewald_table():
+    """One correction table shared by every periodic case (it is
+    position-independent and costs more than the sweeps themselves)."""
+    from repro.cosmo.ewald import EwaldCorrectionTable
+    return EwaldCorrectionTable(BOX)
+
+
+def _treecode(geometry, theta, kernels, ewald_table, n_crit=256,
+              engine=None):
+    if geometry == "open":
+        return TreeCode(theta=theta, n_crit=n_crit, kernels=kernels,
+                        engine=engine)
+    return PeriodicTreeCode(box=BOX, theta=theta, n_crit=n_crit,
+                            kernels=kernels, ewald_table=ewald_table)
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert "python" in kernel_names()
+        assert "numpy" in kernel_names()
+
+    def test_resolve_default_is_python(self):
+        assert resolve_kernels(None).name == "python"
+        assert resolve_kernels(None).batched is False
+
+    def test_resolve_passthrough(self):
+        ks = resolve_kernels("numpy")
+        assert resolve_kernels(ks) is ks
+
+    def test_unknown_name_lists_choices(self):
+        with pytest.raises(ValueError, match="choose from"):
+            resolve_kernels("fortran")
+
+    def test_register_rejects_non_kernelset(self):
+        with pytest.raises(TypeError):
+            register_kernels("numpy")
+
+    def test_shared_tree_kernels(self):
+        """Tree bit-identity by construction: both sets run the very
+        same build/traverse callables."""
+        py, nx = resolve_kernels("python"), resolve_kernels("numpy")
+        assert py.morton_keys is nx.morton_keys
+        assert py.build_tree is nx.build_tree
+        assert py.traverse is nx.traverse
+
+    def test_uniform_rejection_across_surfaces(self):
+        from repro.sim.recipes import build_force
+        with pytest.raises(ValueError, match="unknown kernels"):
+            TreeCode(kernels="bogus")
+        with pytest.raises(ValueError, match="unknown kernels"):
+            PeriodicTreeCode(box=1.0, kernels="bogus")
+        with pytest.raises(ValueError, match="unknown kernels"):
+            build_force(theta=0.75, ncrit=256, kernels="bogus")
+
+
+class TestTreeBitIdentity:
+    @pytest.mark.parametrize("n", [64, 1000])
+    def test_morton_and_structure_identical(self, snapshots, n):
+        pos, mass = snapshots[(n, "open")]
+        py, nx = resolve_kernels("python"), resolve_kernels("numpy")
+        corner, size = py.bounding_cube(pos)
+        assert np.array_equal(py.morton_keys(pos, corner, size),
+                              nx.morton_keys(pos, corner, size))
+        tp = TreeCode(theta=0.75, n_crit=256, kernels=py).build(pos, mass)
+        tn = TreeCode(theta=0.75, n_crit=256, kernels=nx).build(pos, mass)
+        assert np.array_equal(tp.keys, tn.keys)
+        assert np.array_equal(tp.order, tn.order)
+        assert np.array_equal(tp.prefix, tn.prefix)
+        assert np.array_equal(tp.start, tn.start)
+        assert np.array_equal(tp.count, tn.count)
+        assert np.array_equal(tp.child, tn.child)
+        assert np.array_equal(tp.is_leaf, tn.is_leaf)
+
+
+class TestForceEquivalence:
+    @pytest.mark.parametrize("n,geometry,theta", CASES)
+    def test_numpy_matches_python(self, snapshots, ewald_table, n,
+                                  geometry, theta):
+        pos, mass = snapshots[(n, geometry)]
+        ref = _treecode(geometry, theta, "python", ewald_table)
+        acc0, pot0 = ref.accelerations(pos, mass, EPS)
+        tc = _treecode(geometry, theta, "numpy", ewald_table)
+        acc1, pot1 = tc.accelerations(pos, mass, EPS)
+        scale = np.max(np.abs(acc0))
+        np.testing.assert_allclose(acc1, acc0, rtol=RTOL,
+                                   atol=RTOL * scale)
+        # potentials cancel strongly in periodic boxes, so judge them
+        # against the field's magnitude, not each near-zero entry
+        np.testing.assert_allclose(pot1, pot0, rtol=RTOL,
+                                   atol=RTOL * np.max(np.abs(pot0)))
+        # identical lists -> identical interaction counts
+        assert (tc.last_stats.total_interactions
+                == ref.last_stats.total_interactions)
+
+    def test_quadrupole_path(self, snapshots):
+        pos, mass = snapshots[(1000, "open")]
+        ref = TreeCode(theta=0.75, n_crit=256, quadrupole=True,
+                       kernels="python")
+        acc0, pot0 = ref.accelerations(pos, mass, EPS)
+        tc = TreeCode(theta=0.75, n_crit=256, quadrupole=True,
+                      kernels="numpy")
+        acc1, pot1 = tc.accelerations(pos, mass, EPS)
+        scale = np.max(np.abs(acc0))
+        np.testing.assert_allclose(acc1, acc0, rtol=RTOL,
+                                   atol=RTOL * scale)
+        # potentials cancel strongly in periodic boxes, so judge them
+        # against the field's magnitude, not each near-zero entry
+        np.testing.assert_allclose(pot1, pot0, rtol=RTOL,
+                                   atol=RTOL * np.max(np.abs(pot0)))
+
+    def test_grape_backend_counters_and_forces(self, snapshots):
+        """On the emulator the batched path must preserve the *model*:
+        same call count, same interaction totals, same modelled
+        seconds -- the paper's time accounting must not notice the
+        host-side vectorization."""
+        pos, mass = snapshots[(1000, "open")]
+        refs = {}
+        for mode in ("python", "numpy"):
+            gb = GrapeBackend()
+            tc = TreeCode(theta=0.5, n_crit=256, backend=gb,
+                          kernels=mode)
+            acc, pot = tc.accelerations(pos, mass, EPS)
+            refs[mode] = (acc, pot, gb.system.n_calls,
+                          gb.system.interactions,
+                          gb.system.model_seconds)
+        a0, p0, calls0, inter0, sec0 = refs["python"]
+        a1, p1, calls1, inter1, sec1 = refs["numpy"]
+        scale = np.max(np.abs(a0))
+        np.testing.assert_allclose(a1, a0, rtol=RTOL,
+                                   atol=RTOL * scale)
+        np.testing.assert_allclose(p1, p0, rtol=RTOL)
+        assert calls1 == calls0
+        assert inter1 == inter0
+        assert sec1 == pytest.approx(sec0, rel=1e-12)
+
+
+class TestEngines:
+    def test_pipeline_numpy_bit_identical_to_serial_numpy(self,
+                                                          snapshots):
+        """Worker batches see CSR *slices*; the per-sink arithmetic is
+        row-independent, so slicing must not change a single bit."""
+        pos, mass = snapshots[(1000, "open")]
+        tc = TreeCode(theta=0.75, n_crit=64, kernels="numpy")
+        acc0, pot0 = tc.accelerations(pos, mass, EPS)
+        with PipelineEngine(workers=2, batch_nj=2048) as eng:
+            tcp = TreeCode(theta=0.75, n_crit=64, kernels="numpy",
+                           engine=eng)
+            acc1, pot1 = tcp.accelerations(pos, mass, EPS)
+        assert np.array_equal(acc1, acc0)
+        assert np.array_equal(pot1, pot0)
+
+    def test_pipeline_numpy_matches_python_reference(self, snapshots):
+        pos, mass = snapshots[(1000, "open")]
+        ref = TreeCode(theta=0.75, n_crit=64, kernels="python")
+        acc0, pot0 = ref.accelerations(pos, mass, EPS)
+        with PipelineEngine(workers=2, batch_nj=2048) as eng:
+            tcp = TreeCode(theta=0.75, n_crit=64, kernels="numpy",
+                           engine=eng)
+            acc1, pot1 = tcp.accelerations(pos, mass, EPS)
+        scale = np.max(np.abs(acc0))
+        np.testing.assert_allclose(acc1, acc0, rtol=RTOL,
+                                   atol=RTOL * scale)
+        # potentials cancel strongly in periodic boxes, so judge them
+        # against the field's magnitude, not each near-zero entry
+        np.testing.assert_allclose(pot1, pot0, rtol=RTOL,
+                                   atol=RTOL * np.max(np.abs(pot0)))
+
+
+@pytest.mark.chaos
+class TestChaosSmoke:
+    def test_worker_crash_recovers_bit_identical(self, snapshots):
+        """The retry ladder re-executes crashed batches; because the
+        batched evaluator *assigns* output rows (never accumulates),
+        the recovered sweep equals the undisturbed one exactly."""
+        pos, mass = snapshots[(1000, "open")]
+        with PipelineEngine(workers=2, batch_nj=2048) as eng:
+            tc = TreeCode(theta=0.75, n_crit=64, kernels="numpy",
+                          engine=eng)
+            acc0, pot0 = tc.accelerations(pos, mass, EPS)
+        from repro.obs import MetricsRegistry
+        reg = MetricsRegistry()
+        with PipelineEngine(workers=2, batch_nj=2048,
+                            faults="worker_crash@batch=1") as eng:
+            tc = TreeCode(theta=0.75, n_crit=64, kernels="numpy",
+                          engine=eng, metrics=reg)
+            acc1, pot1 = tc.accelerations(pos, mass, EPS)
+        assert np.array_equal(acc1, acc0)
+        assert np.array_equal(pot1, pot0)
+        assert reg.value("exec.fault.worker_deaths") >= 1
+        assert reg.value("exec.fault.batch_retries") >= 1
+
+
+class TestDeprecationShim:
+    def test_legacy_eval_sink_override_downgrades_once(self, snapshots):
+        """A pre-registry subclass that overrides ``_eval_sink``
+        without declaring batch support keeps working on the python
+        set, with a single warning per class."""
+        pos, mass = snapshots[(64, "open")]
+
+        class LegacyTree(TreeCode):
+            def _eval_sink(self, tree, lists, sink, xi, eps):
+                return super()._eval_sink(tree, lists, sink, xi, eps)
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            tc = LegacyTree(theta=0.75, n_crit=32, kernels="numpy")
+            tc2 = LegacyTree(theta=0.75, n_crit=32, kernels="numpy")
+        deps = [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+        assert len(deps) == 1
+        assert tc.kernels.name == "python"
+        assert tc2.kernels.name == "python"
+        ref = TreeCode(theta=0.75, n_crit=32, kernels="python")
+        acc0, pot0 = ref.accelerations(pos, mass, EPS)
+        acc1, pot1 = tc.accelerations(pos, mass, EPS)
+        assert np.array_equal(acc1, acc0)
+        assert np.array_equal(pot1, pot0)

@@ -52,6 +52,15 @@ class TestEndpoints:
         assert exc.value.status == 400
         assert "unknown job field" in str(exc.value)
 
+    def test_bad_kernels_is_400(self, server_pair):
+        _, client = server_pair
+        with pytest.raises(ServeHTTPError) as exc:
+            client.submit({"schema": JOB_SCHEMA, "kind": "force_eval",
+                           "params": {"n": 64},
+                           "kernels": "fortran"})
+        assert exc.value.status == 400
+        assert "unknown kernels" in str(exc.value)
+
     def test_unknown_route_is_404(self, server_pair):
         _, client = server_pair
         with pytest.raises(ServeHTTPError) as exc:
@@ -80,6 +89,22 @@ class TestJobsOverHTTP:
             assert doc["state"] == "cancelled"
             assert client.wait(slow["id"],
                                timeout=120)["state"] == "done"
+
+    def test_kernels_mode_runs_and_surfaces(self, server_pair):
+        """A numpy-kernel job completes, reports its mode on
+        GET /jobs/{id}, and walks the exact same interaction lists as
+        the python reference job."""
+        _, client = server_pair
+        fast = client.submit({**FE_SPEC, "kernels": "numpy"})
+        assert fast["kernels"] == "numpy"
+        ref = client.submit(FE_SPEC)
+        done_fast = client.wait(fast["id"], timeout=60)
+        done_ref = client.wait(ref["id"], timeout=60)
+        assert done_fast["state"] == done_ref["state"] == "done"
+        assert done_fast["kernels"] == "numpy"
+        assert done_ref["kernels"] is None
+        assert (done_fast["result"]["interactions"]
+                == done_ref["result"]["interactions"])
 
     def test_jobs_listing(self, server_pair):
         _, client = server_pair

@@ -87,6 +87,25 @@ class TestSweep:
         # four rows beyond the header
         assert len([l for l in text.splitlines() if l.strip()]) >= 6
 
+    def test_sweep_numpy_kernels_same_counts(self):
+        """--kernels numpy changes throughput, never the statistics."""
+        code0, text0 = run_cli("sweep", "--n", "1024")
+        code1, text1 = run_cli("sweep", "--n", "1024",
+                               "--kernels", "numpy")
+        assert code0 == 0 and code1 == 0
+        assert text0 == text1
+
+
+class TestKernelsSummary:
+    def test_json_summary_reports_kernels_mode(self, tmp_path):
+        import json
+        summary = tmp_path / "s.json"
+        code, _ = run_cli("run", "--ngrid", "5", "--steps", "1",
+                          "--z-final", "16", "--kernels", "numpy",
+                          "--json-summary", str(summary))
+        assert code == 0
+        assert json.loads(summary.read_text())["kernels"] == "numpy"
+
 
 class TestObservability:
     def test_profile_trace_metrics_summary(self, tmp_path):
@@ -262,8 +281,11 @@ class TestExitCodes:
 
     @pytest.mark.parametrize("argv", [
         ("run", "--faults", "not-a-fault-plan"),
+        ("run", "--kernels", "fortran"),
         ("resume", "/nonexistent/checkpoint.npz"),
         ("sweep", "--faults", "bogus@@selector"),
+        ("sweep", "--kernels", "bogus"),
+        ("bench", "run", "--kernels", "cuda", "e3"),
         ("halos", "/nonexistent/checkpoint.npz"),
         ("bench", "report", "/nonexistent/result.json"),
         ("serve", "--slots", "0"),
