@@ -1,6 +1,6 @@
 """The declarative benchmark registry.
 
-Every experiment in ``benchmarks/bench_e*.py`` declares itself with
+Every experiment in ``benchmarks/bench_*.py`` declares itself with
 the :func:`register` decorator::
 
     from repro.bench import register
@@ -121,7 +121,7 @@ def suite_dir() -> Path:
 
 
 def discover(directory: Optional[Path] = None,
-             pattern: str = "bench_e*.py") -> List[str]:
+             pattern: str = "bench_*.py") -> List[str]:
     """Import every benchmark module so its decorators register.
 
     The suite directory is prepended to ``sys.path`` for the duration

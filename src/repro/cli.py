@@ -283,6 +283,29 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--workdir", type=Path, default=None,
                    help="per-job checkpoint/workdir root "
                         "(default: a temporary directory)")
+    v.add_argument("--store", type=Path, default=None, metavar="DB",
+                   help="durable SQLite job store; several servers "
+                        "may share one, and a restarted server "
+                        "resumes its jobs from it (default: "
+                        "in-memory)")
+    v.add_argument("--worker-id", default=None, metavar="ID",
+                   help="claim identity in the shared store "
+                        "(default: host:port, stable across "
+                        "restarts)")
+    v.add_argument("--claim-ttl", type=float, default=30.0,
+                   metavar="S",
+                   help="claim lease seconds before another worker "
+                        "may take over (default: 30)")
+    v.add_argument("--no-cache", action="store_true",
+                   help="disable the content-addressed result cache")
+    v.add_argument("--max-active", type=int, default=None, metavar="N",
+                   help="per-tenant ceiling on active jobs "
+                        "(default: unlimited)")
+    v.add_argument("--rate", type=float, default=None, metavar="R",
+                   help="per-tenant sustained submissions/second "
+                        "(default: unlimited)")
+    v.add_argument("--burst", type=int, default=4, metavar="N",
+                   help="token-bucket depth for --rate (default: 4)")
 
     u = sub.add_parser("submit", parents=[endpoint],
                        help="submit a job to a running service")
@@ -780,14 +803,24 @@ def _dispatch_bench(args, out, cmd) -> int:
 
 def cmd_serve(args, out) -> int:
     """Run the simulation service until SIGINT/SIGTERM."""
-    from repro.serve import ServeError, run_server
+    from repro.serve import ServeError, TenantPolicy, run_server
     if args.slots < 1:
         raise ServeError("--slots must be >= 1")
     if args.queue_depth < 1:
         raise ServeError("--queue-depth must be >= 1")
+    quota = None
+    if args.max_active is not None or args.rate is not None:
+        try:
+            quota = TenantPolicy(max_active=args.max_active,
+                                 rate=args.rate, burst=args.burst)
+        except ValueError as e:
+            raise ServeError(str(e)) from e
     return run_server(host=args.host, port=args.port,
                       slots=args.slots, queue_depth=args.queue_depth,
-                      workdir=args.workdir)
+                      workdir=args.workdir, store=args.store,
+                      worker_id=args.worker_id,
+                      claim_ttl=args.claim_ttl,
+                      cache=not args.no_cache, quota=quota)
 
 
 def _submit_spec(args) -> dict:

@@ -11,6 +11,14 @@ Layering (each module only depends on the ones above it):
 ``jobs``
     Typed :class:`JobSpec`/:class:`Job`, the versioned
     ``repro.job/v1`` document format, the lifecycle state machine.
+``store``
+    Durable :class:`JobStore` (in-memory reference + SQLite-WAL with
+    an append-only event log): job documents, compare-and-swap claim
+    leases, the content-addressed result cache.  Multiple scheduler
+    workers share one store and take over each other's expired claims.
+``quotas``
+    Per-tenant admission policy: active-job quotas and token-bucket
+    rate limits (:class:`AdmissionController`).
 ``leases``
     :class:`LeaseBroker`: exclusive :class:`~repro.grape.api.G5Context`
     (+ optional pipeline-engine pool) per running job.
@@ -19,7 +27,8 @@ Layering (each module only depends on the ones above it):
     :mod:`repro.sim.recipes` -- the same construction path as the
     CLI, so served runs are bit-identical to ``repro run``.
 ``scheduler``
-    Priority + fair-share queue, admission control,
+    A stateless worker over the store: priority + store-wide
+    fair-share picking, admission control, cache serving,
     :class:`AdmissionError` backpressure.
 ``server`` / ``client``
     Asyncio HTTP API and its stdlib client (``repro serve`` /
@@ -32,12 +41,19 @@ from .client import Backpressure, ServeClient, ServeHTTPError
 from .jobs import (JOB_KINDS, JOB_SCHEMA, JOB_STATES, Job, JobError,
                    JobSpec)
 from .leases import Lease, LeaseBroker, LeaseError
-from .scheduler import AdmissionError, Scheduler
+from .quotas import (AdmissionController, AdmissionError, QuotaExceeded,
+                     RateLimited, TenantPolicy)
+from .scheduler import Scheduler
 from .server import ServeError, Server, run_server
+from .store import (JobStore, MemoryJobStore, SQLiteJobStore,
+                    StoreCorrupt, StoreError, open_store, spec_hash)
 
 __all__ = [
     "JOB_SCHEMA", "JOB_KINDS", "JOB_STATES", "JobSpec", "Job",
     "JobError", "Lease", "LeaseBroker", "LeaseError", "Scheduler",
-    "AdmissionError", "Server", "ServeError", "run_server",
+    "AdmissionError", "QuotaExceeded", "RateLimited", "TenantPolicy",
+    "AdmissionController", "JobStore", "MemoryJobStore",
+    "SQLiteJobStore", "StoreError", "StoreCorrupt", "open_store",
+    "spec_hash", "Server", "ServeError", "run_server",
     "ServeClient", "ServeHTTPError", "Backpressure",
 ]

@@ -167,9 +167,14 @@ class ServeClient:
 
     def healthz(self) -> Dict[str, Any]:
         """The liveness snapshot: job/queue counts plus scheduler
-        ``queue_depth``/``queue_limit``, ``leases_in_use`` and server
-        ``uptime_seconds``."""
+        ``queue_depth``/``queue_limit``, ``leases_in_use``, the store
+        kind, worker id, cache stats and server ``uptime_seconds``."""
         return self._request("GET", "/healthz")
+
+    def store(self) -> Dict[str, Any]:
+        """The durable-store snapshot (``repro.store/v1``): job counts
+        by state, result-cache stats, integrity findings."""
+        return self._request("GET", "/store")
 
     def metrics(self) -> str:
         """The Prometheus exposition text of /metrics."""

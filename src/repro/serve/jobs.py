@@ -241,6 +241,14 @@ class Job:
     steps_total: int = 0
     #: job-private workdir (checkpoints, artifacts)
     workdir: Optional[str] = None
+    #: execution attempt (0 = first; a crash-requeue by
+    #: :meth:`~repro.serve.store.JobStore.recover` bumps it)
+    attempt: int = 0
+    #: scheduler worker currently (or last) holding the claim
+    worker: Optional[str] = None
+    #: the result was served from the content-addressed cache
+    #: (no GRAPE lease was acquired)
+    cache_hit: bool = False
     #: distributed-trace identity, assigned at admission; every span
     #: this job produces (scheduler, runner, engine, workers) carries it
     trace_id: str = ""
@@ -258,6 +266,9 @@ class Job:
                                           repr=False)
     pause_event: threading.Event = field(default_factory=threading.Event,
                                          repr=False)
+    #: optional durable event sink (the scheduler points this at
+    #: ``JobStore.append_event`` so progress survives restarts)
+    event_sink: Optional[Any] = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.id:
@@ -291,6 +302,11 @@ class Job:
         self.events.append(ev)
         if self.flight is not None:
             self.flight.record(f"job.{kind}", job=self.id, **attrs)
+        if self.event_sink is not None:
+            try:
+                self.event_sink(self.id, ev)
+            except Exception:  # pragma: no cover - sink must not kill
+                pass           # the job it is recording
         return ev
 
     # -- serialisation -------------------------------------------------
@@ -309,6 +325,9 @@ class Job:
             "lease": self.lease,
             "recoveries": self.recoveries,
             "trace_id": self.trace_id,
+            "attempt": self.attempt,
+            "worker": self.worker,
+            "cache_hit": self.cache_hit,
             "progress": {"steps_done": self.steps_done,
                          "steps_total": self.steps_total,
                          "events": len(self.events)},
@@ -316,3 +335,49 @@ class Job:
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict())
+
+    # -- durable projection --------------------------------------------
+    def to_store_doc(self) -> Dict[str, Any]:
+        """The document a :class:`~repro.serve.store.JobStore`
+        persists: the wire document plus ``seq`` and ``workdir`` (the
+        restart path needs the checkpoint location)."""
+        doc = self.to_dict()
+        doc["seq"] = self.seq
+        doc["workdir"] = self.workdir
+        return doc
+
+    @classmethod
+    def from_store_doc(cls, doc: Dict[str, Any]) -> "Job":
+        """Rebuild a runtime :class:`Job` from a stored document.
+
+        The spec round-trips through validation; runtime state is
+        restored field-by-field (``advance`` is bypassed -- the store
+        is authoritative about where the job already is).  Events are
+        *not* loaded here; the caller decides whether to hydrate them
+        from the store's event log.
+        """
+        spec = JobSpec.from_dict(
+            {k: doc[k] for k in ("kind", "params", "priority",
+                                 "tenant", "engine", "workers",
+                                 "max_recoveries", "checkpoint_every",
+                                 "faults", "max_retries", "kernels")
+             if k in doc})
+        job = cls(spec=spec, id=doc["id"])
+        job.seq = int(doc.get("seq", 0))
+        job.state = doc.get("state", "queued")
+        job.submitted_at = float(doc.get("submitted_at", 0.0))
+        job.started_at = doc.get("started_at")
+        job.finished_at = doc.get("finished_at")
+        job.error = doc.get("error")
+        job.result = doc.get("result")
+        job.lease = doc.get("lease")
+        job.recoveries = int(doc.get("recoveries", 0))
+        job.trace_id = doc.get("trace_id", "")
+        job.workdir = doc.get("workdir")
+        job.attempt = int(doc.get("attempt", 0))
+        job.worker = doc.get("worker")
+        job.cache_hit = bool(doc.get("cache_hit", False))
+        progress = doc.get("progress", {})
+        job.steps_done = int(progress.get("steps_done", 0))
+        job.steps_total = int(progress.get("steps_total", 0))
+        return job

@@ -88,8 +88,8 @@ def _run_run(job: Job, lease, *, tracer, metrics) -> Dict[str, Any]:
     from ..cosmo import SCDM
     from ..faults import FaultInjector, parse_fault_plan
     from ..sim import Simulation
-    from ..sim.checkpoint import (CheckpointCorrupt, load_latest,
-                                  save_checkpoint)
+    from ..sim.checkpoint import (CheckpointCorrupt, last_good_entries,
+                                  load_latest, save_checkpoint)
     from ..sim.diagnostics import interaction_totals
     from ..sim.recipes import (build_force, carve_run_region,
                                run_schedule, state_digest)
@@ -118,9 +118,14 @@ def _run_run(job: Job, lease, *, tracer, metrics) -> Dict[str, Any]:
         try:
             sim = load_latest(ckpt, force=force)
             sim.tracer, sim.metrics = tracer, metrics
-            job.add_event("resumed", steps_done=len(sim.history))
-            logger.info("job %s: resumed from %s at step %d", job.id,
-                        ckpt, len(sim.history))
+            gens = last_good_entries(ckpt)
+            job.add_event("resumed", steps_done=len(sim.history),
+                          attempt=job.attempt,
+                          generation=(gens[0].get("sha256", "")[:12]
+                                      if gens else None))
+            logger.info("job %s: resumed from %s at step %d "
+                        "(attempt %d)", job.id, ckpt,
+                        len(sim.history), job.attempt)
         except (FileNotFoundError, CheckpointCorrupt):
             sim = None
     if sim is None:

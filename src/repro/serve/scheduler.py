@@ -1,36 +1,51 @@
-"""Priority + fair-share job scheduler with admission control.
+"""Stateless scheduler workers over a durable job store.
 
 The paper's host feeds one GRAPE; the service multiplexes many
-tenants onto a fixed pool of leased accelerators.  The scheduler owns
-that multiplexing: a bounded queue in front of ``slots`` worker
-threads, each of which repeatedly picks the best queued job, checks
-out a lease from the :class:`~repro.serve.leases.LeaseBroker`, and
-executes the job via :func:`repro.serve.runner.run_job`.
+tenants onto a fixed pool of leased accelerators.  Since PR 8 the
+scheduler owns no durable state: every job document, lifecycle
+transition, claim and progress event lives in a pluggable
+:class:`~repro.serve.store.JobStore` (in-memory or SQLite-WAL), and a
+:class:`Scheduler` is just a *worker* over that store -- several
+scheduler instances (or processes) can share one store file, claim
+jobs via atomic compare-and-swap leases with heartbeat expiry, and
+take over each other's jobs when a worker dies.  A restarted worker
+resumes running jobs from their last-good checkpoint generations
+(``sim.checkpoint``'s SHA-256 pointer), reaching a ``state_digest``
+bit-identical to an uninterrupted run.
 
-Picking order (highest first):
+Picking order (highest first) -- computed store-wide, so fair share
+holds across replicated workers:
 
 1. ``spec.priority`` (larger wins);
 2. fair share -- among equal priorities, the tenant with the fewest
-   *running* jobs wins, so one chatty tenant cannot starve others;
-3. FIFO (submission sequence).
+   active + served jobs in the *store* wins, so one chatty tenant
+   cannot starve others on any worker;
+3. FIFO (store-allocated submission sequence).
 
-Admission control is a hard bound on *queued* jobs
-(``queue_depth``): a submit past the bound raises
-:class:`AdmissionError` carrying a ``retry_after`` hint, which the
-HTTP layer turns into ``429 Retry-After``.  Running jobs do not count
-against the bound -- the queue is the backpressure surface, the slots
-are the capacity.
+Admission control is layered, every layer answering ``429 +
+Retry-After`` through :class:`~repro.serve.quotas.AdmissionError`:
 
-Faults stay contained: a fault-injected (or real) crash inside a
-running job is recovered *inside its slot* by
-``Simulation.run``'s checkpoint rollback (bounded by the job's
-``max_recoveries``), and a job that still fails only marks itself
-failed -- the worker thread survives and serves the next queued job.
+* a hard bound on *queued* jobs store-wide (``queue_depth``);
+* per-tenant active-job quotas and token-bucket rate limits
+  (:class:`~repro.serve.quotas.AdmissionController`).
+
+A repeated identical submission (same kind/params/kernels, no fault
+plan) is served from the store's content-addressed result cache
+without acquiring a GRAPE lease -- ``serve.cache_hits`` counts them
+and the job document carries ``cache_hit: true``.
+
+Faults stay contained exactly as before: a crash inside a running job
+is recovered *inside its slot* by ``Simulation.run``'s checkpoint
+rollback, and a job that still fails only marks itself failed.  A
+crash of the *worker process* is recovered by any surviving (or
+restarted) worker through :meth:`JobStore.recover`.
 """
 
 from __future__ import annotations
 
 import logging
+import os
+import itertools
 import tempfile
 import threading
 import time
@@ -40,131 +55,236 @@ from typing import Dict, List, Optional
 from ..obs import FlightRecorder, Tracer, new_trace_id
 from .jobs import Job, JobCancelled, JobError, JobPaused, JobSpec
 from .leases import LeaseBroker
+from .quotas import AdmissionController, AdmissionError, TenantPolicy
 from .runner import run_job
+from .store import JobStore, StoreError, open_store, spec_hash
 
 __all__ = ["AdmissionError", "Scheduler"]
 
 logger = logging.getLogger(__name__)
 
+#: job kinds eligible for the content-addressed result cache (all of
+#: them -- results are bit-identical by construction; jobs carrying a
+#: fault plan are excluded because chaos runs are about the journey)
+_CACHEABLE_KINDS = frozenset({"run", "sweep", "force_eval"})
 
-class AdmissionError(RuntimeError):
-    """Queue bound hit; ``retry_after`` is the client's backoff hint
-    in seconds (HTTP 429 Retry-After)."""
-
-    def __init__(self, message: str, retry_after: float = 1.0) -> None:
-        super().__init__(message)
-        self.retry_after = float(retry_after)
+_worker_counter = itertools.count(1)
 
 
 class Scheduler:
-    """Bounded queue, fair-share pick, leased execution.
+    """One stateless worker: claim, lease, run, record -- all durable
+    state in the :class:`~repro.serve.store.JobStore`.
 
     Parameters
     ----------
     slots:
         Worker threads = concurrent jobs = accelerator leases.
     queue_depth:
-        Maximum *queued* (not running) jobs before submissions are
+        Maximum *queued* jobs store-wide before submissions are
         rejected with :class:`AdmissionError`.
     workdir:
-        Directory for per-job workdirs (checkpoints); a temporary
-        directory is created when omitted.
-    metrics / tracer:
-        Shared :class:`~repro.obs.metrics.MetricsRegistry` /
-        :class:`~repro.obs.trace.Tracer`; the registry feeds the
-        server's ``/metrics`` endpoint.
-    system_factory:
-        Forwarded to the broker (one emulated GRAPE per slot).
+        Directory for per-job workdirs (checkpoints).  Pass a real
+        path together with a durable store so restarts find the
+        checkpoints; a temporary directory is created when omitted.
+    store:
+        ``None`` (private in-memory store), a path (SQLite-WAL store,
+        shareable between workers), or a :class:`JobStore` instance.
+    worker_id:
+        This worker's claim identity.  Give restarts of the same
+        logical worker the same id and :meth:`start` reclaims its
+        own orphaned jobs immediately instead of waiting out the TTL.
+    claim_ttl / heartbeat_interval / poll_interval:
+        Claim lease seconds; heartbeat cadence (default ``ttl/3``);
+        how often idle workers poll the store for jobs submitted
+        through *other* workers.
+    cache:
+        Serve repeat submissions from the store's result cache
+        (default on).
+    quota:
+        Admission policy: an :class:`AdmissionController`, a
+        :class:`~repro.serve.quotas.TenantPolicy` (applied to every
+        tenant), or a ``{tenant: TenantPolicy}`` dict.
+    metrics / tracer / system_factory:
+        As before (PR 5/6).
     """
 
     def __init__(self, *, slots: int = 2, queue_depth: int = 16,
                  workdir: Optional[object] = None,
+                 store: Optional[object] = None,
+                 worker_id: Optional[str] = None,
+                 claim_ttl: float = 30.0,
+                 heartbeat_interval: Optional[float] = None,
+                 poll_interval: float = 0.25,
+                 cache: bool = True,
+                 quota: Optional[object] = None,
                  metrics: Optional[object] = None,
                  tracer: Optional[object] = None,
                  system_factory: Optional[object] = None) -> None:
         from ..obs import MetricsRegistry, NULL_TRACER
         if queue_depth < 1:
             raise JobError("queue_depth must be >= 1")
+        if claim_ttl <= 0:
+            raise JobError("claim_ttl must be > 0")
         self.metrics = metrics if metrics is not None else \
             MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.slots = int(slots)
         self.queue_depth = int(queue_depth)
+        self.store: JobStore = open_store(store)
+        self.worker_id = worker_id or \
+            f"w-{os.getpid()}-{next(_worker_counter)}"
+        self.claim_ttl = float(claim_ttl)
+        self.heartbeat_interval = (float(heartbeat_interval)
+                                   if heartbeat_interval is not None
+                                   else max(0.05, self.claim_ttl / 3.0))
+        self.poll_interval = float(poll_interval)
+        self.cache_enabled = bool(cache)
+        if isinstance(quota, AdmissionController):
+            self.admission = quota
+        elif isinstance(quota, TenantPolicy):
+            self.admission = AdmissionController(default=quota)
+        elif isinstance(quota, dict):
+            self.admission = AdmissionController(per_tenant=quota)
+        elif quota is None:
+            self.admission = AdmissionController()
+        else:
+            raise JobError(f"unsupported quota {quota!r}")
         self.broker = LeaseBroker(self.slots,
                                   system_factory=system_factory,
                                   metrics=self.metrics)
         self._workdir = Path(workdir) if workdir is not None else \
             Path(tempfile.mkdtemp(prefix="repro-serve-"))
         self._workdir.mkdir(parents=True, exist_ok=True)
+        #: runtime Job objects this worker has touched (submitted to
+        #: it or claimed by it); the store is authoritative for the
+        #: rest
         self._jobs: Dict[str, Job] = {}
-        self._queue: List[str] = []
-        self._tenant_running: Dict[str, int] = {}
-        self._tenant_served: Dict[str, int] = {}
         self._done_seconds: List[float] = []
         self._cv = threading.Condition()
         self._stopping = False
         self._threads: List[threading.Thread] = []
         m = self.metrics
-        m.gauge("serve.queue_depth", "jobs waiting for a slot").set(0)
+        m.gauge("serve.queue_depth", "jobs waiting for a slot").set(
+            len(self.store.queued()))
         m.gauge("serve.queue_limit",
                 "admission-control queue bound").set(self.queue_depth)
         m.gauge("serve.jobs_running", "jobs executing in a slot").set(0)
 
     # -- lifecycle -----------------------------------------------------
     def start(self) -> "Scheduler":
-        """Spawn the worker threads (idempotent)."""
+        """Recover orphaned claims, then spawn the worker +
+        housekeeping threads (idempotent)."""
         with self._cv:
             if self._threads:
                 return self
             self._stopping = False
+            try:
+                requeued = self.store.recover(now=time.time(),
+                                              worker=self.worker_id)
+            except StoreError as e:
+                logger.warning("startup recovery failed: %s", e)
+                requeued = []
+            if requeued:
+                self.metrics.counter(
+                    "serve.jobs_requeued",
+                    "jobs re-queued after a lost/expired claim"
+                    ).inc(len(requeued))
+                logger.info("recovered %d orphaned job(s): %s",
+                            len(requeued), ", ".join(requeued))
             for i in range(self.slots):
                 t = threading.Thread(target=self._worker_loop,
                                      name=f"repro-serve-{i}",
                                      daemon=True)
                 t.start()
                 self._threads.append(t)
-        logger.info("scheduler started: %d slot(s), queue bound %d, "
-                    "workdir %s", self.slots, self.queue_depth,
-                    self._workdir)
+            hk = threading.Thread(target=self._housekeeping_loop,
+                                  name="repro-serve-housekeeping",
+                                  daemon=True)
+            hk.start()
+            self._threads.append(hk)
+        logger.info("scheduler %s started: %d slot(s), queue bound %d, "
+                    "store %s, workdir %s", self.worker_id, self.slots,
+                    self.queue_depth, self.store.kind, self._workdir)
         return self
 
-    def stop(self, *, timeout: float = 30.0) -> None:
-        """Shut down: cancel queued jobs, flag running ones, join the
-        workers, release the accelerator pool.  Idempotent."""
+    def stop(self, *, timeout: float = 30.0,
+             drain: Optional[bool] = None) -> None:
+        """Shut down this worker.
+
+        ``drain`` (default: on for durable stores, off for in-memory)
+        checkpoints running jobs via the pause path and re-queues them
+        in the store, so another worker -- or this one after a restart
+        -- resumes them bit-identically.  Without drain, running jobs
+        are cancelled and, on a volatile store, queued jobs too
+        (nothing would ever serve them).  Idempotent.
+        """
         with self._cv:
             if self._stopping and not self._threads:
                 return
             self._stopping = True
-            for jid in list(self._queue):
-                self._jobs[jid].advance("cancelled")
-            self._queue.clear()
-            for job in self._jobs.values():
-                if not job.terminal:
-                    job.cancel_event.set()
-            self._set_queue_gauge()
+            if drain is None:
+                drain = self.store.kind != "memory"
+            for job in list(self._jobs.values()):
+                if job.worker == self.worker_id and \
+                        job.state in ("scheduled", "running"):
+                    (job.pause_event if drain
+                     else job.cancel_event).set()
+                elif job.state == "queued" and not drain:
+                    if self.store.request_cancel(job.id) == "cancelled":
+                        job.advance("cancelled")
+                        self._count_terminal(job)
+            self._set_gauges_locked()
             self._cv.notify_all()
             threads, self._threads = self._threads, []
         for t in threads:
             t.join(timeout=timeout)
+        if drain:
+            with self._cv:
+                for job in list(self._jobs.values()):
+                    if job.state == "paused" and \
+                            job.worker == self.worker_id:
+                        try:
+                            if self.store.requeue(job.id):
+                                job.state = "queued"
+                                job.pause_event.clear()
+                        except StoreError as e:
+                            logger.warning("drain requeue of %s "
+                                           "failed: %s", job.id, e)
         self.broker.close()
-        logger.info("scheduler stopped")
+        logger.info("scheduler %s stopped", self.worker_id)
 
     # -- submission / control ------------------------------------------
     def submit(self, spec: JobSpec) -> Job:
-        """Admit a job or raise :class:`AdmissionError` (429)."""
+        """Admit a job or raise :class:`AdmissionError` (429):
+        queue bound, tenant quota and rate limit, in that order."""
         with self._cv:
             if self._stopping:
                 raise AdmissionError("scheduler is shutting down",
                                      retry_after=5.0)
-            if len(self._queue) >= self.queue_depth:
+            queued = len(self.store.queued())
+            if queued >= self.queue_depth:
                 self.metrics.counter(
                     "serve.jobs_rejected",
                     "submissions refused by admission control").inc()
                 raise AdmissionError(
-                    f"queue full ({len(self._queue)}/"
-                    f"{self.queue_depth} jobs waiting)",
-                    retry_after=self._retry_after())
-            job = Job(spec=spec)
+                    f"queue full ({queued}/{self.queue_depth} jobs "
+                    "waiting)", retry_after=self._retry_after(queued))
+            try:
+                self.admission.admit(
+                    spec.tenant,
+                    active=self.store.tenant_active(spec.tenant))
+            except AdmissionError:
+                self.metrics.counter(
+                    "serve.jobs_rejected",
+                    "submissions refused by admission control").inc()
+                self.metrics.counter(
+                    "serve.quota_rejected",
+                    "submissions refused by tenant quota/rate "
+                    "limits").inc()
+                raise
+            jid, seq = self.store.allocate()
+            job = Job(spec=spec, id=jid)
+            job.seq = seq
             wd = self._workdir / job.id
             wd.mkdir(parents=True, exist_ok=True)
             job.workdir = str(wd)
@@ -175,42 +295,84 @@ class Scheduler:
             job.trace_id = new_trace_id()
             job.tracer = Tracer(trace_id=job.trace_id)
             job.flight = FlightRecorder(path=wd / "flightrec.jsonl")
-            job.flight.record("job.submitted", job=job.id,
-                              kind=spec.kind, tenant=spec.tenant)
+            job.event_sink = self._event_sink
             self._jobs[job.id] = job
-            self._queue.append(job.id)
+            self.store.insert(job.to_store_doc())
+            job.add_event("submitted", tenant=spec.tenant)
             self.metrics.counter("serve.jobs_submitted",
                                  "jobs admitted to the queue").inc()
-            self._set_queue_gauge()
+            self._set_gauges_locked()
             self._cv.notify()
             return job
 
     def get(self, job_id: str) -> Job:
+        """The runtime job if this worker owns it, else a view
+        hydrated from the store (and kept in sync with it)."""
         with self._cv:
-            try:
-                return self._jobs[job_id]
-            except KeyError:
-                raise KeyError(f"no such job {job_id!r}") from None
+            job = self._jobs.get(job_id)
+            if job is not None:
+                doc = None
+                if job.worker != self.worker_id and not job.terminal:
+                    try:
+                        doc = self.store.get(job_id)
+                    except StoreError:
+                        doc = None
+                if doc is not None:
+                    self._sync_from_store(job, doc)
+                return job
+        try:
+            doc = self.store.get(job_id)
+        except StoreError:
+            doc = None
+        if doc is None:
+            raise KeyError(f"no such job {job_id!r}")
+        return Job.from_store_doc(doc)
 
     def jobs(self) -> List[Job]:
-        """All known jobs, submission order."""
+        """All jobs in the store, submission order, with this
+        worker's live runtime objects substituted where it owns
+        them."""
+        docs = self.store.list()
+        out: List[Job] = []
         with self._cv:
-            return sorted(self._jobs.values(), key=lambda j: j.seq)
+            for doc in docs:
+                job = self._jobs.get(doc["id"])
+                if job is None:
+                    out.append(Job.from_store_doc(doc))
+                else:
+                    if job.worker != self.worker_id \
+                            and not job.terminal:
+                        self._sync_from_store(job, doc)
+                    out.append(job)
+        return sorted(out, key=lambda j: j.seq)
+
+    def events(self, job_id: str) -> List[Dict]:
+        """A job's progress events: live for locally owned jobs,
+        from the store's event log otherwise."""
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is not None:
+                return job.events
+        return self.store.events(job_id)
 
     def cancel(self, job_id: str) -> Job:
-        """Cancel a job: immediately for queued/paused, by flag (the
-        runner polls between steps) for running."""
+        """Cancel a job: immediately for queued/paused (wherever it
+        lives), by flag for running -- the owning worker observes the
+        flag through its heartbeat and between steps."""
         job = self.get(job_id)
         with self._cv:
-            job.cancel_event.set()
-            if job.state == "queued":
-                self._queue.remove(job.id)
-                job.advance("cancelled")
-                self._count_terminal(job)
-                self._set_queue_gauge()
-            elif job.state == "paused":
-                job.advance("cancelled")
-                self._count_terminal(job)
+            outcome = self.store.request_cancel(job_id)
+            local = self._jobs.get(job_id)
+            if local is not None:
+                local.cancel_event.set()
+                if outcome == "cancelled" and \
+                        local.state in ("queued", "paused"):
+                    local.advance("cancelled")
+                    self._count_terminal(local)
+                job = local
+            elif outcome == "cancelled":
+                job.state = "cancelled"
+            self._set_gauges_locked()
             self._cv.notify_all()
         return job
 
@@ -223,102 +385,319 @@ class Scheduler:
         return job
 
     def resume(self, job_id: str) -> Job:
-        """Re-queue a paused job; it continues from its checkpoint."""
+        """Re-queue a paused job; any worker on the store continues
+        it from its checkpoint."""
         job = self.get(job_id)
         with self._cv:
             if job.state != "paused":
                 raise JobError(f"job {job_id} is {job.state}, "
                                "not paused")
+            if not self.store.requeue(job.id, from_state="paused"):
+                raise JobError(f"job {job_id} changed state in the "
+                               "store; resume lost the race")
             job.pause_event.clear()
             job.submitted_mono = time.perf_counter()
-            job.advance("queued")
-            self._queue.append(job.id)
-            self._set_queue_gauge()
+            if self._jobs.get(job_id) is job:
+                job.advance("queued")
+            else:
+                job.state = "queued"
+            self._set_gauges_locked()
             self._cv.notify()
         return job
 
     def wait(self, job_id: str,
              timeout: Optional[float] = None) -> bool:
-        """Block until the job is terminal (or paused); returns whether
-        it stopped within ``timeout``."""
-        job = self.get(job_id)
+        """Block until the job is terminal (or paused); returns
+        whether it stopped within ``timeout``.  Works for jobs run by
+        other workers too (the housekeeping tick re-polls the
+        store)."""
         with self._cv:
             return self._cv.wait_for(
-                lambda: job.terminal or job.state == "paused",
-                timeout=timeout)
+                lambda: self._resting_locked(job_id), timeout=timeout)
 
     # -- internals -----------------------------------------------------
-    def _retry_after(self) -> float:
+    def _event_sink(self, job_id: str, event: Dict) -> None:
+        try:
+            self.store.append_event(job_id, event)
+        except StoreError as e:  # pragma: no cover - log must not kill
+            logger.warning("event append for %s failed: %s", job_id, e)
+
+    def _resting_locked(self, job_id: str) -> bool:
+        job = self._jobs.get(job_id)
+        if job is not None and (job.worker == self.worker_id
+                                or job.terminal):
+            return job.terminal or job.state == "paused"
+        try:
+            doc = self.store.get(job_id)
+        except StoreError:
+            return False
+        if doc is None:
+            raise KeyError(f"no such job {job_id!r}")
+        if job is not None:
+            self._sync_from_store(job, doc)
+        return doc["state"] in ("done", "failed", "cancelled",
+                                "paused")
+
+    def _sync_from_store(self, job: Job, doc: Dict) -> None:
+        """Fold the store's view of a job *not* owned by this worker
+        into its local runtime object (callers hold the cv lock)."""
+        if doc.get("worker") == self.worker_id:
+            return
+        job.state = doc.get("state", job.state)
+        job.started_at = doc.get("started_at")
+        job.finished_at = doc.get("finished_at")
+        job.error = doc.get("error")
+        job.result = doc.get("result")
+        job.lease = doc.get("lease")
+        job.recoveries = int(doc.get("recoveries", 0))
+        job.attempt = int(doc.get("attempt", 0))
+        job.worker = doc.get("worker")
+        job.cache_hit = bool(doc.get("cache_hit", False))
+        progress = doc.get("progress", {})
+        job.steps_done = int(progress.get("steps_done",
+                                          job.steps_done))
+        job.steps_total = int(progress.get("steps_total",
+                                           job.steps_total))
+
+    def _retry_after(self, queued: int) -> float:
         """Backoff hint: about one average job duration per queued job
         ahead, across the slot pool (floor 1 s)."""
         avg = (sum(self._done_seconds) / len(self._done_seconds)
                if self._done_seconds else 1.0)
-        return max(1.0, avg * len(self._queue) / max(1, self.slots))
+        return max(1.0, avg * queued / max(1, self.slots))
 
-    def _set_queue_gauge(self) -> None:
+    def _set_gauges_locked(self) -> None:
+        try:
+            queued = len(self.store.queued())
+        except StoreError:  # pragma: no cover - damaged store
+            return
         self.metrics.gauge("serve.queue_depth",
-                           "jobs waiting for a slot"
-                           ).set(len(self._queue))
+                           "jobs waiting for a slot").set(queued)
+        running = sum(1 for j in self._jobs.values()
+                      if j.worker == self.worker_id
+                      and j.state == "running")
+        self.metrics.gauge("serve.jobs_running",
+                           "jobs executing in a slot").set(running)
 
     def _count_terminal(self, job: Job) -> None:
         self.metrics.counter(f"serve.jobs_{job.state}",
                              f"jobs finished {job.state}").inc()
 
-    def _pick_locked(self) -> Optional[Job]:
-        """Best queued job under priority -> fair share -> FIFO."""
-        if not self._queue:
-            return None
-        def rank(jid: str):
-            j = self._jobs[jid]
-            t = j.spec.tenant
-            # fair share: tenants with fewer slots held *and* fewer
-            # jobs already served yield to the underdog, so a deep
-            # single-tenant backlog cannot starve a newcomer
-            return (-j.spec.priority,
-                    self._tenant_running.get(t, 0)
-                    + self._tenant_served.get(t, 0),
-                    j.seq)
-        jid = min(self._queue, key=rank)
-        self._queue.remove(jid)
-        return self._jobs[jid]
+    def _persist(self, job: Job) -> bool:
+        """Write the job's durable projection, guarded by this
+        worker's claim; a lost claim is counted, not fatal (the
+        taking-over worker owns the story now)."""
+        try:
+            ok = self.store.update(job.to_store_doc(),
+                                   worker=self.worker_id)
+        except StoreError as e:
+            logger.warning("persist of %s failed: %s", job.id, e)
+            return False
+        if not ok:
+            self.metrics.counter(
+                "serve.claims_lost",
+                "updates dropped because the claim moved on").inc()
+        return ok
 
+    # -- claim / pick --------------------------------------------------
+    def _claim_next_locked(self) -> Optional[Job]:
+        """Best queued job under priority -> store-wide fair share ->
+        FIFO, claimed by CAS (first success wins; a lost race just
+        moves to the next candidate)."""
+        try:
+            docs = self.store.list()
+        except StoreError as e:
+            logger.warning("store list failed: %s", e)
+            return None
+        queued = [d for d in docs if d.get("state") == "queued"]
+        if not queued:
+            return None
+        load: Dict[str, int] = {}
+        for d in docs:
+            if d.get("state") != "queued":
+                load[d.get("tenant", "default")] = \
+                    load.get(d.get("tenant", "default"), 0) + 1
+
+        def rank(d):
+            return (-int(d.get("priority", 0)),
+                    load.get(d.get("tenant", "default"), 0),
+                    int(d.get("seq", 0)))
+
+        now = time.time()
+        for d in sorted(queued, key=rank):
+            t0 = time.perf_counter()
+            try:
+                won = self.store.claim(d["id"], self.worker_id,
+                                       now=now, ttl=self.claim_ttl)
+            except StoreError as e:
+                logger.warning("claim of %s failed: %s", d["id"], e)
+                return None
+            self.metrics.histogram(
+                "serve.store.claim_seconds",
+                "seconds per claim compare-and-swap"
+                ).observe(time.perf_counter() - t0)
+            if won:
+                return self._adopt_locked(d)
+        return None
+
+    def _adopt_locked(self, doc: Dict) -> Job:
+        """Turn a just-claimed store document into this worker's
+        runtime job (rebuilding tracer/flight recorder for jobs that
+        were submitted elsewhere or re-queued after a crash)."""
+        job = self._jobs.get(doc["id"])
+        if job is None:
+            job = Job.from_store_doc(doc)
+            job.events = []
+            job.trace_id = job.trace_id or new_trace_id()
+            job.tracer = Tracer(trace_id=job.trace_id)
+            if job.workdir:
+                Path(job.workdir).mkdir(parents=True, exist_ok=True)
+                job.flight = FlightRecorder(
+                    path=Path(job.workdir) / "flightrec.jsonl")
+            job.event_sink = self._event_sink
+            self._jobs[job.id] = job
+        job.state = "scheduled"
+        job.worker = self.worker_id
+        job.attempt = int(doc.get("attempt", job.attempt))
+        job.cancel_event.clear()
+        return job
+
+    # -- the worker loop -----------------------------------------------
     def _worker_loop(self) -> None:
         while True:
             with self._cv:
-                self._cv.wait_for(
-                    lambda: self._stopping or bool(self._queue))
                 if self._stopping:
                     return
-                job = self._pick_locked()
-                if job is None:  # pragma: no cover - race safety
+                job = self._claim_next_locked()
+                if job is None:
+                    # poll: jobs submitted through *other* workers
+                    # arrive without a local notify
+                    self._cv.wait(timeout=self.poll_interval)
                     continue
-                job.advance("scheduled")
-                wait = time.perf_counter() - job.submitted_mono
+                wait = max(0.0,
+                           time.perf_counter() - job.submitted_mono)
                 if job.tracer is not None:
                     job.tracer.record("serve.queue_wait", wait,
-                                      job=job.id)
+                                      job=job.id, attempt=job.attempt)
                 self.metrics.histogram(
                     "serve.queue_wait_seconds",
                     "seconds jobs waited in the queue for a slot"
                     ).observe(wait)
-                t = job.spec.tenant
-                self._tenant_running[t] = \
-                    self._tenant_running.get(t, 0) + 1
-                self._tenant_served[t] = \
-                    self._tenant_served.get(t, 0) + 1
-                self._set_queue_gauge()
-                self.metrics.gauge("serve.jobs_running",
-                                   "jobs executing in a slot").set(
-                    sum(self._tenant_running.values()))
-            self._execute(job)
+                self._set_gauges_locked()
+            if not self._serve_from_cache(job):
+                self._execute(job)
             with self._cv:
-                t = job.spec.tenant
-                self._tenant_running[t] = \
-                    max(0, self._tenant_running.get(t, 0) - 1)
-                self.metrics.gauge("serve.jobs_running",
-                                   "jobs executing in a slot").set(
-                    sum(self._tenant_running.values()))
+                self._set_gauges_locked()
                 self._cv.notify_all()
+
+    def _housekeeping_loop(self) -> None:
+        """Heartbeats for owned jobs, takeover of expired claims,
+        gauge refresh -- the store-side metronome of every worker."""
+        while True:
+            with self._cv:
+                if self._cv.wait_for(lambda: self._stopping,
+                                     timeout=self.heartbeat_interval):
+                    return
+                owned = [j for j in self._jobs.values()
+                         if j.worker == self.worker_id
+                         and j.state in ("scheduled", "running")]
+            now = time.time()
+            for job in owned:
+                try:
+                    row = self.store.heartbeat(
+                        job.id, self.worker_id, now=now,
+                        ttl=self.claim_ttl, doc=job.to_store_doc())
+                except StoreError as e:
+                    logger.warning("heartbeat for %s failed: %s",
+                                   job.id, e)
+                    continue
+                if row is None:
+                    # expired claim taken over elsewhere: stop our
+                    # copy -- the new owner resumes from checkpoints
+                    self.metrics.counter(
+                        "serve.claims_lost",
+                        "updates dropped because the claim moved "
+                        "on").inc()
+                    job.cancel_event.set()
+                elif row.get("cancel_requested"):
+                    job.cancel_event.set()
+            t0 = time.perf_counter()
+            try:
+                requeued = self.store.recover(now=now)
+            except StoreError as e:
+                logger.warning("recover scan failed: %s", e)
+                requeued = []
+            if requeued:
+                self.metrics.counter(
+                    "serve.takeovers",
+                    "expired claims re-queued for takeover"
+                    ).inc(len(requeued))
+                self.tracer.record("serve.store.recover",
+                                   time.perf_counter() - t0,
+                                   requeued=len(requeued))
+                logger.info("re-queued %d expired claim(s): %s",
+                            len(requeued), ", ".join(requeued))
+            try:
+                self.metrics.gauge(
+                    "serve.cache_entries",
+                    "content-addressed result-cache entries").set(
+                    self.store.cache_stats()["entries"])
+            except StoreError:  # pragma: no cover - damaged store
+                pass
+            with self._cv:
+                self._set_gauges_locked()
+                # wake wait()ers so they re-poll foreign job state
+                self._cv.notify_all()
+
+    # -- execution -----------------------------------------------------
+    def _serve_from_cache(self, job: Job) -> bool:
+        """Serve a repeat submission from the content-addressed
+        cache; returns whether it was a hit.  Misses remember the key
+        so the computed result is cached on completion."""
+        spec = job.spec
+        if not self.cache_enabled or spec.faults is not None \
+                or spec.kind not in _CACHEABLE_KINDS:
+            return False
+        key = spec_hash(spec)
+        t0 = time.perf_counter()
+        try:
+            hit = self.store.cache_get(key)
+        except StoreError as e:
+            logger.warning("cache lookup failed: %s", e)
+            hit = None
+        jtr = job.tracer if job.tracer is not None else self.tracer
+        jtr.record("serve.store.cache", time.perf_counter() - t0,
+                   job=job.id, key=key[:12],
+                   outcome="hit" if hit is not None else "miss")
+        if hit is None:
+            self.metrics.counter(
+                "serve.cache_misses",
+                "result-cache lookups that had to compute").inc()
+            job._cache_key = key
+            return False
+        with self._cv:
+            job.advance("running")
+            job.cache_hit = True
+            job.result = hit
+            job.add_event("cache_hit", key=key[:12],
+                          digest=hit.get("digest"))
+            job.advance("done")
+            self._count_terminal(job)
+            if job.finished_at and job.submitted_at:
+                self._done_seconds.append(
+                    job.finished_at - job.submitted_at)
+                del self._done_seconds[:-32]
+                self.metrics.histogram(
+                    "serve.submit_to_done_seconds",
+                    "submission-to-completion wall seconds of "
+                    "successful jobs").observe(
+                    job.finished_at - job.submitted_at)
+            self._persist(job)
+        self.metrics.counter(
+            "serve.cache_hits",
+            "jobs served from the result cache without a GRAPE "
+            "lease").inc()
+        return True
 
     def _flight_dump(self, job: Job) -> None:
         """Dump the job's black box when it is worth keeping: the job
@@ -334,6 +713,19 @@ class Scheduler:
             except OSError:  # pragma: no cover - workdir gone
                 pass
 
+    def _cache_store(self, job: Job) -> None:
+        """Record a freshly computed result under its spec hash (the
+        lease id is per-run noise and stays out of the cache)."""
+        key = getattr(job, "_cache_key", None)
+        if key is None or job.result is None:
+            return
+        try:
+            self.store.cache_put(
+                key, job.result.get("digest"),
+                {k: v for k, v in job.result.items() if k != "lease"})
+        except StoreError as e:  # pragma: no cover - damaged store
+            logger.warning("cache put failed: %s", e)
+
     def _execute(self, job: Job) -> None:
         """One slot occupancy: lease, run, record the outcome."""
         spec = job.spec
@@ -348,6 +740,7 @@ class Scheduler:
                 job.error = f"lease acquisition failed: {e}"
                 job.advance("failed")
                 self._count_terminal(job)
+                self._persist(job)
             job.add_event("failed", error=job.error)
             self._flight_dump(job)
             return
@@ -355,9 +748,13 @@ class Scheduler:
                    time.perf_counter() - t_lease,
                    job=job.id, lease=lease.id, slot=lease.slot)
         job.lease = lease.id
-        job.add_event("leased", lease=lease.id, slot=lease.slot)
+        job.add_event("leased", lease=lease.id, slot=lease.slot,
+                      attempt=job.attempt)
         try:
-            job.advance("running")
+            with self._cv:
+                job.advance("running")
+                self._persist(job)
+                self._set_gauges_locked()
             if job.cancel_event.is_set():
                 raise JobCancelled(job.id)
             result = run_job(job, lease, tracer=jtr,
@@ -375,15 +772,19 @@ class Scheduler:
                     "submission-to-completion wall seconds of "
                     "successful jobs").observe(
                     job.finished_at - job.submitted_at)
+                self._persist(job)
+            self._cache_store(job)
             job.add_event("done")
         except JobCancelled:
             with self._cv:
                 job.advance("cancelled")
                 self._count_terminal(job)
+                self._persist(job)
             job.add_event("cancelled")
         except JobPaused:
             with self._cv:
                 job.advance("paused")
+                self._persist(job)
             job.add_event("paused", steps_done=job.steps_done)
         except Exception as e:
             logger.exception("job %s failed", job.id)
@@ -391,6 +792,7 @@ class Scheduler:
                 job.error = f"{type(e).__name__}: {e}"
                 job.advance("failed")
                 self._count_terminal(job)
+                self._persist(job)
             job.add_event("failed", error=job.error)
         finally:
             self._flight_dump(job)

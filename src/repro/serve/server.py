@@ -27,6 +27,10 @@ DELETE   /jobs/{id}                  cancel; returns the job document
 POST     /jobs/{id}/pause            checkpoint + vacate the slot
 POST     /jobs/{id}/resume           re-queue a paused job
 GET      /healthz                    liveness + queue/lease snapshot
+                                     (+ store kind, worker id, cache)
+GET      /store                      durable-store snapshot: job counts
+                                     by state, cache stats, integrity
+                                     findings (``repro.store/v1``)
 GET      /metrics                    Prometheus exposition of the
                                      scheduler registry (``obs.export``)
 =======  ==========================  =====================================
@@ -193,8 +197,22 @@ class Server:
                 "leases_in_use": sched.broker.in_use,
                 "queue_depth": queued,
                 "queue_limit": sched.queue_depth,
+                "store": sched.store.kind,
+                "worker": sched.worker_id,
+                "cache": sched.store.cache_stats(),
                 "uptime_seconds": (time.time() - self.started_at
                                    if self.started_at else 0.0),
+            }))
+            return
+        if route == ("GET", "store"):
+            store = sched.store
+            writer.write(_json_response(200, "OK", {
+                "schema": "repro.store/v1",
+                "kind": store.kind,
+                "worker": sched.worker_id,
+                "jobs": store.counts(),
+                "cache": store.cache_stats(),
+                "findings": store.verify(),
             }))
             return
         if route == ("GET", "metrics"):
@@ -249,7 +267,7 @@ class Server:
             if method == "GET" and not rest:
                 writer.write(_json_response(200, "OK", job.to_dict()))
             elif method == "GET" and rest == ["events"]:
-                await self._stream_events(job, writer)
+                await self._stream_events(job_id, writer)
             elif method == "GET" and rest == ["trace"]:
                 from ..obs.export import span_events
                 spans = (list(span_events(job.tracer))
@@ -276,18 +294,22 @@ class Server:
         except JobError as e:
             writer.write(_error(409, "Conflict", str(e)))
 
-    async def _stream_events(self, job,
+    async def _stream_events(self, job_id: str,
                              writer: asyncio.StreamWriter) -> None:
         """NDJSON event stream: recorded events first, then live ones
-        until the job reaches a resting state.  The body is
+        until the job reaches a resting state.  Events come through
+        the scheduler (live list for locally-owned jobs, the store's
+        durable event log for jobs another worker runs).  The body is
         EOF-terminated (no Content-Length), so plain ``http.client``
         readers just read lines until the connection closes."""
+        sched = self.scheduler
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: application/x-ndjson\r\n"
                      b"Connection: close\r\n\r\n")
         sent = 0
         while True:
-            events = job.events
+            job = sched.get(job_id)
+            events = sched.events(job_id)
             while sent < len(events):
                 writer.write((json.dumps(events[sent]) + "\n")
                              .encode("utf-8"))
@@ -315,7 +337,9 @@ async def _run(server: Server) -> None:
     print(f"repro serve: listening on "
           f"http://{server.host}:{server.port}/ "
           f"({server.scheduler.slots} slot(s), queue bound "
-          f"{server.scheduler.queue_depth})", flush=True)
+          f"{server.scheduler.queue_depth}, store "
+          f"{server.scheduler.store.kind}, worker "
+          f"{server.scheduler.worker_id})", flush=True)
     await stop.wait()
     print("repro serve: shutting down", flush=True)
     await server.stop()
@@ -324,15 +348,26 @@ async def _run(server: Server) -> None:
 def run_server(*, host: str = "127.0.0.1", port: int = 8014,
                slots: int = 2, queue_depth: int = 16,
                workdir: Optional[object] = None,
+               store: Optional[object] = None,
+               worker_id: Optional[str] = None,
+               claim_ttl: float = 30.0,
+               quota: Optional[object] = None,
+               cache: bool = True,
                metrics: Optional[object] = None,
                tracer: Optional[object] = None) -> int:
     """Blocking entry point behind ``repro serve``.
 
     Builds the scheduler + server, runs the asyncio loop until a
-    termination signal, and returns the process exit code.
+    termination signal, and returns the process exit code.  The
+    default ``worker_id`` is stable across restarts (``host:port``),
+    so a restarted server reclaims its own orphaned jobs immediately
+    instead of waiting out the claim TTL.
     """
     sched = Scheduler(slots=slots, queue_depth=queue_depth,
-                      workdir=workdir, metrics=metrics, tracer=tracer)
+                      workdir=workdir, store=store,
+                      worker_id=worker_id or f"{host}:{port}",
+                      claim_ttl=claim_ttl, quota=quota, cache=cache,
+                      metrics=metrics, tracer=tracer)
     server = Server(sched, host=host, port=port)
     try:
         asyncio.run(_run(server))

@@ -48,7 +48,7 @@ import numpy as np
 from .simulation import Simulation, StepRecord
 
 __all__ = ["save_checkpoint", "load_checkpoint", "load_latest",
-           "CheckpointCorrupt", "KEEP_GENERATIONS"]
+           "last_good_entries", "CheckpointCorrupt", "KEEP_GENERATIONS"]
 
 logger = logging.getLogger(__name__)
 
@@ -245,6 +245,19 @@ def load_checkpoint(path: Union[str, Path], *,
             raise CheckpointCorrupt(
                 f"cannot read checkpoint {p}: {e}") from e
     return sim
+
+
+def last_good_entries(path: Union[str, Path]) -> List[dict]:
+    """The last-good pointer's generation records, newest first.
+
+    Each entry is ``{"path", "sha256", "step", "t"}`` exactly as the
+    pointer sidecar stores it -- the SHA-256 is of the *checkpoint
+    archive*, so callers (e.g. the serve layer's durable job store)
+    can record which bit-exact generation a resumed job continued
+    from.  Returns ``[]`` when no pointer exists.
+    """
+    return [e for e in _read_pointer(_final_path(path))
+            if isinstance(e, dict)]
 
 
 def load_latest(path: Union[str, Path], *,

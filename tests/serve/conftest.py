@@ -20,7 +20,13 @@ TINY_RUN = {"ngrid": 6, "steps": 2, "z_final": 12.0}
 
 @contextmanager
 def live_server(*, slots=2, queue_depth=16, workdir=None, **sched_kw):
-    """Start a service, yield ``(server, client)``, tear down."""
+    """Start a service, yield ``(server, client)``, tear down.
+
+    The result cache defaults *off* here (tests that race identical
+    specs rely on both actually computing); cache tests pass
+    ``cache=True`` explicitly.
+    """
+    sched_kw.setdefault("cache", False)
     sched = Scheduler(slots=slots, queue_depth=queue_depth,
                       workdir=workdir, **sched_kw)
     server = Server(sched, port=0)

@@ -1,0 +1,203 @@
+"""Per-tenant quotas and token-bucket rate limits at admission.
+
+Three layers, tested innermost-out:
+
+* :class:`~repro.serve.quotas.AdmissionController` -- pure policy,
+  clock-injectable, no sleeps;
+* the scheduler's submit path -- quota counted store-wide against
+  non-terminal jobs, rejections typed and counted in metrics;
+* the HTTP surface -- ``429 Too Many Requests`` with an integral
+  ``Retry-After`` header, surfaced to callers as
+  :class:`~repro.serve.client.Backpressure` (RFC 9110 conformance:
+  the header is a non-negative integer number of seconds).
+"""
+
+import pytest
+
+from repro.serve import (AdmissionController, JobSpec, QuotaExceeded,
+                         RateLimited, Scheduler, TenantPolicy)
+from repro.serve.client import Backpressure
+
+from tests.serve.conftest import TINY_RUN, live_server
+
+
+class TestTenantPolicy:
+    def test_defaults_are_unlimited(self):
+        p = TenantPolicy()
+        assert p.max_active is None and p.rate is None
+
+    @pytest.mark.parametrize("kw", [
+        {"max_active": 0}, {"rate": 0.0}, {"rate": -1}, {"burst": 0},
+    ])
+    def test_invalid_limits_rejected(self, kw):
+        with pytest.raises(ValueError):
+            TenantPolicy(**kw)
+
+
+class TestAdmissionController:
+    def test_unlimited_by_default(self):
+        ctrl = AdmissionController()
+        for i in range(100):
+            ctrl.admit("anyone", active=i, now=0.0)
+
+    def test_max_active_ceiling(self):
+        ctrl = AdmissionController(TenantPolicy(max_active=2))
+        ctrl.admit("t", active=0)
+        ctrl.admit("t", active=1)
+        with pytest.raises(QuotaExceeded) as exc:
+            ctrl.admit("t", active=2)
+        assert exc.value.retry_after > 0
+
+    def test_token_bucket_burst_then_starve(self):
+        ctrl = AdmissionController(TenantPolicy(rate=1.0, burst=3))
+        for _ in range(3):
+            ctrl.admit("t", active=0, now=100.0)
+        with pytest.raises(RateLimited) as exc:
+            ctrl.admit("t", active=0, now=100.0)
+        # empty bucket at 1 token/s: next token exactly 1s away
+        assert exc.value.retry_after == pytest.approx(1.0)
+
+    def test_tokens_refill_continuously(self):
+        ctrl = AdmissionController(TenantPolicy(rate=2.0, burst=1))
+        ctrl.admit("t", active=0, now=0.0)
+        with pytest.raises(RateLimited):
+            ctrl.admit("t", active=0, now=0.1)
+        ctrl.admit("t", active=0, now=0.6)       # 0.5s = one token
+
+    def test_quota_rejection_spends_no_token(self):
+        """Hammering a full quota must not also drain the bucket."""
+        ctrl = AdmissionController(
+            TenantPolicy(max_active=1, rate=1.0, burst=1))
+        for _ in range(5):
+            with pytest.raises(QuotaExceeded):
+                ctrl.admit("t", active=1, now=0.0)
+        ctrl.admit("t", active=0, now=0.0)       # token still there
+
+    def test_buckets_are_per_tenant(self):
+        ctrl = AdmissionController(TenantPolicy(rate=1.0, burst=1))
+        ctrl.admit("a", active=0, now=0.0)
+        with pytest.raises(RateLimited):
+            ctrl.admit("a", active=0, now=0.0)
+        ctrl.admit("b", active=0, now=0.0)       # unaffected
+
+    def test_per_tenant_override_beats_default(self):
+        ctrl = AdmissionController(
+            default=TenantPolicy(max_active=1),
+            per_tenant={"vip": TenantPolicy(max_active=10)})
+        with pytest.raises(QuotaExceeded):
+            ctrl.admit("pleb", active=1)
+        ctrl.admit("vip", active=5)
+
+    def test_errors_are_admission_errors(self):
+        from repro.serve import AdmissionError
+        assert issubclass(QuotaExceeded, AdmissionError)
+        assert issubclass(RateLimited, AdmissionError)
+
+
+class TestSchedulerQuota:
+    """Quota enforcement on the submit path.
+
+    The schedulers here are never started, so submitted jobs stay
+    ``queued`` (= active) and the tests are sleep-free.
+    """
+
+    def make(self, tmp_path, quota):
+        return Scheduler(slots=1, workdir=tmp_path / "w", quota=quota)
+
+    def test_active_quota_blocks_submission(self, tmp_path):
+        s = self.make(tmp_path, TenantPolicy(max_active=1))
+        s.submit(JobSpec(kind="force_eval", params={"n": 64}))
+        with pytest.raises(QuotaExceeded):
+            s.submit(JobSpec(kind="force_eval", params={"n": 128}))
+
+    def test_quota_is_per_tenant(self, tmp_path):
+        s = self.make(tmp_path, TenantPolicy(max_active=1))
+        s.submit(JobSpec(kind="force_eval", params={"n": 64},
+                         tenant="a"))
+        s.submit(JobSpec(kind="force_eval", params={"n": 64},
+                         tenant="b"))            # b has its own budget
+        with pytest.raises(QuotaExceeded):
+            s.submit(JobSpec(kind="force_eval", params={"n": 128},
+                             tenant="a"))
+
+    def test_terminal_jobs_free_the_quota(self, tmp_path):
+        s = self.make(tmp_path, TenantPolicy(max_active=1))
+        job = s.submit(JobSpec(kind="force_eval", params={"n": 64}))
+        s.cancel(job.id)
+        s.submit(JobSpec(kind="force_eval", params={"n": 128}))
+
+    def test_quota_counts_store_wide(self, tmp_path):
+        """Replicated workers share one tenant budget through the
+        store, not per-worker counters."""
+        from repro.serve import SQLiteJobStore
+        store = SQLiteJobStore(tmp_path / "jobs.db")
+        try:
+            a = Scheduler(workdir=tmp_path / "wa", store=store,
+                          worker_id="A",
+                          quota=TenantPolicy(max_active=1))
+            b = Scheduler(workdir=tmp_path / "wb", store=store,
+                          worker_id="B",
+                          quota=TenantPolicy(max_active=1))
+            a.submit(JobSpec(kind="force_eval", params={"n": 64}))
+            with pytest.raises(QuotaExceeded):
+                b.submit(JobSpec(kind="force_eval", params={"n": 128}))
+        finally:
+            store.close()
+
+    def test_rejections_are_counted(self, tmp_path):
+        s = self.make(tmp_path, TenantPolicy(max_active=1))
+        s.submit(JobSpec(kind="force_eval", params={"n": 64}))
+        for _ in range(3):
+            with pytest.raises(QuotaExceeded):
+                s.submit(JobSpec(kind="force_eval", params={"n": 128}))
+        snap = s.metrics.snapshot()
+        assert snap["serve.quota_rejected"]["value"] == 3
+        assert snap["serve.jobs_rejected"]["value"] == 3
+
+    def test_rate_limit_on_submit(self, tmp_path):
+        s = self.make(tmp_path, TenantPolicy(rate=0.001, burst=2))
+        s.submit(JobSpec(kind="force_eval", params={"n": 1}))
+        s.submit(JobSpec(kind="force_eval", params={"n": 2}))
+        with pytest.raises(RateLimited) as exc:
+            s.submit(JobSpec(kind="force_eval", params={"n": 3}))
+        assert exc.value.retry_after > 0
+
+
+class TestQuotaOverHTTP:
+    def test_429_retry_after_conformance(self, tmp_path):
+        """An exhausted token bucket answers 429 with an integral
+        Retry-After >= 1 (RFC 9110), surfaced as Backpressure."""
+        with live_server(slots=1, workdir=tmp_path / "serve",
+                         quota=TenantPolicy(rate=0.01, burst=1)
+                         ) as (server, client):
+            client.submit({"kind": "force_eval", "params": {"n": 64}})
+            with pytest.raises(Backpressure) as exc:
+                client.submit({"kind": "force_eval",
+                               "params": {"n": 128}})
+            assert exc.value.status == 429
+            assert exc.value.retry_after >= 1
+            assert exc.value.retry_after == int(exc.value.retry_after)
+
+    def test_quota_429_then_admitted_after_completion(self, tmp_path):
+        with live_server(slots=1, workdir=tmp_path / "serve",
+                         quota=TenantPolicy(max_active=1)
+                         ) as (server, client):
+            first = client.submit({"kind": "run", "params": TINY_RUN})
+            with pytest.raises(Backpressure):
+                client.submit({"kind": "run", "params": TINY_RUN})
+            done = client.wait(first["id"], timeout=120)
+            assert done["state"] == "done"
+            second = client.submit({"kind": "force_eval",
+                                    "params": {"n": 64}})
+            assert client.wait(second["id"], timeout=60)[
+                "state"] == "done"
+
+    def test_rejected_submission_leaves_no_job(self, tmp_path):
+        with live_server(slots=1, workdir=tmp_path / "serve",
+                         quota=TenantPolicy(rate=0.01, burst=1)
+                         ) as (server, client):
+            client.submit({"kind": "force_eval", "params": {"n": 64}})
+            with pytest.raises(Backpressure):
+                client.submit({"kind": "force_eval",
+                               "params": {"n": 128}})
+            assert len(client.jobs()) == 1

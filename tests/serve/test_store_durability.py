@@ -1,0 +1,437 @@
+"""Durable job store: contract, crash/reopen, damage detection.
+
+Three layers, mirroring ``tests/chaos/test_checkpoint_faults.py``:
+
+* **contract** -- the :class:`~repro.serve.store.JobStore` semantics
+  (claim CAS, heartbeat expiry, takeover, stale-write rejection) hold
+  identically for the in-memory reference store and the SQLite store;
+* **kill-and-reopen** -- at every lifecycle edge (inserted, claimed,
+  running, paused, done) abandoning one store handle and opening a
+  fresh one on the same file sees exactly the state that was written,
+  and :meth:`~repro.serve.store.JobStore.recover` turns orphaned
+  claims back into work;
+* **damage sweep** -- property-based (hypothesis, derandomized):
+  torn writes and truncation of the event log and tampered row
+  payloads are always *detected and typed* (:class:`StoreCorrupt` /
+  ``verify()`` findings / a dropped cache entry) -- never returned as
+  a plausible-but-wrong document.
+
+The crash-resume acceptance test fabricates a dead worker's store row
+over a real checkpointed workdir and asserts the resumed job reaches
+a ``state_digest`` bit-identical to an uninterrupted run.
+"""
+
+import sqlite3
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import corrupt_file
+from repro.serve import (JobSpec, MemoryJobStore, Scheduler,
+                         SQLiteJobStore, StoreCorrupt, StoreError,
+                         open_store, spec_hash)
+from repro.serve.jobs import Job
+
+
+def make_store(kind, tmp_path):
+    if kind == "memory":
+        return MemoryJobStore()
+    return SQLiteJobStore(tmp_path / "jobs.db")
+
+
+def seeded_job(store, *, state="queued", tenant="default",
+               priority=0, spec=None):
+    """Allocate + insert one job document, returning the Job."""
+    spec = spec or JobSpec(kind="force_eval", params={"n": 64})
+    jid, seq = store.allocate()
+    job = Job(spec=spec, id=jid)
+    job.seq = seq
+    job.state = state
+    doc = job.to_store_doc()
+    doc["tenant"] = tenant
+    doc["priority"] = priority
+    store.insert(doc)
+    return job
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def store(request, tmp_path):
+    s = make_store(request.param, tmp_path)
+    yield s
+    s.close()
+
+
+class TestContract:
+    """Semantics shared by both implementations."""
+
+    def test_allocate_is_unique_and_monotone(self, store):
+        pairs = [store.allocate() for _ in range(5)]
+        ids = [p[0] for p in pairs]
+        seqs = [p[1] for p in pairs]
+        assert len(set(ids)) == 5
+        assert seqs == sorted(seqs)
+
+    def test_insert_get_list_roundtrip(self, store):
+        a = seeded_job(store)
+        b = seeded_job(store)
+        assert store.get(a.id)["id"] == a.id
+        assert store.get("nope") is None
+        assert [d["id"] for d in store.list()] == [a.id, b.id]
+        assert [d["id"] for d in store.queued()] == [a.id, b.id]
+
+    def test_claim_cas_exactly_one_winner(self, store):
+        job = seeded_job(store)
+        now = time.time()
+        wins = [store.claim(job.id, w, now=now, ttl=30.0)
+                for w in ("w1", "w2", "w3")]
+        assert wins == [True, False, False]
+        doc = store.get(job.id)
+        assert doc["state"] == "scheduled"
+        assert doc["worker"] == "w1"
+
+    def test_claim_refuses_non_queued(self, store):
+        job = seeded_job(store, state="done")
+        assert not store.claim(job.id, "w1", now=time.time(), ttl=30.0)
+
+    def test_heartbeat_keeps_claim_alive(self, store):
+        job = seeded_job(store)
+        assert store.claim(job.id, "w1", now=100.0, ttl=10.0)
+        # would expire at 110; heartbeats walk the expiry forward
+        for now in (105.0, 112.0, 119.0):
+            flags = store.heartbeat(job.id, "w1", now=now, ttl=10.0)
+            assert flags == {"cancel_requested": False}
+        # claim alive at t=125 -> recover() must not touch it
+        assert store.recover(now=125.0) == []
+
+    def test_expired_claim_recovered_with_attempt_bump(self, store):
+        job = seeded_job(store)
+        assert store.claim(job.id, "w1", now=100.0, ttl=10.0)
+        assert store.recover(now=105.0) == []          # still alive
+        assert store.recover(now=111.0) == [job.id]    # expired
+        doc = store.get(job.id)
+        assert doc["state"] == "queued"
+        assert doc["attempt"] == 1
+        assert doc["worker"] is None
+        # the dead worker's next heartbeat reports the lost claim
+        assert store.heartbeat(job.id, "w1", now=112.0, ttl=10.0) \
+            is None
+
+    def test_recover_reclaims_own_worker_immediately(self, store):
+        """A restarted worker (same id) owns nothing: its old claims
+        are re-queued without waiting out the TTL."""
+        job = seeded_job(store)
+        assert store.claim(job.id, "w1", now=100.0, ttl=300.0)
+        assert store.recover(now=101.0) == []           # not expired
+        assert store.recover(now=101.0, worker="w1") == [job.id]
+
+    def test_stale_write_after_takeover_is_dropped(self, store):
+        job = seeded_job(store)
+        assert store.claim(job.id, "w1", now=100.0, ttl=10.0)
+        store.recover(now=111.0)                        # takeover
+        job.state = "done"
+        assert store.update(job.to_store_doc(), worker="w1") is False
+        assert store.get(job.id)["state"] == "queued"
+        # an unguarded write (store-side authority) still lands
+        assert store.update(store.get(job.id)) is True
+
+    def test_heartbeat_never_resurrects_terminal_state(self, store):
+        job = seeded_job(store)
+        assert store.claim(job.id, "w1", now=100.0, ttl=30.0)
+        job.state = "done"
+        assert store.update(job.to_store_doc(), worker="w1")
+        stale = dict(store.get(job.id))
+        stale["state"] = "running"
+        store.heartbeat(job.id, "w1", now=101.0, ttl=30.0, doc=stale)
+        assert store.get(job.id)["state"] == "done"
+
+    def test_request_cancel_semantics(self, store):
+        queued = seeded_job(store)
+        assert store.request_cancel(queued.id) == "cancelled"
+        assert store.get(queued.id)["state"] == "cancelled"
+        assert store.request_cancel(queued.id) is None  # terminal
+        running = seeded_job(store)
+        assert store.claim(running.id, "w1", now=100.0, ttl=30.0)
+        assert store.request_cancel(running.id) == "requested"
+        flags = store.heartbeat(running.id, "w1", now=101.0, ttl=30.0)
+        assert flags == {"cancel_requested": True}
+        assert store.request_cancel("nope") is None
+
+    def test_requeue_from_paused(self, store):
+        job = seeded_job(store, state="paused")
+        assert store.requeue(job.id) is True
+        assert store.get(job.id)["state"] == "queued"
+        assert store.requeue(job.id) is False           # already queued
+
+    def test_event_log_roundtrip(self, store):
+        a = seeded_job(store)
+        b = seeded_job(store)
+        store.append_event(a.id, {"event": "submitted"})
+        store.append_event(b.id, {"event": "submitted"})
+        store.append_event(a.id, {"event": "leased", "lease": "L1"})
+        assert [e["event"] for e in store.events(a.id)] == \
+            ["submitted", "leased"]
+        assert [e["event"] for e in store.events(b.id)] == ["submitted"]
+
+    def test_cache_roundtrip_and_stats(self, store):
+        key = spec_hash(JobSpec(kind="force_eval", params={"n": 64}))
+        assert store.cache_get(key) is None
+        store.cache_put(key, "d" * 64, {"digest": "d" * 64, "n": 64})
+        assert store.cache_get(key) == {"digest": "d" * 64, "n": 64}
+        stats = store.cache_stats()
+        assert stats["entries"] == 1 and stats["hits"] == 1
+
+    def test_tenant_active_counts_non_terminal(self, store):
+        seeded_job(store, tenant="a")
+        seeded_job(store, tenant="a", state="running")
+        seeded_job(store, tenant="a", state="done")
+        seeded_job(store, tenant="b")
+        assert store.tenant_active("a") == 2
+        assert store.tenant_active("b") == 1
+
+    def test_verify_clean_store(self, store):
+        seeded_job(store)
+        assert store.verify() == []
+
+
+class TestOpenStore:
+    def test_coercions(self, tmp_path):
+        assert open_store(None).kind == "memory"
+        s = SQLiteJobStore(tmp_path / "a.db")
+        assert open_store(s) is s
+        s.close()
+        t = open_store(tmp_path / "sub" / "b.db")
+        assert t.kind == "sqlite" and (tmp_path / "sub" / "b.db").exists()
+        t.close()
+
+
+#: lifecycle edges the reopen sweep kills at: (state, claimed)
+_EDGES = [("queued", False), ("scheduled", True), ("running", True),
+          ("paused", False), ("done", False)]
+
+
+class TestKillAndReopen:
+    """Abandon the handle (simulated crash) at every lifecycle edge;
+    a fresh store on the same file sees exactly what was written."""
+
+    @pytest.mark.parametrize("state,claimed", _EDGES)
+    def test_reopen_sees_the_edge(self, tmp_path, state, claimed):
+        s1 = SQLiteJobStore(tmp_path / "jobs.db")
+        job = seeded_job(s1)
+        store_claims = claimed or state in ("running",)
+        if store_claims:
+            assert s1.claim(job.id, "w1", now=time.time(), ttl=0.2)
+        if state != "queued" and not (state == "scheduled"):
+            job.state = state
+            s1.update(job.to_store_doc(),
+                      worker="w1" if store_claims else None)
+        s1.append_event(job.id, {"event": "edge", "state": state})
+        # crash: no close(); the WAL handles the abandoned handle
+        s2 = SQLiteJobStore(tmp_path / "jobs.db")
+        doc = s2.get(job.id)
+        assert doc["state"] == state
+        assert [e["state"] for e in s2.events(job.id)] == [state]
+        assert s2.verify() == []
+        # scheduled/running edges: the orphaned claim expires and the
+        # job becomes claimable work again
+        requeued = s2.recover(now=time.time() + 1.0)
+        if state in ("scheduled", "running"):
+            assert requeued == [job.id]
+            assert s2.get(job.id)["attempt"] == 1
+        else:
+            assert requeued == []
+        s1.close()
+        s2.close()
+
+    def test_seq_allocation_survives_reopen(self, tmp_path):
+        s1 = SQLiteJobStore(tmp_path / "jobs.db")
+        id1, seq1 = s1.allocate()
+        s2 = SQLiteJobStore(tmp_path / "jobs.db")
+        id2, seq2 = s2.allocate()
+        assert seq2 == seq1 + 1 and id2 != id1
+        s1.close()
+        s2.close()
+
+    def test_cache_survives_reopen(self, tmp_path):
+        s1 = SQLiteJobStore(tmp_path / "jobs.db")
+        s1.cache_put("k" * 64, "dig", {"digest": "dig", "x": 1})
+        s2 = SQLiteJobStore(tmp_path / "jobs.db")
+        assert s2.cache_get("k" * 64) == {"digest": "dig", "x": 1}
+        s1.close()
+        s2.close()
+
+
+class TestDamageDetection:
+    """Damage is always detected and typed, never served."""
+
+    def _event_store(self, tmp_path, n=6):
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        job = seeded_job(s)
+        for i in range(n):
+            s.append_event(job.id, {"event": "step", "step": i})
+        originals = s.events(job.id)
+        s.close()
+        return job.id, originals
+
+    @settings(derandomize=True, max_examples=30, deadline=None)
+    @given(frac=st.floats(min_value=0.0, max_value=1.0),
+           mode=st.sampled_from(["truncate", "flip"]))
+    def test_event_log_damage_sweep(self, tmp_path_factory, frac, mode):
+        """Any torn write / byte flip in the event log yields an
+        intact *prefix* of what was written plus typed damage -- never
+        an invented or altered event."""
+        tmp_path = tmp_path_factory.mktemp("dmg")
+        jid, originals = self._event_store(tmp_path)
+        log = tmp_path / "jobs.db.events.jsonl"
+        size = log.stat().st_size
+        offset = min(int(frac * size), size - 1)
+        corrupt_file(log, mode=mode, offset=offset)
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        got = s.events(jid)
+        assert got == originals[:len(got)], \
+            "damaged log must yield a prefix, never altered events"
+        if mode == "flip":
+            # a flipped byte always breaks a line's self-digest
+            assert len(got) < len(originals)
+            assert s.verify(), "flip must be reported by verify()"
+            assert any("event log" in f for f in s.verify())
+        s.close()
+
+    @settings(derandomize=True, max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    def test_job_row_tamper_is_typed(self, tmp_path_factory, seed):
+        """A torn row payload (byte flipped under SQLite's nose)
+        raises StoreCorrupt on read and shows in verify()."""
+        tmp_path = tmp_path_factory.mktemp("row")
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        job = seeded_job(s)
+        s.close()
+        db = sqlite3.connect(tmp_path / "jobs.db")
+        text = db.execute("SELECT doc FROM jobs").fetchone()[0]
+        i = seed % len(text)
+        tampered = text[:i] + chr((ord(text[i]) + 1) % 128) + \
+            text[i + 1:]
+        db.execute("UPDATE jobs SET doc = ?", (tampered,))
+        db.commit()
+        db.close()
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        with pytest.raises(StoreCorrupt):
+            s.get(job.id)
+        with pytest.raises(StoreCorrupt):
+            s.list()
+        findings = s.verify()
+        assert any("jobs" in f and "SHA-256" in f for f in findings)
+        s.close()
+
+    def test_cache_row_tamper_is_a_miss_never_wrong(self, tmp_path):
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        s.cache_put("k" * 64, "dig", {"digest": "dig", "value": 42})
+        s.close()
+        db = sqlite3.connect(tmp_path / "jobs.db")
+        db.execute("UPDATE cache SET result = replace(result,"
+                   " '42', '43')")
+        db.commit()
+        db.close()
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        assert s.cache_get("k" * 64) is None
+        assert s.cache_stats()["dropped"] == 1
+        assert s.cache_stats()["entries"] == 0
+        s.close()
+
+    def test_truncated_database_is_typed(self, tmp_path):
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        for _ in range(8):
+            seeded_job(s)
+        s.close()
+        corrupt_file(tmp_path / "jobs.db", mode="truncate", offset=40)
+        with pytest.raises(StoreError):
+            SQLiteJobStore(tmp_path / "jobs.db")
+
+    def test_flipped_header_is_typed(self, tmp_path):
+        s = SQLiteJobStore(tmp_path / "jobs.db")
+        seeded_job(s)
+        s.close()
+        corrupt_file(tmp_path / "jobs.db", mode="flip", offset=0)
+        with pytest.raises(StoreCorrupt):
+            SQLiteJobStore(tmp_path / "jobs.db")
+
+
+class TestCrashResume:
+    """The acceptance path: a worker dies mid-run; a fresh scheduler
+    on the same store resumes from the last-good checkpoint and
+    reaches a bit-identical ``state_digest``."""
+
+    RUN = {"ngrid": 6, "steps": 4, "z_final": 12.0}
+
+    def _spec(self):
+        return JobSpec(kind="run", params=dict(self.RUN),
+                       checkpoint_every=1)
+
+    def test_dead_worker_job_resumes_bit_identical(self, tmp_path):
+        store = SQLiteJobStore(tmp_path / "jobs.db")
+        # phase 1: run partway on worker A, checkpointing every step;
+        # pause produces exactly the on-disk state a crash would leave
+        A = Scheduler(slots=1, workdir=tmp_path / "work", store=store,
+                      worker_id="A", poll_interval=0.02).start()
+        job = A.submit(self._spec())
+        deadline = time.monotonic() + 60
+        while job.steps_done < 2 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert job.steps_done >= 2, "job never progressed"
+        A.pause(job.id)
+        assert A.wait(job.id, timeout=60)
+        assert job.state == "paused"
+        A.stop(drain=False)
+        # phase 2: doctor the store row into what a SIGKILLed worker
+        # leaves behind -- running, claimed by a dead worker, expired
+        doc = store.get(job.id)
+        doc["state"] = "running"
+        doc["worker"] = "dead"
+        assert store.update(doc)
+        db = sqlite3.connect(tmp_path / "jobs.db")
+        db.execute("UPDATE jobs SET state = 'running',"
+                   " claimed_by = 'dead', claim_expires = ?"
+                   " WHERE id = ?", (time.time() - 60.0, job.id))
+        db.commit()
+        db.close()
+        # phase 3: a fresh scheduler recovers, re-claims, resumes
+        B = Scheduler(slots=1, workdir=tmp_path / "work", store=store,
+                      worker_id="B", claim_ttl=10.0,
+                      poll_interval=0.02, cache=False).start()
+        assert B.wait(job.id, timeout=120)
+        resumed = B.get(job.id)
+        assert resumed.state == "done"
+        assert resumed.worker == "B"
+        assert resumed.attempt == 1
+        events = store.events(job.id)
+        assert any(e["event"] == "resumed" for e in events)
+        digest = resumed.result["digest"]
+        # reference: the same spec end-to-end with no interruption
+        ref = B.submit(JobSpec(kind="run", params=dict(self.RUN)))
+        assert B.wait(ref.id, timeout=120)
+        assert B.get(ref.id).state == "done"
+        assert B.get(ref.id).result["digest"] == digest
+        B.stop(drain=False)
+        store.close()
+
+    def test_graceful_drain_requeues_via_checkpoint(self, tmp_path):
+        """stop() on a durable store checkpoints running jobs and
+        re-queues them instead of cancelling."""
+        store = SQLiteJobStore(tmp_path / "jobs.db")
+        A = Scheduler(slots=1, workdir=tmp_path / "work", store=store,
+                      worker_id="A", poll_interval=0.02).start()
+        job = A.submit(self._spec())
+        deadline = time.monotonic() + 60
+        while job.steps_done < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        A.stop()                     # drain=auto -> on for sqlite
+        doc = store.get(job.id)
+        assert doc["state"] in ("queued", "done")
+        if doc["state"] == "queued":
+            B = Scheduler(slots=1, workdir=tmp_path / "work",
+                          store=store, worker_id="B",
+                          poll_interval=0.02, cache=False).start()
+            assert B.wait(job.id, timeout=120)
+            assert B.get(job.id).state == "done"
+            B.stop(drain=False)
+        store.close()
