@@ -1,0 +1,110 @@
+"""E14 -- emulated PC-GRAPE cluster scaling (the cluster extension).
+
+One force sweep of a Plummer workload through ``ClusterSpec(hosts=K)``
+for K in {1, 2, 4}, two boards per host.  The correctness content is
+the cluster contract: K=1 is bit-identical to the serial GRAPE path
+(including the predicted model seconds), K>1 matches to 1e-12, LET
+exchange volume is zero at K=1 and grows with K, and the modelled
+cluster wall-clock shrinks as hosts are added.  Writes
+``results/e14_cluster.json`` with the per-K exchange volume and
+predicted cluster Gflops; the gated scale-free metric is
+``cluster_predicted_gflops`` at K=4.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from conftest import emit
+from repro.bench import register
+from repro.cluster import ClusterSpec
+from repro.core import TreeCode
+from repro.grape.system import GrapeBackend
+from repro.perf.report import format_table
+from repro.sim.models import plummer_model
+
+N = 4096
+N_CRIT = 256
+EPS = 0.01
+HOST_COUNTS = (1, 2, 4)
+
+
+def _cluster_sweep(pos, mass, hosts):
+    tc = TreeCode(theta=0.75, n_crit=N_CRIT, kernels="numpy",
+                  cluster=ClusterSpec(hosts=hosts, boards=2))
+    t0 = time.perf_counter()
+    acc, pot = tc.accelerations(pos, mass, EPS)
+    wall = time.perf_counter() - t0
+    summary = tc.cluster.summary()
+    tc.close()
+    return acc, pot, wall, summary
+
+
+@register("cluster_scaling", tier="fast", section="E14",
+          summary="emulated PC-GRAPE cluster: K-host scaling + LET volume")
+def test_cluster_scaling(benchmark, results_dir):
+    rng = np.random.default_rng(14)
+    pos, _, mass = plummer_model(N, rng)
+
+    def measure():
+        tc0 = TreeCode(theta=0.75, n_crit=N_CRIT, kernels="numpy",
+                       backend=GrapeBackend())
+        acc0, pot0 = tc0.accelerations(pos, mass, EPS)
+        serial_model = tc0.backend.model_seconds
+        runs = []
+        for hosts in HOST_COUNTS:
+            acc, pot, wall, summary = _cluster_sweep(pos, mass, hosts)
+            np.testing.assert_allclose(acc, acc0, rtol=1e-12, atol=0)
+            np.testing.assert_allclose(pot, pot0, rtol=1e-12, atol=0)
+            if hosts == 1:
+                assert np.array_equal(acc, acc0), \
+                    "K=1 diverged bitwise from the serial GRAPE path"
+                assert summary["predicted_seconds"] == serial_model, \
+                    "K=1 cluster timing != single-host timing model"
+                assert summary["let_exchange_bytes"] == 0.0
+            else:
+                assert summary["let_exchange_bytes"] > 0.0
+            runs.append({"hosts": hosts, "wall_seconds": wall,
+                         **summary})
+        pred = {r["hosts"]: r["predicted_seconds"] for r in runs}
+        assert pred[4] < pred[2] < pred[1], \
+            "predicted cluster seconds did not shrink with hosts"
+        return serial_model, runs
+
+    serial_model, runs = benchmark.pedantic(measure, rounds=1,
+                                            iterations=1)
+
+    by_hosts = {r["hosts"]: r for r in runs}
+    benchmark.extra_info["serial_model_seconds"] = serial_model
+    for r in runs:
+        k = r["hosts"]
+        benchmark.extra_info[f"k{k}_let_bytes"] = r["let_exchange_bytes"]
+        benchmark.extra_info[f"k{k}_predicted_seconds"] = (
+            r["predicted_seconds"])
+    benchmark.extra_info["cluster_predicted_gflops"] = (
+        by_hosts[4]["predicted_gflops"])
+
+    doc = {
+        "schema": "repro.e14_cluster/v1",
+        "n_particles": N,
+        "n_crit": N_CRIT,
+        "boards_per_host": 2,
+        "serial_model_seconds": serial_model,
+        "cluster": runs,
+        "k1_bit_identical": True,
+    }
+    (results_dir / "e14_cluster.json").write_text(
+        json.dumps(doc, indent=2) + "\n")
+
+    rows = [{"hosts": r["hosts"],
+             "pred [s]": round(r["predicted_seconds"], 5),
+             "Gflops": round(r["predicted_gflops"], 2),
+             "LET cells": r["let_import_cells"],
+             "LET parts": r["let_import_particles"],
+             "LET [kB]": round(r["let_exchange_bytes"] / 1e3, 1)}
+            for r in runs]
+    emit(results_dir, "e14_cluster",
+         format_table(rows)
+         + "\n(K=1 bit-identical to the serial GRAPE path; its "
+         "predicted seconds equal the single-host timing model)")

@@ -42,7 +42,7 @@ from .schema import make_document, wall_stats
 from .workloads import PROVIDERS, workload
 
 __all__ = ["BenchTimer", "RunnerConfig", "run_benchmarks",
-           "current_tracer", "current_kernels"]
+           "current_tracer", "current_kernels", "current_cluster"]
 
 #: Tracer handed to benchmarks while profiling (NULL_TRACER otherwise).
 _TRACER: contextvars.ContextVar = contextvars.ContextVar(
@@ -51,6 +51,10 @@ _TRACER: contextvars.ContextVar = contextvars.ContextVar(
 #: Kernel-set name selected by ``repro bench run --kernels``.
 _KERNELS: contextvars.ContextVar = contextvars.ContextVar(
     "repro_bench_kernels", default=None)
+
+#: (hosts, boards) selected by ``repro bench run --hosts/--boards``.
+_CLUSTER: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_bench_cluster", default=None)
 
 
 def current_tracer():
@@ -78,6 +82,17 @@ def current_kernels() -> str:
     unless a mode is requested explicitly.
     """
     return _KERNELS.get() or "python"
+
+
+def current_cluster():
+    """The ``(hosts, boards)`` cluster shape of the run in progress.
+
+    ``repro bench run --hosts K --boards B`` routes the selection
+    here; cluster-aware benchmark bodies turn it into a
+    :class:`repro.cluster.ClusterSpec`.  Returns ``None`` under plain
+    pytest or when neither flag was given -- the single-host path.
+    """
+    return _CLUSTER.get()
 
 
 class BenchTimer:
@@ -150,6 +165,11 @@ class RunnerConfig:
     #: Kernel-set selection exposed via :func:`current_kernels`
     #: (None: the "python" reference set).
     kernels: Optional[str] = None
+    #: Emulated cluster hosts exposed via :func:`current_cluster`
+    #: (None: single host).
+    hosts: Optional[int] = None
+    #: Boards per emulated host for :func:`current_cluster`.
+    boards: Optional[int] = None
     #: Rows of the cProfile top-N hot-path table.
     profile_top: int = 15
     #: Artifact directory (tables, .prof dumps); default
@@ -161,9 +181,13 @@ class RunnerConfig:
 
     def as_json(self) -> Dict[str, Any]:
         """The ``config`` section of the result document."""
-        return {"tier": self.tier or "full", "rounds": self.rounds,
-                "warmup": self.warmup, "profile": self.profile,
-                "kernels": self.kernels or "python"}
+        out = {"tier": self.tier or "full", "rounds": self.rounds,
+               "warmup": self.warmup, "profile": self.profile,
+               "kernels": self.kernels or "python"}
+        if self.hosts is not None or self.boards is not None:
+            out["hosts"] = self.hosts if self.hosts is not None else 1
+            out["boards"] = self.boards if self.boards is not None else 2
+        return out
 
 
 def _resolve_params(spec: BenchmarkSpec, timer: BenchTimer,
@@ -211,6 +235,11 @@ def _run_one(spec: BenchmarkSpec, config: RunnerConfig,
     profiler = None
     token = None
     ktoken = _KERNELS.set(config.kernels)
+    cluster = None
+    if config.hosts is not None or config.boards is not None:
+        cluster = (config.hosts if config.hosts is not None else 1,
+                   config.boards if config.boards is not None else 2)
+    ctoken = _CLUSTER.set(cluster)
     if config.profile:
         from repro.obs import Tracer
         tracer = Tracer()
@@ -234,6 +263,7 @@ def _run_one(spec: BenchmarkSpec, config: RunnerConfig,
         if token is not None:
             _TRACER.reset(token)
         _KERNELS.reset(ktoken)
+        _CLUSTER.reset(ctoken)
     total = time.perf_counter() - t0
 
     # a benchmark that never called the timer is still a measurement:

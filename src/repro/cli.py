@@ -131,6 +131,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "the per-particle reference path) or 'numpy' "
                           "(vectorized batch kernels; identical tree, "
                           "forces equal to tight float tolerance)")
+    obs.add_argument("--hosts", type=int, default=None, metavar="K",
+                     help="emulate a K-host PC-GRAPE cluster (domain-"
+                          "decomposed sinks, locally-essential-tree "
+                          "exchange accounting; default: single host). "
+                          "K=1 with 2 boards is bit-identical to the "
+                          "plain path; incompatible with --engine "
+                          "pipeline")
+    obs.add_argument("--boards", type=int, default=None, metavar="B",
+                     help="GRAPE-5 boards per emulated host (default: "
+                          "2, the paper machine)")
     obs.add_argument("--faults", type=str, default=None, metavar="PLAN",
                      help="deterministic fault plan: a JSON file, a "
                           "JSON string, or the compact DSL (e.g. "
@@ -253,6 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="{python,numpy}",
                     help="kernel set exposed to benchmark bodies via "
                          "current_kernels() (default: python)")
+    br.add_argument("--hosts", type=int, default=None, metavar="K",
+                    help="emulated cluster hosts exposed to benchmark "
+                         "bodies via current_cluster() (default: "
+                         "single host)")
+    br.add_argument("--boards", type=int, default=None, metavar="B",
+                    help="boards per emulated host for "
+                         "current_cluster() (default: 2)")
 
     bc = bsub.add_parser("compare", parents=[gate],
                          help="gate a result document against a "
@@ -277,6 +294,10 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--slots", type=int, default=2, metavar="N",
                    help="concurrent jobs = leased accelerators "
                         "(default: 2)")
+    v.add_argument("--boards", type=int, default=2, metavar="B",
+                   help="GRAPE-5 boards behind each slot; every lease "
+                        "checks out its slot's board set exclusively "
+                        "(default: 2, the paper machine)")
     v.add_argument("--queue-depth", type=int, default=16, metavar="N",
                    help="admission-control bound on queued jobs; "
                         "past it submissions get 429 (default: 16)")
@@ -430,6 +451,18 @@ def _make_engine(args, plan=None):
                        batch_timeout=getattr(args, "batch_timeout", None))
 
 
+def _cluster_spec(args):
+    """The ``--hosts``/``--boards`` flags as a ClusterSpec (or None
+    when neither is given -- the plain single-host path)."""
+    hosts = getattr(args, "hosts", None)
+    boards = getattr(args, "boards", None)
+    if hosts is None and boards is None:
+        return None
+    from repro.cluster import ClusterSpec
+    return ClusterSpec(hosts=hosts if hosts is not None else 1,
+                       boards=boards if boards is not None else 2)
+
+
 def _make_force(args, tracer=None, registry=None, flight=None):
     """``(treecode, grape_backend_or_None)`` via the shared recipe.
 
@@ -454,7 +487,8 @@ def _make_force(args, tracer=None, registry=None, flight=None):
                        tracer=tracer, metrics=registry,
                        fault_injector=injector,
                        max_retries=getattr(args, "max_retries", 2),
-                       kernels=getattr(args, "kernels", None))
+                       kernels=getattr(args, "kernels", None),
+                       cluster=_cluster_spec(args))
 
 
 def _emit_obs(args, tracer, registry, out, *, extra=None,
@@ -568,11 +602,12 @@ def cmd_run(args, out) -> int:
     finally:
         sim.close()
     _report_run(sim, backend, out)
-    _emit_obs(args, tracer, registry, out,
-              extra={"backend": args.backend, "theta": args.theta,
-                     "n_crit": args.ncrit, "seed": args.seed,
-                     "kernels": force.kernels.name},
-              flight=flight)
+    extra = {"backend": args.backend, "theta": args.theta,
+             "n_crit": args.ncrit, "seed": args.seed,
+             "kernels": force.kernels.name}
+    if getattr(backend, "is_cluster", False):
+        extra["cluster"] = backend.summary()
+    _emit_obs(args, tracer, registry, out, extra=extra, flight=flight)
 
     if args.figure4 is not None:
         xy = slab(sim.pos, width=45.0, thickness=2.5,
@@ -643,13 +678,15 @@ def cmd_sweep(args, out) -> int:
         for ncrit in (64, 256, 1024, 4096):
             tc = TreeCode(theta=args.theta, n_crit=ncrit, engine=engine,
                           tracer=tracer, metrics=registry,
-                          kernels=kernels)
+                          kernels=kernels, cluster=_cluster_spec(args))
             tc.accelerations(pos, mass, 0.01)
             s = tc.last_stats
             rows.append({"n_crit": ncrit,
                          "n_g": round(s.mean_group_size, 1),
                          "mean list": round(s.interactions_per_particle),
                          "interactions": s.total_interactions})
+            if tc.cluster is not None:
+                tc.cluster.close()
     finally:
         if engine is not None:
             engine.close()
@@ -777,7 +814,8 @@ def _dispatch_bench(args, out, cmd) -> int:
     config = RunnerConfig(tier=args.tier if not args.ids else "ids",
                           rounds=args.rounds, warmup=args.warmup,
                           profile=args.profile, progress=progress,
-                          kernels=resolve_kernels(args.kernels).name)
+                          kernels=resolve_kernels(args.kernels).name,
+                          hosts=args.hosts, boards=args.boards)
     print(f"running {len(specs)} benchmark(s):", file=out)
     doc = run_benchmarks(specs, config)
     write_document(args.out, doc)
@@ -806,6 +844,8 @@ def cmd_serve(args, out) -> int:
     from repro.serve import ServeError, TenantPolicy, run_server
     if args.slots < 1:
         raise ServeError("--slots must be >= 1")
+    if args.boards < 1:
+        raise ServeError("--boards must be >= 1")
     if args.queue_depth < 1:
         raise ServeError("--queue-depth must be >= 1")
     quota = None
@@ -816,7 +856,8 @@ def cmd_serve(args, out) -> int:
         except ValueError as e:
             raise ServeError(str(e)) from e
     return run_server(host=args.host, port=args.port,
-                      slots=args.slots, queue_depth=args.queue_depth,
+                      slots=args.slots, boards=args.boards,
+                      queue_depth=args.queue_depth,
                       workdir=args.workdir, store=args.store,
                       worker_id=args.worker_id,
                       claim_ttl=args.claim_ttl,

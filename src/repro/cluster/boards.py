@@ -1,0 +1,104 @@
+"""Board-set bookkeeping: exclusive reservation of physical board ids.
+
+A PC-GRAPE rack holds a fixed pool of boards; every host (or, in the
+service, every lease) owns a *disjoint* set of them for the duration
+of its work.  Two owners sharing a board would interleave j-memory
+staging exactly like two threads sharing one
+:class:`~repro.grape.api.G5Context` -- so the registry fails loudly on
+overlap and on double release, mirroring the context latch's
+discipline.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Tuple
+
+from .spec import ClusterError
+
+__all__ = ["BoardSetRegistry"]
+
+
+class BoardSetRegistry:
+    """Reservation ledger over ``total`` physical board ids (0-based).
+
+    Thread-safe: the service's lease broker reserves board sets from
+    concurrent worker threads.  Every reservation is all-or-nothing --
+    a request overlapping any already-reserved board leaves the
+    registry unchanged.
+    """
+
+    def __init__(self, total: int) -> None:
+        """``total`` is the rack's board count (ids ``0..total-1``)."""
+        if int(total) < 1:
+            raise ValueError(f"registry needs total >= 1, got {total}")
+        self.total = int(total)
+        self._owner: Dict[int, str] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def reserved(self) -> Tuple[int, ...]:
+        """Currently reserved board ids, sorted."""
+        with self._lock:
+            return tuple(sorted(self._owner))
+
+    @property
+    def available(self) -> int:
+        """Boards not currently reserved."""
+        with self._lock:
+            return self.total - len(self._owner)
+
+    def holder_of(self, board: int) -> str:
+        """The owner tag of a reserved board (:class:`ClusterError`
+        when the board is free or out of range)."""
+        with self._lock:
+            if board not in self._owner:
+                raise ClusterError(f"board {board} is not reserved")
+            return self._owner[board]
+
+    def reserve(self, boards: Iterable[int], *,
+                owner: str = "anonymous") -> Tuple[int, ...]:
+        """Reserve a board set exclusively; returns the sorted tuple.
+
+        Raises :class:`ClusterError` when the set is empty, contains
+        duplicates, references an id outside ``0..total-1``, or
+        overlaps an existing reservation -- in every case the registry
+        is left untouched.
+        """
+        ids = tuple(sorted(int(b) for b in boards))
+        if not ids:
+            raise ClusterError("cannot reserve an empty board set")
+        if len(set(ids)) != len(ids):
+            raise ClusterError(f"duplicate board ids in request {ids}")
+        bad = [b for b in ids if b < 0 or b >= self.total]
+        if bad:
+            raise ClusterError(
+                f"board ids {bad} outside the rack (0..{self.total - 1})")
+        with self._lock:
+            clash = [b for b in ids if b in self._owner]
+            if clash:
+                holders = sorted({self._owner[b] for b in clash})
+                raise ClusterError(
+                    f"board set {ids} overlaps boards {clash} already "
+                    f"reserved by {', '.join(holders)}")
+            for b in ids:
+                self._owner[b] = str(owner)
+        return ids
+
+    def release(self, boards: Iterable[int]) -> None:
+        """Release a previously reserved set.
+
+        Raises :class:`ClusterError` when any board in the set is not
+        currently reserved (double release) -- and then releases
+        nothing, so a botched release never frees someone else's
+        boards.
+        """
+        ids = tuple(sorted(int(b) for b in boards))
+        with self._lock:
+            missing = [b for b in ids if b not in self._owner]
+            if missing:
+                raise ClusterError(
+                    f"boards {missing} are not reserved "
+                    "(double release?)")
+            for b in ids:
+                del self._owner[b]

@@ -1,0 +1,394 @@
+"""The live emulated cluster: per-host contexts, sharded evaluation.
+
+:class:`ClusterContext` is to a :class:`~repro.cluster.spec.ClusterSpec`
+what a :class:`~repro.grape.api.G5Context` is to one board set: the
+opened, stateful object.  It owns K host slots, each an opened
+``G5Context`` over its own :class:`~repro.grape.system.Grape5System`
+whose timing model splits the j-stream over that host's B boards, plus
+a :class:`~repro.cluster.boards.BoardSetRegistry` ledger proving the
+hosts' physical board sets are disjoint.
+
+One force evaluation (:meth:`ClusterContext.evaluate`):
+
+1. :func:`~repro.cluster.decompose.partition_sinks` assigns every sink
+   (Barnes group) to a host, weighted by group population;
+2. each host evaluates exactly its own rows of the *global* CSR lists
+   on its own emulated boards (j-sharding inside
+   :meth:`~repro.grape.system.Grape5System._compute_resident`), writing
+   its sinks' force rows -- the cross-board force reduction the real
+   host performs in double precision;
+3. :func:`~repro.cluster.let.let_exchange` accounts the
+   locally-essential-tree imports each host would have received, and
+   the network term (latency + bytes/bandwidth) joins that host's
+   timeline.
+
+Because every host reads the same global tree and the same global
+lists, forces match the serial path: bit-identical at K=1 (same rows,
+same order, same datapath) and within summation-order tolerance for
+K>1.  The cluster's predicted wall-clock is the *slowest host's*
+timeline (compute + DMA from its own timing model, plus its exchange
+term), so K=1 reproduces the single-host model exactly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..grape.api import G5Context
+from ..grape.system import Grape5System, GrapeBackend
+from ..grape.timing import GrapeTimingModel, OPS_PER_INTERACTION
+from .boards import BoardSetRegistry
+from .decompose import partition_sinks
+from .let import ExchangeStats, let_exchange, take_rows
+from .spec import ClusterError, ClusterSpec
+
+__all__ = ["ClusterContext", "ClusterBackend"]
+
+
+class ClusterContext:
+    """K opened host contexts evaluating one decomposed force sweep.
+
+    Mirrors the :class:`~repro.grape.api.G5Context` lifecycle and latch
+    discipline: :meth:`open` before use, :meth:`close` to detach (the
+    context is then reusable), :meth:`acquire`/:meth:`release` latch it
+    to one thread, and every misuse raises :class:`ClusterError` --
+    call-order violations, double acquire, double release.
+    """
+
+    def __init__(self, spec: ClusterSpec, *,
+                 system_factory: Optional[Callable[[], Grape5System]] = None,
+                 metrics: Optional[object] = None,
+                 fault_injector: Optional[object] = None,
+                 max_retries: int = 2) -> None:
+        if not isinstance(spec, ClusterSpec):
+            spec = ClusterSpec(**dict(spec))
+        self.spec = spec
+        self.metrics = metrics
+        self.fault_injector = fault_injector
+        self.max_retries = int(max_retries)
+        self._factory = system_factory
+        self.hosts: List[G5Context] = []
+        self.backends: List[GrapeBackend] = []
+        #: per-host systems; survives close() so performance counters
+        #: stay readable after teardown (like a detached GrapeBackend)
+        self.systems: List[Grape5System] = []
+        #: per-host physical board sets, reserved while open
+        self.board_sets: Tuple[Tuple[int, ...], ...] = ()
+        self.registry: Optional[BoardSetRegistry] = None
+        #: accumulated per-host LET exchange seconds since last reset
+        self.exchange_seconds: List[float] = []
+        #: accumulated LET exchange volume since last reset
+        self.let_import_cells: int = 0
+        self.let_import_particles: int = 0
+        self.let_bytes: float = 0.0
+        self.last_exchange: Optional[ExchangeStats] = None
+        self._lock = threading.RLock()
+        self._holder: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------
+    def _make_system(self) -> Grape5System:
+        if self._factory is not None:
+            return self._factory()
+        return Grape5System(
+            timing=GrapeTimingModel(n_boards=self.spec.boards))
+
+    def open(self) -> "ClusterContext":
+        """Attach every host's emulated board set; chains like
+        ``G5Context.open``."""
+        if self.hosts:
+            raise ClusterError("cluster already open; call close() first")
+        spec = self.spec
+        self.registry = BoardSetRegistry(spec.total_boards)
+        sets = []
+        for h in range(spec.hosts):
+            ids = range(h * spec.boards, (h + 1) * spec.boards)
+            sets.append(self.registry.reserve(ids, owner=f"host{h}"))
+        self.board_sets = tuple(sets)
+        self.systems = []
+        for h in range(spec.hosts):
+            system = self._make_system()
+            if self.metrics is not None:
+                system.metrics = self.metrics
+            self.systems.append(system)
+            self.hosts.append(G5Context().open(system))
+            self.backends.append(GrapeBackend(
+                system=system, fault_injector=self.fault_injector,
+                max_retries=self.max_retries))
+        self.exchange_seconds = [0.0] * spec.hosts
+        if self.metrics is not None:
+            m = self.metrics
+            m.gauge("cluster.hosts", "emulated cluster hosts (K)"
+                    ).set(spec.hosts)
+            m.gauge("cluster.boards_per_host",
+                    "GRAPE-5 boards per host (B)").set(spec.boards)
+        return self
+
+    def _require_open(self) -> "ClusterContext":
+        if not self.hosts:
+            raise ClusterError("cluster open() has not been called")
+        holder = self._holder
+        if holder is not None and holder != threading.get_ident():
+            raise ClusterError(
+                "cluster is held by another thread (acquire() it first, "
+                "or use a separate ClusterContext)")
+        return self
+
+    def close(self) -> None:
+        """Detach every host context and free the board ledger; the
+        cluster may be re-opened afterwards."""
+        self._require_open()
+        for ctx in self.hosts:
+            ctx.close()
+        for ids in self.board_sets:
+            self.registry.release(ids)
+        # hosts/backends/registry are torn down; systems and the
+        # exchange accumulators survive so the run's performance
+        # numbers stay readable after close
+        self.hosts = []
+        self.backends = []
+        self.registry = None
+
+    def __enter__(self) -> "ClusterContext":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.hosts:
+            self.close()
+        return False
+
+    # -- concurrency ---------------------------------------------------
+    @property
+    def held(self) -> bool:
+        """Whether some thread currently holds the latch."""
+        return self._holder is not None
+
+    def acquire(self) -> "ClusterContext":
+        """Latch the cluster to the calling thread (exclusive,
+        non-reentrant, fails fast like the G5 latch)."""
+        with self._lock:
+            if self._holder is not None:
+                owner = ("this thread"
+                         if self._holder == threading.get_ident()
+                         else f"thread {self._holder}")
+                raise ClusterError(f"cluster already acquired by {owner}")
+            self._holder = threading.get_ident()
+        return self
+
+    def release(self) -> None:
+        """Free the latch; double release or a non-holder release
+        raises :class:`ClusterError`."""
+        with self._lock:
+            if self._holder is None:
+                raise ClusterError("release() without acquire() "
+                                   "(double-release?)")
+            if self._holder != threading.get_ident():
+                raise ClusterError(
+                    f"cluster is held by thread {self._holder}; only "
+                    "the holder may release it")
+            self._holder = None
+
+    # -- configuration passthrough -------------------------------------
+    def set_domain(self, lo: float, hi: float) -> None:
+        """Announce the coordinate window to every host's boards."""
+        self._require_open()
+        for ctx in self.hosts:
+            ctx.system.set_range(lo, hi)
+
+    def reset_stats(self) -> None:
+        """Zero every host's performance counters and the exchange
+        accumulators (counterpart of ``Grape5System.reset_stats``)."""
+        self._require_open()
+        for ctx in self.hosts:
+            ctx.system.reset_stats()
+        self.exchange_seconds = [0.0] * self.spec.hosts
+        self.let_import_cells = 0
+        self.let_import_particles = 0
+        self.let_bytes = 0.0
+        self.last_exchange = None
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, tree, lists, sink_center, sink_start, sink_count,
+                 eps, out_acc, out_pot, *, batched: bool = True) -> None:
+        """One decomposed force sweep over the global CSR lists.
+
+        Writes every sink's force rows into ``out_acc``/``out_pot`` in
+        Morton order, charges each host's timing model for its share,
+        and accounts the LET exchange.  ``batched`` selects the same
+        CSR-block vs per-sink evaluation split as the serial path, so
+        each kernel set stays bit-identical to its serial self at K=1.
+        """
+        self._require_open()
+        spec = self.spec
+        weights = np.asarray(sink_count, dtype=np.float64)
+        owner = partition_sinks(sink_center, weights, spec)
+        for h in range(spec.hosts):
+            rows = np.flatnonzero(owner == h)
+            if rows.size == 0:
+                continue
+            backend = self.backends[h]
+            if batched:
+                sub = take_rows(lists, rows)
+                backend.eval_lists(tree.pos_sorted, tree.mass_sorted,
+                                   tree.com, tree.mass, sub,
+                                   sink_start[rows], sink_count[rows],
+                                   eps, out_acc, out_pot)
+            else:
+                for g in rows:
+                    g = int(g)
+                    s, n = int(sink_start[g]), int(sink_count[g])
+                    cells = lists.cells_of(g)
+                    parts = lists.parts_of(g)
+                    xj = np.concatenate([tree.com[cells],
+                                         tree.pos_sorted[parts]])
+                    mj = np.concatenate([tree.mass[cells],
+                                         tree.mass_sorted[parts]])
+                    a, p = backend.compute(tree.pos_sorted[s:s + n],
+                                           xj, mj, eps)
+                    out_acc[s:s + n] = a
+                    out_pot[s:s + n] = p
+        self._account_exchange(tree, lists, owner, sink_start, sink_count)
+
+    def _account_exchange(self, tree, lists, owner, sink_start,
+                          sink_count) -> None:
+        """Fold one evaluation's LET imports into the timelines."""
+        ex = let_exchange(tree, lists, owner, sink_start, sink_count,
+                         self.spec.hosts)
+        self.last_exchange = ex
+        t_total = 0.0
+        for h in ex.hosts:
+            n_imports = h.import_cells + h.import_particles
+            if n_imports == 0:
+                continue
+            t = (self.spec.exchange_latency
+                 + h.import_bytes / self.spec.exchange_bandwidth)
+            self.exchange_seconds[h.host] += t
+            t_total += t
+        self.let_import_cells += ex.total_import_cells
+        self.let_import_particles += ex.total_import_particles
+        self.let_bytes += ex.total_bytes
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("cluster.let_import_cells",
+                      "LET cells imported across all hosts"
+                      ).inc(ex.total_import_cells)
+            m.counter("cluster.let_import_particles",
+                      "LET particles imported across all hosts"
+                      ).inc(ex.total_import_particles)
+            m.counter("cluster.let_bytes",
+                      "LET exchange volume, bytes").inc(ex.total_bytes)
+            m.counter("cluster.exchange_seconds",
+                      "modelled LET exchange seconds").inc(t_total)
+
+    # -- performance model ---------------------------------------------
+    def _require_opened_once(self) -> None:
+        if not self.systems:
+            raise ClusterError("cluster open() has not been called")
+
+    @property
+    def host_seconds(self) -> Tuple[float, ...]:
+        """Each host's modelled timeline: board compute + DMA from its
+        own timing model, plus its accumulated LET exchange term.
+        Readable after :meth:`close` (counters survive teardown)."""
+        self._require_opened_once()
+        return tuple(sys_.model_seconds + self.exchange_seconds[h]
+                     for h, sys_ in enumerate(self.systems))
+
+    @property
+    def model_seconds(self) -> float:
+        """Cluster predicted wall-clock: the slowest host's timeline
+        (hosts run concurrently).  Exactly the single-host model at
+        K=1, where the exchange term is zero."""
+        return max(self.host_seconds)
+
+    @property
+    def interactions(self) -> int:
+        """Pairwise interactions evaluated across all hosts."""
+        self._require_opened_once()
+        return sum(sys_.interactions for sys_ in self.systems)
+
+    @property
+    def predicted_gflops(self) -> float:
+        """Modelled cluster speed under the 38-op convention."""
+        t = self.model_seconds
+        if t <= 0.0:
+            return 0.0
+        return OPS_PER_INTERACTION * self.interactions / t / 1e9
+
+    def summary(self) -> dict:
+        """Flat cluster block for ``--json-summary`` and reports."""
+        self._require_opened_once()
+        return {"hosts": self.spec.hosts, "boards": self.spec.boards,
+                "decomp": self.spec.decomp,
+                "board_sets": [list(s) for s in self.board_sets],
+                "let_import_cells": int(self.let_import_cells),
+                "let_import_particles": int(self.let_import_particles),
+                "let_exchange_bytes": float(self.let_bytes),
+                "exchange_seconds": float(sum(self.exchange_seconds)),
+                "predicted_seconds": float(self.model_seconds),
+                "predicted_gflops": float(self.predicted_gflops)}
+
+
+class ClusterBackend:
+    """:class:`~repro.core.kernels.ForceBackend` facade over a
+    :class:`ClusterContext`.
+
+    Lets the existing ``TreeCode`` plumbing (domain announcements,
+    ``model_seconds`` reporting, ``"grape"``-substring phase
+    attribution) see the cluster as one backend.  The treecode routes
+    whole evaluations through :meth:`ClusterContext.evaluate`; the
+    per-call ``compute`` entry point (used by direct-summation
+    validators) runs on host 0's boards.
+    """
+
+    name = "grape5-cluster"
+
+    def __init__(self, context: ClusterContext) -> None:
+        self.context = context
+
+    #: marker the CLI uses to attach a ``cluster`` summary block
+    is_cluster = True
+
+    def compute(self, xi, xj, mj, eps):
+        """One dense force call on host 0's board set."""
+        ctx = self.context._require_open()
+        return ctx.backends[0].compute(xi, xj, mj, eps)
+
+    def submit(self, tag, xi, xj, mj, eps):
+        """Sequential shim, mirroring :class:`ForceBackend.submit`."""
+        self._pending = (tag, *self.compute(xi, xj, mj, eps))
+
+    def gather(self):
+        """Return the single pending result staged by :meth:`submit`."""
+        out = [self._pending]
+        self._pending = None
+        return out
+
+    def set_domain(self, lo: float, hi: float) -> None:
+        """Announce the tree domain to every host."""
+        self.context.set_domain(lo, hi)
+
+    def bind_metrics(self, registry) -> "ClusterBackend":
+        """Route host and cluster counters into ``registry``."""
+        self.context.metrics = registry
+        for ctx in self.context.hosts:
+            ctx.system.metrics = registry
+        return self
+
+    def reset_stats(self) -> None:
+        self.context.reset_stats()
+
+    @property
+    def interactions(self) -> int:
+        return self.context.interactions
+
+    @property
+    def model_seconds(self) -> float:
+        """Cluster predicted seconds (slowest-host timeline)."""
+        return self.context.model_seconds
+
+    def summary(self) -> dict:
+        """Delegate to :meth:`ClusterContext.summary`."""
+        return self.context.summary()

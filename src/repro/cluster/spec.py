@@ -1,0 +1,94 @@
+"""Cluster configuration: how many emulated hosts, how many boards each.
+
+The paper's machine is one host driving a two-board GRAPE-5; its
+scale-out lineage is the parallel PC-GRAPE cluster of GRAPE-6A
+(Fukushige, Makino & Kawai, astro-ph/0504407): K domain-decomposed
+hosts, each driving its own board set, exchanging locally-essential
+trees over the network.  :class:`ClusterSpec` is the immutable
+description of such an installation that rides through
+``TreeCode(cluster=...)`` / ``build_force(cluster=...)`` / the CLI's
+``--hosts``/``--boards`` flags; :class:`~repro.cluster.context.ClusterContext`
+is the live object built from it.
+
+Validation errors raise plain :class:`ValueError` so every entry point
+(constructor, recipe, CLI) reports a bad configuration as the uniform
+exit-2 usage error; *protocol* misuse of live cluster objects raises
+:class:`ClusterError` instead, mirroring :class:`~repro.grape.api.G5Error`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ClusterError", "ClusterSpec"]
+
+#: decomposition strategies understood by :mod:`repro.cluster.decompose`
+DECOMPOSITIONS = ("orb", "slab")
+
+
+class ClusterError(RuntimeError):
+    """Protocol misuse of live cluster state (call-order violations,
+    overlapping board-set reservations, double release)."""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An emulated PC-GRAPE cluster configuration.
+
+    Attributes
+    ----------
+    hosts:
+        Emulated host computers (K).  ``hosts=1`` with ``boards=2`` is
+        exactly the paper's single-host machine and stays bit-identical
+        to the non-cluster path.
+    boards:
+        GRAPE-5 boards per host (B).  Each host's timing model splits
+        its j-stream over these boards, like
+        :class:`~repro.grape.timing.GrapeTimingModel` does for the
+        paper's two.
+    decomp:
+        Sink domain decomposition: ``"orb"`` (recursive orthogonal
+        bisection, the GRAPE-6A cluster's scheme) or ``"slab"``
+        (1-D weight-balanced slices along the widest axis).
+    exchange_bandwidth:
+        Sustained host-to-host network bandwidth in bytes/s used by the
+        timing model for locally-essential-tree imports (default: a
+        gigabit-Ethernet-class 125 MB/s, the interconnect of the
+        GRAPE-6A cluster era).
+    exchange_latency:
+        Fixed per-evaluation exchange setup latency in seconds, charged
+        once per host per force evaluation when it imports anything.
+    """
+
+    hosts: int = 1
+    boards: int = 2
+    decomp: str = "orb"
+    exchange_bandwidth: float = 125.0e6
+    exchange_latency: float = 100.0e-6
+
+    def __post_init__(self):
+        if int(self.hosts) < 1:
+            raise ValueError(f"cluster needs hosts >= 1, got {self.hosts}")
+        if int(self.boards) < 1:
+            raise ValueError(f"cluster needs boards >= 1, got {self.boards}")
+        object.__setattr__(self, "hosts", int(self.hosts))
+        object.__setattr__(self, "boards", int(self.boards))
+        if self.decomp not in DECOMPOSITIONS:
+            raise ValueError(f"unknown decomposition {self.decomp!r}; "
+                             f"expected one of {DECOMPOSITIONS}")
+        if not self.exchange_bandwidth > 0.0:
+            raise ValueError("exchange_bandwidth must be positive")
+        if self.exchange_latency < 0.0:
+            raise ValueError("exchange_latency must be non-negative")
+
+    @property
+    def total_boards(self) -> int:
+        """Boards across the whole cluster (K x B)."""
+        return self.hosts * self.boards
+
+    def describe(self) -> dict:
+        """Flat summary for reports and run documents."""
+        return {"hosts": self.hosts, "boards": self.boards,
+                "decomp": self.decomp,
+                "exchange_bandwidth": self.exchange_bandwidth,
+                "exchange_latency": self.exchange_latency}

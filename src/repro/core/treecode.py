@@ -148,6 +148,15 @@ class TreeCode:
         transparently downgraded to ``"python"`` with a one-time
         :class:`DeprecationWarning` -- the historical per-sink hook
         cannot see batched sweeps.
+    cluster:
+        A :class:`~repro.cluster.ClusterSpec` (opened into a fresh
+        :class:`~repro.cluster.ClusterContext`) or an already-built
+        context: the eval sweep is then decomposed across K emulated
+        hosts x B boards, each evaluating its own sinks' rows of the
+        shared global lists.  Mutually exclusive with ``backend``,
+        ``engine`` and ``quadrupole`` (the cluster owns its GRAPE
+        backends and its own parallel structure).  ``hosts=1,
+        boards=2`` is bit-identical to the plain GRAPE path.
     """
 
     #: subclasses that override ``_eval_sink`` but are batch-aware
@@ -163,12 +172,38 @@ class TreeCode:
                  engine: Optional[object] = None,
                  tracer: Optional[object] = None,
                  metrics: Optional[object] = None,
-                 kernels: Optional[object] = None) -> None:
+                 kernels: Optional[object] = None,
+                 cluster: Optional[object] = None) -> None:
         if n_crit < 1:
             raise ValueError("n_crit must be >= 1")
         self.theta = float(theta)
         self.n_crit = int(n_crit)
         self.leaf_size = int(leaf_size)
+        self.cluster = None
+        if cluster is not None:
+            from ..cluster import ClusterBackend, ClusterContext, ClusterSpec
+            if backend is not None:
+                raise ValueError("cluster= and backend= are mutually "
+                                 "exclusive; the cluster owns its backends")
+            if engine is not None:
+                raise ValueError("cluster= and engine= are mutually "
+                                 "exclusive; the cluster is its own "
+                                 "parallel structure")
+            if quadrupole:
+                raise ValueError("cluster mode is monopole-only (the "
+                                 "GRAPE pipelines are)")
+            if type(self)._eval_sink is not TreeCode._eval_sink:
+                raise ValueError(
+                    f"{type(self).__name__} overrides _eval_sink; the "
+                    "cluster path evaluates whole row sets and cannot "
+                    "honour a per-sink hook")
+            self._owns_cluster = isinstance(cluster, ClusterSpec)
+            if self._owns_cluster:
+                cluster = ClusterContext(cluster, metrics=metrics)
+            if not cluster.hosts:
+                cluster.open()
+            self.cluster = cluster
+            backend = ClusterBackend(cluster)
         self.backend = backend if backend is not None else Float64Backend()
         self.mac = mac if mac is not None else BarnesHutMAC(theta=theta)
         self.quadrupole = bool(quadrupole)
@@ -197,9 +232,15 @@ class TreeCode:
         self._last_domain: Optional[Tuple[float, float]] = None
 
     def close(self) -> None:
-        """Release the configured engine's worker pool, if any."""
+        """Release the configured engine's worker pool, if any, and any
+        cluster context this treecode opened itself (one passed in
+        already-built belongs to the caller)."""
         if self.engine is not None:
             self.engine.close()
+        if (self.cluster is not None
+                and getattr(self, "_owns_cluster", False)
+                and self.cluster.hosts):
+            self.cluster.close()
 
     # ------------------------------------------------------------------
     def build(self, pos: np.ndarray, mass: np.ndarray) -> Octree:
@@ -300,7 +341,13 @@ class TreeCode:
                 else:
                     sink_start = np.arange(tree.n_particles, dtype=np.int64)
                     sink_count = np.ones(tree.n_particles, dtype=np.int64)
-                if batched:
+                if self.cluster is not None:
+                    k0 = time.perf_counter()
+                    self.cluster.evaluate(tree, lists, sink_center,
+                                          sink_start, sink_count, eps,
+                                          acc_s, pot_s, batched=batched)
+                    self._kernel_seconds += time.perf_counter() - k0
+                elif batched:
                     self._eval_batched(tree, lists, sink_start, sink_count,
                                        eps, acc_s, pot_s)
                 elif algorithm == "modified":

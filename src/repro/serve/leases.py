@@ -49,6 +49,9 @@ class Lease:
     #: ident of the thread the context latch belongs to
     holder: int = 0
     engine: Optional[object] = None
+    #: physical board ids reserved for this lease, exclusively, for its
+    #: whole lifetime (see :class:`repro.cluster.BoardSetRegistry`)
+    board_set: tuple = ()
     active: bool = field(default=True, repr=False)
 
 
@@ -61,24 +64,46 @@ class LeaseBroker:
         Concurrent leases (= concurrently running jobs).  Each slot
         wraps an independent emulated GRAPE in the same configuration,
         so a job computes identically whichever slot it lands on.
+    boards:
+        GRAPE-5 boards behind each slot.  The broker owns a rack of
+        ``slots * boards`` physical board ids tracked by a
+        :class:`~repro.cluster.BoardSetRegistry`; each lease checks out
+        its slot's *set* (ids ``[slot*boards, (slot+1)*boards)``)
+        exclusively, so overlapping reservations fail loudly.  The
+        default 2 is the paper machine; other counts rebuild each
+        slot's timing model accordingly.
     system_factory:
         Zero-argument callable building one slot's
-        :class:`Grape5System`; defaults to the paper configuration.
+        :class:`Grape5System`; defaults to the paper configuration
+        (honouring ``boards``).
     metrics:
         Optional :class:`~repro.obs.metrics.MetricsRegistry`; the
         broker keeps ``serve.leases_in_use`` / ``serve.lease_slots``
         gauges and a ``serve.lease_waits`` counter current.
     """
 
-    def __init__(self, slots: int = 2, *,
+    def __init__(self, slots: int = 2, *, boards: int = 2,
                  system_factory: Optional[object] = None,
                  metrics: Optional[object] = None) -> None:
+        from ..cluster import BoardSetRegistry
         from ..grape import G5Context, Grape5System
+        from ..grape.timing import GrapeTimingModel
         if slots < 1:
             raise LeaseError("broker needs at least one slot")
+        if boards < 1:
+            raise LeaseError("broker needs at least one board per slot")
         self.slots = int(slots)
+        self.boards = int(boards)
         self._metrics = metrics
-        factory = system_factory or Grape5System
+        if system_factory is not None:
+            factory = system_factory
+        elif self.boards == 2:
+            factory = Grape5System   # paper configuration, bit-for-bit
+        else:
+            def factory():
+                return Grape5System(
+                    timing=GrapeTimingModel(n_boards=self.boards))
+        self.board_registry = BoardSetRegistry(self.slots * self.boards)
         self._contexts: List[object] = []
         for _ in range(self.slots):
             ctx = G5Context()
@@ -148,6 +173,13 @@ class LeaseBroker:
         # leasing thread, and a G5Error here must not wedge the broker.
         try:
             lease.context.acquire()
+            try:
+                lease.board_set = self.board_registry.reserve(
+                    range(slot * self.boards, (slot + 1) * self.boards),
+                    owner=lease.id)
+            except Exception:
+                lease.context.release()
+                raise
         except Exception:
             with self._cv:
                 self._by_id.pop(lease.id, None)
@@ -176,6 +208,9 @@ class LeaseBroker:
             lease.active = False
             del self._by_id[lease.id]
         lease.context.release()
+        if lease.board_set:
+            self.board_registry.release(lease.board_set)
+            lease.board_set = ()
         with self._cv:
             self._free.append(lease.slot)
             self._free.sort()

@@ -79,6 +79,10 @@ class Scheduler:
     ----------
     slots:
         Worker threads = concurrent jobs = accelerator leases.
+    boards:
+        GRAPE-5 boards behind each slot; the lease broker reserves the
+        slot's physical board *set* exclusively for each lease (see
+        :class:`~repro.serve.leases.LeaseBroker`).
     queue_depth:
         Maximum *queued* jobs store-wide before submissions are
         rejected with :class:`AdmissionError`.
@@ -108,7 +112,8 @@ class Scheduler:
         As before (PR 5/6).
     """
 
-    def __init__(self, *, slots: int = 2, queue_depth: int = 16,
+    def __init__(self, *, slots: int = 2, boards: int = 2,
+                 queue_depth: int = 16,
                  workdir: Optional[object] = None,
                  store: Optional[object] = None,
                  worker_id: Optional[str] = None,
@@ -149,7 +154,7 @@ class Scheduler:
             self.admission = AdmissionController()
         else:
             raise JobError(f"unsupported quota {quota!r}")
-        self.broker = LeaseBroker(self.slots,
+        self.broker = LeaseBroker(self.slots, boards=int(boards),
                                   system_factory=system_factory,
                                   metrics=self.metrics)
         self._workdir = Path(workdir) if workdir is not None else \

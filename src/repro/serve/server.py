@@ -346,7 +346,7 @@ async def _run(server: Server) -> None:
 
 
 def run_server(*, host: str = "127.0.0.1", port: int = 8014,
-               slots: int = 2, queue_depth: int = 16,
+               slots: int = 2, boards: int = 2, queue_depth: int = 16,
                workdir: Optional[object] = None,
                store: Optional[object] = None,
                worker_id: Optional[str] = None,
@@ -363,7 +363,8 @@ def run_server(*, host: str = "127.0.0.1", port: int = 8014,
     so a restarted server reclaims its own orphaned jobs immediately
     instead of waiting out the claim TTL.
     """
-    sched = Scheduler(slots=slots, queue_depth=queue_depth,
+    sched = Scheduler(slots=slots, boards=boards,
+                      queue_depth=queue_depth,
                       workdir=workdir, store=store,
                       worker_id=worker_id or f"{host}:{port}",
                       claim_ttl=claim_ttl, quota=quota, cache=cache,

@@ -46,7 +46,8 @@ def build_force(*, theta: float, ncrit: int, backend: str = "grape",
                 metrics: Optional[object] = None,
                 fault_injector: Optional[object] = None,
                 max_retries: int = 2,
-                kernels: Optional[object] = None
+                kernels: Optional[object] = None,
+                cluster: Optional[object] = None
                 ) -> Tuple[object, Optional[object]]:
     """Build the treecode force solver the way ``repro run`` does.
 
@@ -61,6 +62,13 @@ def build_force(*, theta: float, ncrit: int, backend: str = "grape",
     uniform kernel-set selection (see
     :func:`repro.core.kernels.resolve_kernels`); bad values raise
     :class:`ValueError` before any resources are built.
+
+    ``cluster`` (a :class:`~repro.cluster.ClusterSpec` or an opened
+    :class:`~repro.cluster.ClusterContext`) swaps the single emulated
+    GRAPE for the decomposed K-hosts-x-B-boards path; the returned
+    second element is then the :class:`~repro.cluster.ClusterBackend`.
+    Requires the GRAPE backend (the cluster *is* a set of GRAPEs) and
+    no engine (it is its own parallel structure).
     """
     from ..core import TreeCode
     from ..core.kernels import resolve_kernels
@@ -69,6 +77,30 @@ def build_force(*, theta: float, ncrit: int, backend: str = "grape",
         raise ValueError(f"unknown backend {backend!r} "
                          "(choose 'grape' or 'host')")
     kernels = resolve_kernels(kernels)
+    if cluster is not None:
+        from ..cluster import ClusterContext, ClusterSpec
+        if backend != "grape":
+            raise ValueError("cluster mode requires backend='grape' "
+                             "(the cluster is a set of emulated GRAPEs)")
+        if engine is not None:
+            raise ValueError("cluster mode and --engine are mutually "
+                             "exclusive")
+        if system is not None:
+            raise ValueError("cluster mode builds its own per-host "
+                             "systems; system= cannot be adopted")
+        built_here = isinstance(cluster, ClusterSpec)
+        if built_here:
+            cluster = ClusterContext(cluster, metrics=metrics,
+                                     fault_injector=fault_injector,
+                                     max_retries=int(max_retries))
+            cluster.open()
+        tc = TreeCode(theta=float(theta), n_crit=int(ncrit),
+                      cluster=cluster, tracer=tracer, metrics=metrics,
+                      kernels=kernels)
+        if built_here:
+            # close the context we opened when the treecode is closed
+            tc._owns_cluster = True
+        return tc, tc.backend
     gb = None
     if backend == "grape":
         gb = (GrapeBackend(system=system) if system is not None

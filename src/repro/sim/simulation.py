@@ -100,6 +100,12 @@ class Simulation:
         ``engine``: ignored when an explicit ``force`` solver is
         supplied).  A name or :class:`~repro.core.kernels.KernelSet`;
         bad names raise :class:`ValueError` at construction.
+    cluster:
+        A :class:`~repro.cluster.ClusterSpec` (or opened
+        :class:`~repro.cluster.ClusterContext`) handed to the default
+        treecode -- the run's forces are then evaluated on the
+        decomposed K-hosts-x-B-boards emulated cluster.  Ignored, like
+        ``engine``, when an explicit ``force`` solver is supplied.
     """
 
     pos: np.ndarray
@@ -113,6 +119,7 @@ class Simulation:
     metrics: object = None
     engine: object = None
     kernels: object = None
+    cluster: object = None
 
     history: List[StepRecord] = field(default_factory=list)
     _integrator: LeapfrogKDK = field(default=None, repr=False)
@@ -136,7 +143,8 @@ class Simulation:
                                   engine=self.engine,
                                   tracer=self.tracer,
                                   metrics=self.metrics,
-                                  kernels=self.kernels)
+                                  kernels=self.kernels,
+                                  cluster=self.cluster)
         self._mass_eff = self.G * self.mass
         self._integrator = LeapfrogKDK(force=self._eval)
         #: checkpoint recoveries performed by :meth:`run` so far
@@ -154,7 +162,8 @@ class Simulation:
                     force: object = None, t: float = 0.0,
                     tracer: object = None,
                     metrics: object = None,
-                    kernels: object = None) -> "Simulation":
+                    kernels: object = None,
+                    cluster: object = None) -> "Simulation":
         """Build a run from a carved cosmological sphere.
 
         ``eps`` defaults to 4% of the mean interparticle spacing of the
@@ -168,7 +177,8 @@ class Simulation:
             eps = 0.04 * spacing
         return cls(pos=region.pos.copy(), vel=region.vel.copy(),
                    mass=region.mass.copy(), eps=float(eps), force=force,
-                   t=t, tracer=tracer, metrics=metrics, kernels=kernels)
+                   t=t, tracer=tracer, metrics=metrics, kernels=kernels,
+                   cluster=cluster)
 
     # ------------------------------------------------------------------
     def close(self) -> None:

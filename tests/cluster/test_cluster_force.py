@@ -1,0 +1,186 @@
+"""Cluster force correctness: K=1 bit-identity, K>1 tolerance, LET
+exchange accounting, and the cluster timing model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, let_exchange, take_rows
+from repro.core.treecode import TreeCode
+from repro.grape.system import GrapeBackend
+from repro.sim.recipes import build_force
+
+THETA, NCRIT, EPS = 0.75, 256, 0.01
+
+
+@pytest.fixture(scope="module")
+def plummerish():
+    rng = np.random.default_rng(20260808)
+    n = 1500
+    pos = rng.standard_normal((n, 3))
+    mass = rng.uniform(0.5, 1.5, n) / n
+    return pos, mass
+
+
+def _serial(pos, mass, kernels):
+    tc = TreeCode(theta=THETA, n_crit=NCRIT, backend=GrapeBackend(),
+                  kernels=kernels)
+    acc, pot = tc.accelerations(pos, mass, EPS)
+    return tc, acc, pot
+
+
+@pytest.mark.parametrize("kernels", ["python", "numpy"])
+def test_k1_b2_bit_identical(plummerish, kernels):
+    """hosts=1, boards=2 reproduces today's path bit for bit, and its
+    timing model reproduces the single-host predicted seconds exactly."""
+    pos, mass = plummerish
+    tc0, acc0, pot0 = _serial(pos, mass, kernels)
+    tc1 = TreeCode(theta=THETA, n_crit=NCRIT,
+                   cluster=ClusterSpec(hosts=1, boards=2), kernels=kernels)
+    acc1, pot1 = tc1.accelerations(pos, mass, EPS)
+    np.testing.assert_array_equal(acc1, acc0)
+    np.testing.assert_array_equal(pot1, pot0)
+    assert tc1.cluster.model_seconds == tc0.backend.model_seconds
+    assert tc1.cluster.interactions == tc0.backend.interactions
+    s = tc1.cluster.summary()
+    assert s["let_exchange_bytes"] == 0.0
+    assert s["let_import_cells"] == 0
+    assert s["let_import_particles"] == 0
+    tc1.close()
+
+
+@pytest.mark.parametrize("kernels", ["python", "numpy"])
+@pytest.mark.parametrize("hosts", [2, 4])
+def test_multi_host_matches_serial(plummerish, kernels, hosts):
+    pos, mass = plummerish
+    _, acc0, pot0 = _serial(pos, mass, kernels)
+    tc = TreeCode(theta=THETA, n_crit=NCRIT,
+                  cluster=ClusterSpec(hosts=hosts), kernels=kernels)
+    acc, pot = tc.accelerations(pos, mass, EPS)
+    np.testing.assert_allclose(acc, acc0, rtol=1e-12, atol=0)
+    np.testing.assert_allclose(pot, pot0, rtol=1e-12, atol=0)
+    s = tc.cluster.summary()
+    assert s["let_exchange_bytes"] > 0.0
+    assert s["predicted_gflops"] > 0.0
+    tc.close()
+
+
+@pytest.mark.parametrize("decomp", ["orb", "slab"])
+def test_decomposition_strategies_agree(plummerish, decomp):
+    pos, mass = plummerish
+    _, acc0, _ = _serial(pos, mass, "numpy")
+    tc = TreeCode(theta=THETA, n_crit=NCRIT,
+                  cluster=ClusterSpec(hosts=3, decomp=decomp),
+                  kernels="numpy")
+    acc, _ = tc.accelerations(pos, mass, EPS)
+    np.testing.assert_allclose(acc, acc0, rtol=1e-12, atol=0)
+    tc.close()
+
+
+def test_original_algorithm_under_cluster(plummerish):
+    """Per-particle sinks decompose too (the paper's 'original' lists)."""
+    pos, mass = plummerish
+    tc0 = TreeCode(theta=THETA, n_crit=NCRIT, backend=GrapeBackend(),
+                   kernels="numpy")
+    acc0, _ = tc0.accelerations(pos, mass, EPS, algorithm="original")
+    tc = TreeCode(theta=THETA, n_crit=NCRIT,
+                  cluster=ClusterSpec(hosts=2), kernels="numpy")
+    acc, _ = tc.accelerations(pos, mass, EPS, algorithm="original")
+    np.testing.assert_allclose(acc, acc0, rtol=1e-12, atol=0)
+    tc.close()
+
+
+def test_more_hosts_shrink_predicted_seconds(plummerish):
+    pos, mass = plummerish
+    pred = {}
+    for hosts in (1, 2, 4):
+        tc = TreeCode(theta=THETA, n_crit=NCRIT,
+                      cluster=ClusterSpec(hosts=hosts), kernels="numpy")
+        tc.accelerations(pos, mass, EPS)
+        pred[hosts] = tc.cluster.model_seconds
+        tc.close()
+    assert pred[2] < pred[1]
+    assert pred[4] < pred[2]
+
+
+def test_exchange_grows_with_hosts(plummerish):
+    pos, mass = plummerish
+    vol = {}
+    for hosts in (2, 4):
+        tc = TreeCode(theta=THETA, n_crit=NCRIT,
+                      cluster=ClusterSpec(hosts=hosts), kernels="numpy")
+        tc.accelerations(pos, mass, EPS)
+        vol[hosts] = tc.cluster.summary()["let_exchange_bytes"]
+        tc.close()
+    assert vol[4] > vol[2] > 0
+
+
+def test_take_rows_full_selection_is_identity(plummerish):
+    pos, mass = plummerish
+    tc, _, _ = _serial(pos, mass, "numpy")
+    lists = tc.last_lists
+    sub = take_rows(lists, np.arange(lists.n_sinks, dtype=np.int64))
+    np.testing.assert_array_equal(sub.cell_idx, lists.cell_idx)
+    np.testing.assert_array_equal(sub.cell_off, lists.cell_off)
+    np.testing.assert_array_equal(sub.part_idx, lists.part_idx)
+    np.testing.assert_array_equal(sub.part_off, lists.part_off)
+
+
+def test_take_rows_subset(plummerish):
+    pos, mass = plummerish
+    tc, _, _ = _serial(pos, mass, "numpy")
+    lists = tc.last_lists
+    rows = np.array([3, 0, 7], dtype=np.int64)
+    sub = take_rows(lists, rows)
+    assert sub.n_sinks == 3
+    for i, g in enumerate(rows):
+        np.testing.assert_array_equal(sub.cells_of(i),
+                                      lists.cells_of(int(g)))
+        np.testing.assert_array_equal(sub.parts_of(i),
+                                      lists.parts_of(int(g)))
+
+
+def test_let_exchange_single_host_is_zero(plummerish):
+    pos, mass = plummerish
+    tc, _, _ = _serial(pos, mass, "numpy")
+    tree, groups, lists = tc.last_tree, tc.last_groups, tc.last_lists
+    owner = np.zeros(lists.n_sinks, dtype=np.int64)
+    ex = let_exchange(tree, lists, owner, groups.start, groups.count, 1)
+    assert ex.total_import_cells == 0
+    assert ex.total_import_particles == 0
+    assert ex.total_bytes == 0.0
+    assert ex.as_dict()["let_import_bytes"] == 0.0
+
+
+def test_build_force_cluster_path(plummerish):
+    pos, mass = plummerish
+    tc, backend = build_force(theta=THETA, ncrit=NCRIT,
+                              cluster=ClusterSpec(hosts=2))
+    assert backend.is_cluster
+    assert "grape" in backend.name
+    acc, _ = tc.accelerations(pos, mass, EPS)
+    assert backend.model_seconds > 0
+    assert backend.summary()["hosts"] == 2
+    tc.close()
+    # counters survive close
+    assert backend.model_seconds > 0
+
+
+def test_build_force_cluster_rejects_conflicts():
+    with pytest.raises(ValueError):
+        build_force(theta=THETA, ncrit=NCRIT, backend="host",
+                    cluster=ClusterSpec(hosts=2))
+    with pytest.raises(ValueError):
+        build_force(theta=THETA, ncrit=NCRIT, engine=object(),
+                    cluster=ClusterSpec(hosts=2))
+    with pytest.raises(ValueError):
+        build_force(theta=THETA, ncrit=NCRIT, system=object(),
+                    cluster=ClusterSpec(hosts=2))
+
+
+def test_treecode_cluster_rejects_conflicts():
+    with pytest.raises(ValueError):
+        TreeCode(cluster=ClusterSpec(), backend=GrapeBackend())
+    with pytest.raises(ValueError):
+        TreeCode(cluster=ClusterSpec(), engine=object())
+    with pytest.raises(ValueError):
+        TreeCode(cluster=ClusterSpec(), quadrupole=True)

@@ -1,0 +1,223 @@
+"""ClusterContext protocol misuse, mirroring tests/grape/test_api_protocol.py:
+call-order violations, overlapping board sets, double release, K=0."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.cluster import (BoardSetRegistry, ClusterContext, ClusterError,
+                           ClusterSpec)
+
+
+@pytest.fixture
+def ctx():
+    c = ClusterContext(ClusterSpec(hosts=2, boards=2))
+    yield c
+    if c.hosts:
+        c.close()
+
+
+class TestSpecValidation:
+    def test_zero_hosts_rejected(self):
+        with pytest.raises(ValueError, match="hosts"):
+            ClusterSpec(hosts=0)
+
+    def test_zero_boards_rejected(self):
+        with pytest.raises(ValueError, match="boards"):
+            ClusterSpec(boards=0)
+
+    def test_negative_hosts_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(hosts=-3)
+
+    def test_unknown_decomp_rejected(self):
+        with pytest.raises(ValueError, match="decomposition"):
+            ClusterSpec(decomp="hilbert")
+
+    def test_bad_network_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(exchange_bandwidth=0.0)
+        with pytest.raises(ValueError):
+            ClusterSpec(exchange_latency=-1.0)
+
+    def test_total_boards(self):
+        assert ClusterSpec(hosts=3, boards=4).total_boards == 12
+
+
+class TestCallOrder:
+    def test_use_before_open(self, ctx):
+        with pytest.raises(ClusterError, match="open"):
+            ctx.set_domain(-1.0, 1.0)
+        with pytest.raises(ClusterError, match="open"):
+            ctx.close()
+        with pytest.raises(ClusterError, match="open"):
+            ctx.evaluate(None, None, None, None, None, 0.0, None, None)
+        with pytest.raises(ClusterError, match="open"):
+            ctx.reset_stats()
+        with pytest.raises(ClusterError, match="open"):
+            ctx.summary()
+        with pytest.raises(ClusterError, match="open"):
+            ctx.model_seconds
+
+    def test_double_open(self, ctx):
+        ctx.open()
+        with pytest.raises(ClusterError, match="already open"):
+            ctx.open()
+
+    def test_close_reopen_no_residue(self, ctx):
+        ctx.open()
+        first_sets = ctx.board_sets
+        ctx.close()
+        assert ctx.hosts == [] and ctx.backends == []
+        ctx.open()
+        assert ctx.board_sets == first_sets
+        assert len(ctx.hosts) == 2
+
+    def test_context_manager_closes(self):
+        with ClusterContext(ClusterSpec(hosts=1)).open() as c:
+            assert len(c.hosts) == 1
+        assert c.hosts == []
+
+
+class TestLatch:
+    def test_double_acquire(self, ctx):
+        ctx.open()
+        ctx.acquire()
+        with pytest.raises(ClusterError, match="already acquired"):
+            ctx.acquire()
+        ctx.release()
+
+    def test_double_release(self, ctx):
+        ctx.open()
+        ctx.acquire()
+        ctx.release()
+        with pytest.raises(ClusterError, match="double-release"):
+            ctx.release()
+
+    def test_cross_thread_use_fails(self, ctx):
+        ctx.open()
+        ctx.acquire()
+        errors = []
+
+        def intruder():
+            try:
+                ctx.set_domain(-1.0, 1.0)
+            except ClusterError as e:
+                errors.append(e)
+            try:
+                ctx.release()
+            except ClusterError as e:
+                errors.append(e)
+
+        t = threading.Thread(target=intruder)
+        t.start()
+        t.join()
+        assert len(errors) == 2
+        ctx.release()
+
+    def test_unheld_context_is_usable(self, ctx):
+        ctx.open()
+        ctx.set_domain(-1.0, 1.0)   # no latch held: plain use works
+
+
+class TestBoardSets:
+    def test_hosts_get_disjoint_sets(self, ctx):
+        ctx.open()
+        assert ctx.board_sets == ((0, 1), (2, 3))
+        assert ctx.registry.available == 0
+
+    def test_overlapping_reservation_fails(self, ctx):
+        ctx.open()
+        with pytest.raises(ClusterError, match="overlaps"):
+            ctx.registry.reserve([1, 2])
+
+    def test_registry_overlap_names_holder(self):
+        reg = BoardSetRegistry(4)
+        reg.reserve([0, 1], owner="host0")
+        with pytest.raises(ClusterError, match="host0"):
+            reg.reserve([1, 2], owner="host1")
+        # failed reservation left the registry untouched
+        assert reg.reserved == (0, 1)
+        reg.reserve([2, 3], owner="host1")
+
+    def test_registry_double_release(self):
+        reg = BoardSetRegistry(4)
+        ids = reg.reserve([0, 1])
+        reg.release(ids)
+        with pytest.raises(ClusterError, match="double release"):
+            reg.release(ids)
+
+    def test_registry_rejects_bad_sets(self):
+        reg = BoardSetRegistry(2)
+        with pytest.raises(ClusterError, match="empty"):
+            reg.reserve([])
+        with pytest.raises(ClusterError, match="duplicate"):
+            reg.reserve([0, 0])
+        with pytest.raises(ClusterError, match="outside"):
+            reg.reserve([0, 5])
+        with pytest.raises(ValueError):
+            BoardSetRegistry(0)
+
+    def test_holder_of_free_board(self):
+        reg = BoardSetRegistry(2)
+        with pytest.raises(ClusterError, match="not reserved"):
+            reg.holder_of(0)
+
+
+class TestBrokerBoardLeases:
+    def test_lease_board_sets_disjoint(self):
+        from repro.serve.leases import LeaseBroker
+        broker = LeaseBroker(slots=2, boards=3)
+        l1 = broker.acquire(timeout=1.0)
+        l2 = broker.acquire(timeout=1.0)
+        try:
+            assert l1.board_set == (0, 1, 2)
+            assert l2.board_set == (3, 4, 5)
+            assert set(l1.board_set).isdisjoint(l2.board_set)
+            assert broker.board_registry.holder_of(0) == l1.id
+        finally:
+            broker.release(l1)
+            broker.release(l2)
+            broker.close()
+
+    def test_release_returns_boards(self):
+        from repro.serve.leases import LeaseBroker
+        broker = LeaseBroker(slots=1, boards=2)
+        lease = broker.acquire(timeout=1.0)
+        assert broker.board_registry.available == 0
+        broker.release(lease)
+        assert broker.board_registry.available == 2
+        broker.close()
+
+    def test_nonpaper_board_count_reshapes_slots(self):
+        from repro.serve.leases import LeaseBroker
+        broker = LeaseBroker(slots=1, boards=4)
+        lease = broker.acquire(timeout=1.0)
+        try:
+            assert len(lease.context.system.boards) == 4
+        finally:
+            broker.release(lease)
+            broker.close()
+
+
+def test_evaluate_after_close_fails():
+    c = ClusterContext(ClusterSpec(hosts=1)).open()
+    c.close()
+    with pytest.raises(ClusterError, match="open"):
+        c.evaluate(None, None, None, None, None, 0.0, None, None)
+
+
+def test_stats_survive_close():
+    rng = np.random.default_rng(7)
+    pos = rng.standard_normal((300, 3))
+    mass = np.full(300, 1.0 / 300)
+    from repro.core.treecode import TreeCode
+    tc = TreeCode(theta=0.75, n_crit=64, cluster=ClusterSpec(hosts=2),
+                  kernels="numpy")
+    tc.accelerations(pos, mass, 0.01)
+    c = tc.cluster
+    tc.close()
+    assert c.hosts == []
+    assert c.model_seconds > 0.0
+    assert c.summary()["hosts"] == 2

@@ -1,0 +1,76 @@
+"""Docs-vs-CLI drift gate.
+
+Every ``--flag`` token mentioned in the user-facing docs and the README
+must exist on the live ``repro`` argparse surface.  This catches the
+usual decay mode of CLI documentation: a flag is renamed or removed in
+:mod:`repro.cli` while a worked example in ``docs/`` keeps advertising
+the old spelling.
+"""
+
+import argparse
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: documentation that advertises repro CLI invocations
+DOC_FILES = sorted(p for p in (REPO / "docs").glob("*.md")) + [REPO / "README.md"]
+
+#: flags that belong to *other* tools shown in shell snippets
+#: (pytest/pytest-benchmark, pip, coverage tooling), not to repro
+_EXTERNAL = {
+    "--benchmark-only",   # pytest-benchmark
+    "--fail-under",       # tools/docstring_coverage.py
+    "--cov",              # pytest-cov
+    "--tb",               # pytest
+}
+
+_FLAG_RE = re.compile(r"(?<![\w-])--[a-z][a-z0-9-]*")
+
+
+def _parser_flags(parser: argparse.ArgumentParser, seen: set) -> set:
+    """Collect every ``--long-option`` reachable from ``parser``."""
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            for sub in set(action.choices.values()):
+                _parser_flags(sub, seen)
+        else:
+            seen.update(s for s in action.option_strings
+                        if s.startswith("--"))
+    return seen
+
+
+@pytest.fixture(scope="module")
+def live_flags():
+    return _parser_flags(build_parser(), set())
+
+
+def test_docs_exist():
+    assert DOC_FILES, "no documentation files found"
+    assert (REPO / "docs" / "cluster.md") in DOC_FILES
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_documented_flags_exist(doc, live_flags):
+    """Every flag a doc mentions is accepted by the live CLI."""
+    mentioned = set(_FLAG_RE.findall(doc.read_text()))
+    phantom = mentioned - live_flags - _EXTERNAL
+    assert not phantom, (
+        f"{doc.name} documents flags the CLI does not accept: "
+        f"{sorted(phantom)} -- update the doc or restore the flag")
+
+
+def test_cluster_flags_are_documented(live_flags):
+    """The PR-9 cluster surface is both live and documented."""
+    assert {"--hosts", "--boards"} <= live_flags
+    text = (REPO / "docs" / "cluster.md").read_text()
+    assert "--hosts" in text and "--boards" in text
+
+
+def test_allowlist_is_not_stale(live_flags):
+    """_EXTERNAL must never shadow a real repro flag."""
+    assert not (_EXTERNAL & live_flags)
