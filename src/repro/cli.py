@@ -34,6 +34,19 @@ Subcommands
     polling it to completion) and list/inspect/cancel jobs;
     ``jobs --follow <id>`` renders the live NDJSON progress stream,
     ``jobs --job-trace <id>`` fetches the job's span tree.
+``store``
+    The durable job store as its own process and as an artifact:
+    ``store serve`` exposes a SQLite store over the versioned
+    ``repro.fleet-rpc/v1`` network protocol so workers on other hosts
+    share it via ``serve --store http://host:port``, and ``store
+    verify PATH|URL`` runs the integrity sweep (per-row SHA-256,
+    event-log hashes) against a store file or a running store server.
+    See docs/fleet.md.
+``fleet``
+    Fleet operations against a running worker: ``fleet status`` shows
+    the membership document, ``fleet workers`` tabulates the worker
+    registry (liveness, capabilities), and ``fleet drain`` asks one
+    worker to checkpoint + re-queue its jobs and deregister.
 ``obs``
     Offline trace analysis: ``obs tree`` renders a recorded trace as
     an indented span tree, ``obs critical-path`` partitions the wall
@@ -48,7 +61,8 @@ All subcommands are deterministic for a fixed ``--seed``.
 Exit codes: 0 success, 1 runtime failure (e.g. a failed job or a
 benchmark regression), 2 usage error (bad arguments, missing files,
 malformed documents -- consistent across every subcommand), 3 a
-submission rejected by service backpressure.
+submission rejected by service backpressure, or a store whose
+integrity sweep reported findings (``store verify``).
 
 Parallel execution (``run``/``resume``/``sweep``): ``--engine
 pipeline`` evaluates forces on a pool of worker processes (size
@@ -304,11 +318,18 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--workdir", type=Path, default=None,
                    help="per-job checkpoint/workdir root "
                         "(default: a temporary directory)")
-    v.add_argument("--store", type=Path, default=None, metavar="DB",
-                   help="durable SQLite job store; several servers "
-                        "may share one, and a restarted server "
-                        "resumes its jobs from it (default: "
-                        "in-memory)")
+    v.add_argument("--store", default=None, metavar="DB|URL",
+                   help="durable job store: a SQLite path several "
+                        "servers may share, or the http://host:port "
+                        "of a 'repro store serve' fleet store shared "
+                        "across hosts; a restarted server resumes "
+                        "its jobs from it (default: in-memory)")
+    v.add_argument("--cache-budget", type=int, default=None,
+                   metavar="BYTES",
+                   help="byte bound on the store's result cache "
+                        "(LRU eviction; default: unbounded; ignored "
+                        "for http:// stores -- the store server owns "
+                        "that policy)")
     v.add_argument("--worker-id", default=None, metavar="ID",
                    help="claim identity in the shared store "
                         "(default: host:port, stable across "
@@ -358,6 +379,53 @@ def build_parser() -> argparse.ArgumentParser:
                         "it does not finish 'done'")
     u.add_argument("--timeout", type=float, default=300.0,
                    metavar="S", help="--wait deadline (default: 300)")
+
+    st = sub.add_parser("store",
+                        help="job-store operations: serve one over "
+                             "the network, verify integrity")
+    stsub = st.add_subparsers(dest="store_command", required=True)
+
+    ss = stsub.add_parser("serve",
+                          help="expose a SQLite job store over the "
+                               "repro.fleet-rpc/v1 network protocol")
+    ss.add_argument("--store", type=Path, required=True, metavar="DB",
+                    help="SQLite store file to serve (created if "
+                         "missing)")
+    ss.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default: 127.0.0.1)")
+    ss.add_argument("--port", type=int, default=8024,
+                    help="listening port (default: 8024)")
+    ss.add_argument("--cache-budget", type=int, default=None,
+                    metavar="BYTES",
+                    help="byte bound on the shared result cache "
+                         "(LRU eviction; default: unbounded)")
+
+    sv = stsub.add_parser("verify",
+                          help="integrity sweep of a store file or a "
+                               "running store server (exit 3 on "
+                               "findings)")
+    sv.add_argument("store", metavar="PATH|URL",
+                    help="SQLite store path, or http://host:port of "
+                         "a store server")
+
+    f = sub.add_parser("fleet",
+                       help="fleet operations against a running "
+                            "worker: status/workers/drain")
+    fsub = f.add_subparsers(dest="fleet_command", required=True)
+    fs = fsub.add_parser("status", parents=[endpoint],
+                         help="the worker's repro.fleet/v1 membership "
+                              "document (live/draining counts, store "
+                              "identity, cache)")
+    fs.add_argument("--json", action="store_true",
+                    help="print the raw document instead of the "
+                         "summary")
+    fsub.add_parser("workers", parents=[endpoint],
+                    help="tabulate the worker registry (liveness, "
+                         "state, capabilities)")
+    fsub.add_parser("drain", parents=[endpoint],
+                    help="drain the worker at --host/--port: stop "
+                         "claiming, checkpoint + re-queue owned "
+                         "jobs, deregister")
 
     j = sub.add_parser("jobs", parents=[endpoint],
                        help="list jobs on a running service, or "
@@ -861,7 +929,98 @@ def cmd_serve(args, out) -> int:
                       workdir=args.workdir, store=args.store,
                       worker_id=args.worker_id,
                       claim_ttl=args.claim_ttl,
-                      cache=not args.no_cache, quota=quota)
+                      cache=not args.no_cache,
+                      cache_budget=args.cache_budget, quota=quota)
+
+
+def cmd_store(args, out) -> int:
+    """Job-store operations: ``serve`` (network store server) and
+    ``verify`` (integrity sweep; findings exit 3, unusable stores
+    exit 2)."""
+    from repro.serve import ServeError
+    from repro.serve.store import StoreError, open_store
+    if args.store_command == "serve":
+        from repro.fleet import run_store_server
+        try:
+            return run_store_server(store=args.store, host=args.host,
+                                    port=args.port,
+                                    cache_budget=args.cache_budget)
+        except StoreError as e:
+            raise ServeError(str(e)) from e
+    # verify
+    text = str(args.store)
+    is_url = text.startswith(("http://", "https://"))
+    if not is_url and not Path(text).is_file():
+        raise ServeError(f"no store at {text}")
+    try:
+        store = open_store(text)
+        try:
+            findings = store.verify()
+        finally:
+            store.close()
+    except StoreError as e:
+        print(f"store verify: {text}: {e}", file=out)
+        return 2
+    if findings:
+        for finding in findings:
+            print(f"CORRUPT: {finding}", file=out)
+        print(f"{text}: {len(findings)} finding(s)", file=out)
+        return 3
+    print(f"{text}: store verified clean", file=out)
+    return 0
+
+
+def cmd_fleet(args, out) -> int:
+    """Fleet operations against one running worker:
+    ``status``/``workers``/``drain``."""
+    import json
+    from repro.perf.report import format_table
+    from repro.serve import ServeClient
+    client = ServeClient(args.host, args.port)
+    if args.fleet_command == "drain":
+        doc = client.drain()
+        print(f"{doc['worker']}: drained, {len(doc['owned'])} owned "
+              f"job(s), {len(doc['requeued'])} re-queued", file=out)
+        for jid in doc["requeued"]:
+            print(f"  requeued {jid}", file=out)
+        return 0
+    doc = client.fleet()
+    if args.fleet_command == "workers":
+        rows = [{"worker": w["worker"],
+                 "host": w.get("host", "-"),
+                 "state": w.get("state", "?"),
+                 "live": "yes" if w.get("live") else "no",
+                 "slots": w.get("slots", "-"),
+                 "boards": w.get("boards", "-"),
+                 "pid": w.get("pid", "-")} for w in doc["workers"]]
+        if not rows:
+            print("no registered workers", file=out)
+            return 0
+        print(format_table(rows), file=out)
+        return 0
+    # status
+    if args.json:
+        print(json.dumps(doc, indent=2), file=out)
+        return 0
+    store = doc.get("store", {})
+    cache = doc.get("cache", {})
+    print(f"worker {doc['worker']} on {doc.get('host', '?')} "
+          f"({'draining' if doc.get('draining') else 'up'})",
+          file=out)
+    print(f"store: {store.get('kind')}"
+          + (f" at {store['url']}" if store.get("url") else ""),
+          file=out)
+    print(f"fleet: {len(doc.get('workers', []))} registered, "
+          f"{doc.get('live', 0)} live, "
+          f"{doc.get('draining_count', 0)} draining", file=out)
+    if cache:
+        budget = cache.get("budget")
+        print(f"cache: {cache.get('entries', 0)} entries, "
+              f"{cache.get('bytes', 0)} bytes"
+              + (f" (budget {budget})" if budget else "")
+              + f", {cache.get('hits', 0)} hit(s), "
+              f"{cache.get('evictions', 0)} eviction(s)", file=out)
+    return 0
 
 
 def _submit_spec(args) -> dict:
@@ -963,6 +1122,15 @@ def cmd_jobs(args, out) -> int:
         if e.status == 404:
             raise ServeError(str(e.message)) from e
         raise
+    try:
+        h = client.healthz()
+        fleet = h.get("fleet") or {}
+        print(f"worker {h.get('worker', '?')} "
+              f"(store {h.get('store', '?')}, fleet "
+              f"{fleet.get('live', 0)}/{fleet.get('workers', 0)} "
+              f"live, {fleet.get('draining', 0)} draining)", file=out)
+    except (OSError, ServeHTTPError):
+        pass  # older server without /healthz fleet data
     docs = client.jobs()
     if not docs:
         print("no jobs", file=out)
@@ -1039,7 +1207,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
                "resume": cmd_resume, "sweep": cmd_sweep,
                "halos": cmd_halos, "bench": cmd_bench,
                "serve": cmd_serve, "submit": cmd_submit,
-               "jobs": cmd_jobs, "obs": cmd_obs}[args.command]
+               "jobs": cmd_jobs, "obs": cmd_obs,
+               "store": cmd_store, "fleet": cmd_fleet}[args.command]
     try:
         return handler(args, out)
     except BrokenPipeError:

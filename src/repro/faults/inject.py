@@ -7,7 +7,7 @@ from a hash of ``(plan seed, spec index, site key)`` so the same plan
 fires at the same sites on every run -- across processes, machines and
 reorderings.
 
-Three hook surfaces, one per layer of the stack:
+Four hook surfaces, one per layer of the stack:
 
 * :meth:`FaultInjector.batch_fault` -- consulted by pipeline workers
   once per batch (crash / hang / latency / transient error / result
@@ -16,7 +16,11 @@ Three hook surfaces, one per layer of the stack:
   call sites (``grape.compute``, ``g5.run``), raising
   :class:`TransientBackendError` when a transient spec matches;
 * :meth:`FaultInjector.checkpoint_fault` -- consulted by the
-  simulation loop after each periodic checkpoint write.
+  simulation loop after each periodic checkpoint write;
+* :meth:`FaultInjector.transport_fault` -- consulted by the fleet
+  network-store client (:class:`repro.fleet.RemoteJobStore`) once per
+  RPC at site ``fleet.rpc`` (latency / transient error / response
+  truncation).
 
 :func:`corrupt_file` is the shared deterministic file-damage helper
 used by the checkpoint chaos tests and the ``checkpoint_truncate``
@@ -37,6 +41,13 @@ __all__ = ["TransientBackendError", "FaultInjector", "corrupt_file"]
 #: fault kinds handled at worker batch level (no ``site``)
 _BATCH_KINDS = frozenset({"worker_crash", "worker_hang", "latency",
                           "transient_error", "corrupt_result"})
+
+#: fault kinds the network-store transport hook understands: latency
+#: delays the request, ``transient_error`` fails it retryably,
+#: ``corrupt_result`` truncates the response bytes so the payload
+#: digest check fires
+_TRANSPORT_KINDS = frozenset({"latency", "transient_error",
+                              "corrupt_result"})
 
 
 class TransientBackendError(RuntimeError):
@@ -129,6 +140,27 @@ class FaultInjector:
                 self._note(s, site, call=n)
                 raise TransientBackendError(
                     f"injected transient error at {site} (call {n})")
+
+    def transport_fault(self, site: str) -> Optional[FaultSpec]:
+        """Transport call-site hook (fleet RPC client): returns the
+        matching spec, if any, for this request.  Unlike
+        :meth:`maybe_raise` the *caller* applies the semantics --
+        sleep for ``latency``, raise
+        :class:`TransientBackendError` for ``transient_error``,
+        damage the received bytes for ``corrupt_result`` -- because
+        only the transport knows its own buffers.  Call indices share
+        the per-site counter with :meth:`maybe_raise`."""
+        n = self._site_calls.get(site, 0)
+        self._site_calls[site] = n + 1
+        for i, s in enumerate(self.plan.specs):
+            if s.site != site or s.kind not in _TRANSPORT_KINDS:
+                continue
+            if s.call is not None and n < s.call:
+                continue
+            if self._fire(i, s, (site, n)):
+                self._note(s, site, call=n)
+                return s
+        return None
 
     def checkpoint_fault(self, *, step: int) -> Optional[FaultSpec]:
         """The checkpoint fault (if any) to apply after writing the

@@ -1,0 +1,245 @@
+"""The fleet's network store: one JobStore behind a TCP socket.
+
+A :class:`StoreServer` wraps any local
+:class:`~repro.serve.store.JobStore` (SQLite-WAL in production, the
+in-memory store in tests) and exposes the whole store contract over
+the ``repro.fleet-rpc/v1`` envelope of :mod:`repro.fleet.protocol` --
+stdlib asyncio HTTP, single-request connections, the exact server
+shape of :mod:`repro.serve.server`.  Any number of
+:class:`~repro.serve.scheduler.Scheduler` workers on any number of
+hosts point their ``store`` at ``http://host:port`` (via
+:func:`~repro.serve.store.open_store`) and share claims, heartbeats,
+events, the worker registry and the bounded result cache exactly as
+if they shared the store file.
+
+The store's own thread-safety does the heavy lifting: every RPC runs
+the corresponding blocking store method on the default executor, so
+concurrent claims serialise through the store's compare-and-swap
+transactions, not through the event loop.
+
+Endpoints
+---------
+=======  ===========  ==============================================
+method   path         behaviour
+=======  ===========  ==============================================
+POST     /rpc/v1      one sealed request envelope in, one sealed
+                      response envelope out (HTTP 200 even for typed
+                      store errors -- the envelope carries the type)
+GET      /healthz     liveness: store kind/path, job counts, request
+                      counters (plain JSON, curl-friendly)
+=======  ===========  ==============================================
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from typing import Optional
+
+from ..serve.store import JobStore, StoreError
+from .protocol import (ProtocolError, RPC_SCHEMA, pack_error,
+                       pack_result, unpack_request)
+
+__all__ = ["DEFAULT_STORE_PORT", "StoreServer", "run_store_server"]
+
+logger = logging.getLogger(__name__)
+
+#: default listening port of ``repro store serve`` (the job API's
+#: 8014 plus a fleet offset)
+DEFAULT_STORE_PORT = 8024
+
+#: cap on request bodies (an RPC envelope is small; a job document
+#: with its result is the largest payload)
+MAX_BODY = 1 << 22
+
+
+def _response(status: int, reason: str, body: bytes,
+              content_type: str = "application/json") -> bytes:
+    head = [f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            "Connection: close"]
+    return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
+
+
+class StoreServer:
+    """One :class:`~repro.serve.store.JobStore` behind one listening
+    socket.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is the
+    ``port`` attribute after :meth:`start`.  The server owns no store
+    policy -- budgets, TTLs and CAS semantics are all the wrapped
+    store's; it only seals/unseals envelopes and keeps counters.
+    """
+
+    def __init__(self, store: JobStore, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.store = store
+        self.host = host
+        self.port = int(port)
+        self.started_at: Optional[float] = None
+        self.requests = 0
+        self.errors = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def url(self) -> str:
+        """The ``http://host:port`` clients pass to ``open_store``."""
+        return f"http://{self.host}:{self.port}"
+
+    # -- lifecycle -----------------------------------------------------
+    async def start(self) -> "StoreServer":
+        """Bind and begin accepting; resolves ``port=0`` bindings."""
+        self.started_at = time.time()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        logger.info("store server: %s over %s store", self.url,
+                    self.store.kind)
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting; the wrapped store stays open (caller's)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled."""
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- request plumbing ----------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """Minimal HTTP/1.1: parse one request, route, close."""
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            parts = line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0].upper(), parts[1].split("?")[0]
+            length = 0
+            while True:
+                h = await reader.readline()
+                if h in (b"\r\n", b"\n", b""):
+                    break
+                name, _, value = h.decode("latin-1").partition(":")
+                if name.strip().lower() == "content-length":
+                    try:
+                        length = min(MAX_BODY, int(value.strip()))
+                    except ValueError:
+                        length = 0
+            body = await reader.readexactly(length) if length else b""
+            self.requests += 1
+            if method == "POST" and path == "/rpc/v1":
+                writer.write(await self._rpc(body))
+            elif method == "GET" and path == "/healthz":
+                writer.write(self._healthz())
+            else:
+                writer.write(_response(
+                    404, "Not Found",
+                    (json.dumps({"error":
+                                 f"no route {method} {path}"}) + "\n"
+                     ).encode("utf-8")))
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except Exception as e:  # pragma: no cover - defensive 500
+            logger.exception("store request handling failed")
+            try:
+                writer.write(_response(500, "Internal Server Error",
+                                       pack_error(e)))
+            except Exception:
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    async def _rpc(self, body: bytes) -> bytes:
+        """One envelope in, one envelope out.  Typed store errors ride
+        *inside* a 200 response -- they are answers, not transport
+        failures; only an unreachable server looks like one."""
+        loop = asyncio.get_running_loop()
+        try:
+            op, kwargs = unpack_request(body)
+            fn = getattr(self.store, op)
+            try:
+                result = await loop.run_in_executor(
+                    None, lambda: fn(**kwargs))
+            except TypeError as e:
+                # bad argument shape for a known op: the caller's bug
+                raise ProtocolError(f"op {op!r}: {e}") from e
+            payload = pack_result(result)
+        except StoreError as e:
+            self.errors += 1
+            payload = pack_error(e)
+        return _response(200, "OK", payload)
+
+    def _healthz(self) -> bytes:
+        """Liveness document: store identity, job counts, counters."""
+        doc = {
+            "status": "ok",
+            "schema": RPC_SCHEMA,
+            "kind": self.store.kind,
+            "path": str(getattr(self.store, "path", "")) or None,
+            "jobs": self.store.counts(),
+            "workers": len(self.store.fleet_workers(now=time.time())),
+            "requests": self.requests,
+            "errors": self.errors,
+            "uptime_seconds": (time.time() - self.started_at
+                               if self.started_at else 0.0),
+        }
+        return _response(200, "OK",
+                         (json.dumps(doc) + "\n").encode("utf-8"))
+
+
+async def _run(server: StoreServer) -> None:
+    """Serve until SIGINT/SIGTERM, then shut down cleanly."""
+    import signal
+    await server.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-Unix event loops
+    print(f"repro store: serving {server.store.kind} store "
+          f"{getattr(server.store, 'path', '')} on {server.url}/",
+          flush=True)
+    await stop.wait()
+    print("repro store: shutting down", flush=True)
+    await server.stop()
+
+
+def run_store_server(*, store, host: str = "127.0.0.1",
+                     port: int = DEFAULT_STORE_PORT,
+                     cache_budget: Optional[int] = None) -> int:
+    """Blocking entry point behind ``repro store serve``.
+
+    Opens the store (a path or an existing :class:`JobStore`), binds,
+    serves until a termination signal, and returns the process exit
+    code.  Serving a *remote* URL is refused -- chaining store
+    servers adds a hop with no owner."""
+    from ..serve.store import open_store
+    st = open_store(store, cache_budget=cache_budget)
+    if st.kind == "remote":
+        raise StoreError("repro store serve needs a local store, "
+                         f"not another store server ({store})")
+    server = StoreServer(st, host=host, port=port)
+    try:
+        asyncio.run(_run(server))
+    except KeyboardInterrupt:
+        pass
+    finally:
+        st.close()
+    return 0

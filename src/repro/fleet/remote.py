@@ -1,0 +1,268 @@
+"""RemoteJobStore: the ``JobStore`` contract over TCP.
+
+``open_store("http://host:port")`` returns one of these -- a store
+*driver*, not a cache: every call is one ``repro.fleet-rpc/v1``
+request to a :class:`~repro.fleet.netstore.StoreServer`, so claims,
+heartbeats and cache hits have exactly the cross-worker semantics of
+the backing SQLite store, just across hosts.
+
+Transport robustness
+--------------------
+Every request/response envelope carries its own SHA-256
+(:mod:`repro.fleet.protocol`), so wire damage fails typed
+(:class:`~repro.fleet.protocol.PayloadCorrupt`) instead of decoding
+into a plausible-but-wrong document.  The client retries transport
+trouble -- connection errors, timeouts, damaged payloads,
+:class:`~repro.faults.TransientBackendError` injections -- with
+bounded exponential backoff, then raises
+:class:`~repro.fleet.protocol.StoreUnavailable` (or the persistent
+:class:`PayloadCorrupt`).  *Server-side* typed errors
+(``StoreError``/``StoreCorrupt`` re-raised from the envelope) are
+answers, not transport failures: they propagate immediately, no
+retry.
+
+Chaos hooks: pass a :class:`~repro.faults.FaultInjector` and the
+transport consults :meth:`~repro.faults.FaultInjector.transport_fault`
+at site ``fleet.rpc`` before/after each request -- ``latency`` sleeps,
+``transient_error`` raises retryably, ``corrupt_result`` truncates
+the received bytes so the digest check fires.  The chaos tests drive
+all three and assert the store underneath never corrupts.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import Any, Dict, List, Optional, Tuple
+from urllib.parse import urlsplit
+
+from ..faults import TransientBackendError
+from ..serve.store import JobStore, StoreError
+from .netstore import DEFAULT_STORE_PORT
+from .protocol import (PayloadCorrupt, pack_request, unpack_response)
+
+__all__ = ["RemoteJobStore", "RPC_SITE"]
+
+logger = logging.getLogger(__name__)
+
+#: the fault-plan ``site`` selector of the RPC transport hook
+#: (``latency@site=fleet.rpc`` etc.)
+RPC_SITE = "fleet.rpc"
+
+
+class RemoteJobStore(JobStore):
+    """Client driver for a fleet store server.
+
+    Parameters
+    ----------
+    url:
+        ``http://host:port`` of a running ``repro store serve``
+        (https is refused: the stdlib server speaks plain HTTP and a
+        silently-unencrypted ``https://`` would lie).
+    timeout:
+        Per-request socket timeout seconds.
+    retries / backoff:
+        Transport retry budget: up to ``retries`` re-sends after the
+        first attempt, sleeping ``backoff * 2**k`` before retry ``k``.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` consulted at
+        site ``fleet.rpc`` (chaos tests).
+    metrics:
+        Optional :class:`~repro.obs.MetricsRegistry`; retries and
+        trips count under ``fleet.rpc_*``.
+    """
+
+    kind = "remote"
+
+    def __init__(self, url: str, *, timeout: float = 10.0,
+                 retries: int = 3, backoff: float = 0.05,
+                 fault_injector: Optional[object] = None,
+                 metrics: Optional[object] = None) -> None:
+        parts = urlsplit(url)
+        if parts.scheme != "http":
+            raise StoreError(
+                f"remote store URL must be http://host:port, got "
+                f"{url!r} (the fleet store speaks plain HTTP)")
+        if not parts.hostname or parts.path not in ("", "/"):
+            raise StoreError(
+                f"remote store URL must be http://host:port, got "
+                f"{url!r}")
+        self.host = parts.hostname
+        self.port = int(parts.port or DEFAULT_STORE_PORT)
+        self.url = f"http://{self.host}:{self.port}"
+        self.timeout = float(timeout)
+        self.retries = int(retries)
+        self.backoff = float(backoff)
+        self.faults = fault_injector
+        self.metrics = metrics
+
+    # -- transport -----------------------------------------------------
+    def _call_once(self, op: str, args: Dict[str, Any]) -> Any:
+        spec = (self.faults.transport_fault(RPC_SITE)
+                if self.faults is not None else None)
+        if spec is not None and spec.kind == "latency":
+            time.sleep(spec.seconds if spec.seconds is not None
+                       else 0.05)
+        if spec is not None and spec.kind == "transient_error":
+            raise TransientBackendError(
+                f"injected transient error at {RPC_SITE} ({op})")
+        conn = HTTPConnection(self.host, self.port,
+                              timeout=self.timeout)
+        try:
+            conn.request("POST", "/rpc/v1",
+                         body=pack_request(op, args),
+                         headers={"Content-Type": "application/json"})
+            resp = conn.getresponse()
+            raw = resp.read()
+        finally:
+            conn.close()
+        if spec is not None and spec.kind == "corrupt_result":
+            raw = raw[:len(raw) // 2]
+        return unpack_response(raw)
+
+    def _call(self, op: str, **args: Any) -> Any:
+        """One logical store call: bounded retry with exponential
+        backoff over the transport failure modes; typed server-side
+        errors propagate untouched on the first trip."""
+        delay = self.backoff
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "fleet.rpc_retries",
+                        "fleet RPC attempts re-sent after transport "
+                        "trouble").inc()
+                time.sleep(delay)
+                delay *= 2.0
+            try:
+                return self._call_once(op, args)
+            except PayloadCorrupt as e:
+                last = e  # wire damage: the store is fine, retry
+            except StoreError:
+                raise  # the server's typed answer -- authoritative
+            except (TransientBackendError, ConnectionError,
+                    TimeoutError, HTTPException, OSError) as e:
+                last = e
+            logger.warning("fleet rpc %s to %s failed "
+                           "(attempt %d/%d): %s", op, self.url,
+                           attempt + 1, self.retries + 1, last)
+        if self.metrics is not None:
+            self.metrics.counter(
+                "fleet.rpc_failures",
+                "fleet RPC calls that exhausted their retry "
+                "budget").inc()
+        from .protocol import StoreUnavailable
+        if isinstance(last, PayloadCorrupt):
+            raise last
+        raise StoreUnavailable(
+            f"store {self.url}: {op} failed after "
+            f"{self.retries + 1} attempt(s): {last}") from last
+
+    # -- identity ------------------------------------------------------
+    def allocate(self) -> Tuple[str, int]:
+        """Reserve a fresh (job id, sequence) pair on the server."""
+        jid, seq = self._call("allocate")
+        return str(jid), int(seq)
+
+    # -- documents -----------------------------------------------------
+    def insert(self, doc: Dict[str, Any]) -> None:
+        """Store a new job document."""
+        self._call("insert", doc=doc)
+
+    def update(self, doc: Dict[str, Any], *,
+               worker: Optional[str] = None) -> bool:
+        """Persist ``doc``; claim-guarded when ``worker`` is set."""
+        return bool(self._call("update", doc=doc, worker=worker))
+
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The job document for ``job_id``, or ``None``."""
+        return self._call("get", job_id=job_id)
+
+    def list(self) -> List[Dict[str, Any]]:
+        """Every job document, in sequence order."""
+        return list(self._call("list"))
+
+    # -- claims --------------------------------------------------------
+    def claim(self, job_id: str, worker: str, *, now: float,
+              ttl: float) -> bool:
+        """Atomic ``queued -> scheduled`` CAS on the server."""
+        return bool(self._call("claim", job_id=job_id, worker=worker,
+                               now=now, ttl=ttl))
+
+    def heartbeat(self, job_id: str, worker: str, *, now: float,
+                  ttl: float,
+                  doc: Optional[Dict[str, Any]] = None
+                  ) -> Optional[Dict[str, Any]]:
+        """Renew a claim lease; ``None`` when not the owner."""
+        return self._call("heartbeat", job_id=job_id, worker=worker,
+                          now=now, ttl=ttl, doc=doc)
+
+    def recover(self, *, now: float,
+                worker: Optional[str] = None) -> List[str]:
+        """Requeue jobs whose claim lease expired server-side."""
+        return list(self._call("recover", now=now, worker=worker))
+
+    def request_cancel(self, job_id: str) -> Optional[str]:
+        """Flag or apply a cancel; returns the new state."""
+        return self._call("request_cancel", job_id=job_id)
+
+    def requeue(self, job_id: str, *,
+                from_state: str = "paused") -> bool:
+        """Return a ``from_state`` job to the queue."""
+        return bool(self._call("requeue", job_id=job_id,
+                               from_state=from_state))
+
+    # -- event log -----------------------------------------------------
+    def append_event(self, job_id: str, event: Dict[str, Any]) -> None:
+        """Append one event to the job's durable log."""
+        self._call("append_event", job_id=job_id, event=event)
+
+    def events(self, job_id: str) -> List[Dict[str, Any]]:
+        """The job's event history, oldest first."""
+        return list(self._call("events", job_id=job_id))
+
+    # -- result cache --------------------------------------------------
+    def cache_put(self, key: str, digest: Optional[str],
+                  result: Dict[str, Any]) -> None:
+        """Record a result in the fleet-wide bounded cache."""
+        self._call("cache_put", key=key, digest=digest, result=result)
+
+    def cache_get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Cache lookup; counts a hit and refreshes recency."""
+        return self._call("cache_get", key=key)
+
+    def cache_stats(self) -> Dict[str, Any]:
+        """Entries/bytes/budget/hit/eviction counters."""
+        return dict(self._call("cache_stats"))
+
+    # -- worker registry -----------------------------------------------
+    def fleet_register(self, doc: Dict[str, Any], *, now: float,
+                       ttl: float) -> None:
+        """Insert-or-replace this worker's registry row."""
+        self._call("fleet_register", doc=doc, now=now, ttl=ttl)
+
+    def fleet_heartbeat(self, worker: str, *, now: float, ttl: float,
+                        state: Optional[str] = None) -> bool:
+        """Renew the registry TTL; False if the row is gone."""
+        return bool(self._call("fleet_heartbeat", worker=worker,
+                               now=now, ttl=ttl, state=state))
+
+    def fleet_deregister(self, worker: str) -> bool:
+        """Drop the worker's registry row."""
+        return bool(self._call("fleet_deregister", worker=worker))
+
+    def fleet_workers(self, *, now: float) -> List[Dict[str, Any]]:
+        """Registry rows with liveness judged at ``now``."""
+        return list(self._call("fleet_workers", now=now))
+
+    # -- integrity / lifecycle -----------------------------------------
+    def verify(self) -> List[str]:
+        """The *server's* integrity sweep over its backing store --
+        wire damage cannot reach here (it would have failed typed in
+        transit)."""
+        return list(self._call("verify"))
+
+    def close(self) -> None:
+        """Connections are per-request; nothing to release."""

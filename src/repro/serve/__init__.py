@@ -34,7 +34,13 @@ Layering (each module only depends on the ones above it):
     Asyncio HTTP API and its stdlib client (``repro serve`` /
     ``repro submit`` / ``repro jobs``).
 
-See ``docs/service.md`` for the API and schema reference.
+Beyond one box, :mod:`repro.fleet` puts the store behind a TCP
+socket (``repro store serve`` + ``open_store("http://...")``) and the
+store's worker registry turns N servers into a drainable fleet
+(``GET /fleet``, ``repro fleet ...``).
+
+See ``docs/service.md`` for the API and schema reference and
+``docs/fleet.md`` for the cross-host fleet.
 """
 
 from .client import Backpressure, ServeClient, ServeHTTPError

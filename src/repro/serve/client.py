@@ -168,8 +168,22 @@ class ServeClient:
     def healthz(self) -> Dict[str, Any]:
         """The liveness snapshot: job/queue counts plus scheduler
         ``queue_depth``/``queue_limit``, ``leases_in_use``, the store
-        kind, worker id, cache stats and server ``uptime_seconds``."""
+        kind (+ ``store_url`` for a fleet store), worker id and
+        ``draining`` flag, the ``fleet`` membership summary
+        (workers/live/draining), cache stats and server
+        ``uptime_seconds``."""
         return self._request("GET", "/healthz")
+
+    def fleet(self) -> Dict[str, Any]:
+        """The ``repro.fleet/v1`` membership document: registry rows,
+        live/draining counts, store identity, shared-cache stats."""
+        return self._request("GET", "/fleet")
+
+    def drain(self) -> Dict[str, Any]:
+        """Drain this worker: it stops claiming, checkpoints +
+        re-queues its owned jobs and deregisters; returns the drain
+        summary (``owned``/``requeued`` job ids)."""
+        return self._request("POST", "/fleet/drain")
 
     def store(self) -> Dict[str, Any]:
         """The durable-store snapshot (``repro.store/v1``): job counts

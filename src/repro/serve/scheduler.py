@@ -46,14 +46,16 @@ from __future__ import annotations
 import logging
 import os
 import itertools
+import socket
 import tempfile
 import threading
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from ..obs import FlightRecorder, Tracer, new_trace_id
-from .jobs import Job, JobCancelled, JobError, JobPaused, JobSpec
+from .jobs import JOB_KINDS, Job, JobCancelled, JobError, JobPaused, \
+    JobSpec
 from .leases import LeaseBroker
 from .quotas import AdmissionController, AdmissionError, TenantPolicy
 from .runner import run_job
@@ -92,7 +94,13 @@ class Scheduler:
         checkpoints; a temporary directory is created when omitted.
     store:
         ``None`` (private in-memory store), a path (SQLite-WAL store,
-        shareable between workers), or a :class:`JobStore` instance.
+        shareable between workers), an ``http://host:port`` URL (the
+        fleet network store of :mod:`repro.fleet`, shareable between
+        *hosts*), or a :class:`JobStore` instance.
+    cache_budget:
+        Byte bound on the store's result cache (LRU eviction); only
+        honoured for stores this scheduler opens itself -- a remote
+        store's budget is the store server's policy.
     worker_id:
         This worker's claim identity.  Give restarts of the same
         logical worker the same id and :meth:`start` reclaims its
@@ -121,6 +129,7 @@ class Scheduler:
                  heartbeat_interval: Optional[float] = None,
                  poll_interval: float = 0.25,
                  cache: bool = True,
+                 cache_budget: Optional[int] = None,
                  quota: Optional[object] = None,
                  metrics: Optional[object] = None,
                  tracer: Optional[object] = None,
@@ -134,10 +143,14 @@ class Scheduler:
             MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.slots = int(slots)
+        self.boards = int(boards)
         self.queue_depth = int(queue_depth)
-        self.store: JobStore = open_store(store)
+        self.store: JobStore = open_store(store,
+                                          cache_budget=cache_budget)
         self.worker_id = worker_id or \
             f"w-{os.getpid()}-{next(_worker_counter)}"
+        self.host = socket.gethostname()
+        self._draining = False
         self.claim_ttl = float(claim_ttl)
         self.heartbeat_interval = (float(heartbeat_interval)
                                    if heartbeat_interval is not None
@@ -196,6 +209,13 @@ class Scheduler:
                     ).inc(len(requeued))
                 logger.info("recovered %d orphaned job(s): %s",
                             len(requeued), ", ".join(requeued))
+            self._draining = False
+            try:
+                self.store.fleet_register(self._fleet_doc(),
+                                          now=time.time(),
+                                          ttl=self.claim_ttl)
+            except StoreError as e:
+                logger.warning("fleet registration failed: %s", e)
             for i in range(self.slots):
                 t = threading.Thread(target=self._worker_loop,
                                      name=f"repro-serve-{i}",
@@ -255,8 +275,114 @@ class Scheduler:
                         except StoreError as e:
                             logger.warning("drain requeue of %s "
                                            "failed: %s", job.id, e)
+        try:
+            self.store.fleet_deregister(self.worker_id)
+        except StoreError as e:
+            logger.warning("fleet deregistration failed: %s", e)
         self.broker.close()
         logger.info("scheduler %s stopped", self.worker_id)
+
+    def drain(self, *, timeout: float = 30.0) -> Dict[str, Any]:
+        """Take this worker out of the fleet without stopping it.
+
+        Drain semantics (the fleet's maintenance primitive): the
+        worker immediately stops claiming, asks every owned
+        scheduled/running job to checkpoint and vacate via the pause
+        path, re-queues the paused jobs so any other worker resumes
+        them bit-identically, and deregisters from the worker
+        registry.  The HTTP surface stays up -- a drained worker still
+        answers ``/jobs``, ``/fleet`` and ``/metrics`` -- and
+        :meth:`start`-after-:meth:`stop` (or a restart) re-registers
+        and resumes claiming.  Idempotent; returns a summary document.
+        """
+        with self._cv:
+            already = self._draining
+            self._draining = True
+            owned = [j for j in self._jobs.values()
+                     if j.worker == self.worker_id
+                     and j.state in ("scheduled", "running")]
+            for job in owned:
+                job.pause_event.set()
+            self._cv.notify_all()
+        try:
+            self.store.fleet_heartbeat(self.worker_id,
+                                       now=time.time(),
+                                       ttl=self.claim_ttl,
+                                       state="draining")
+        except StoreError as e:
+            logger.warning("drain heartbeat failed: %s", e)
+        requeued: List[str] = []
+        with self._cv:
+            self._cv.wait_for(
+                lambda: all(j.state not in ("scheduled", "running")
+                            for j in owned), timeout=timeout)
+            for job in owned:
+                if job.state == "paused" \
+                        and job.worker == self.worker_id:
+                    try:
+                        if self.store.requeue(job.id):
+                            job.state = "queued"
+                            job.pause_event.clear()
+                            requeued.append(job.id)
+                    except StoreError as e:
+                        logger.warning("drain requeue of %s failed: "
+                                       "%s", job.id, e)
+            self._set_gauges_locked()
+        try:
+            self.store.fleet_deregister(self.worker_id)
+        except StoreError as e:
+            logger.warning("drain deregistration failed: %s", e)
+        if not already:
+            self.metrics.counter(
+                "fleet.drains",
+                "drain requests this worker has served").inc()
+        logger.info("scheduler %s drained: %d owned job(s), %d "
+                    "re-queued", self.worker_id, len(owned),
+                    len(requeued))
+        return {"worker": self.worker_id, "draining": True,
+                "owned": [j.id for j in owned], "requeued": requeued}
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`drain` has taken this worker out of
+        claiming."""
+        return self._draining
+
+    def _fleet_doc(self) -> Dict[str, Any]:
+        """This worker's registry row: identity + capabilities."""
+        return {"worker": self.worker_id, "host": self.host,
+                "pid": os.getpid(), "slots": self.slots,
+                "boards": self.boards,
+                "kinds": sorted(JOB_KINDS),
+                "state": "draining" if self._draining else "up",
+                "registered_at": time.time()}
+
+    def fleet_status(self) -> Dict[str, Any]:
+        """The ``GET /fleet`` membership document: this worker's view
+        of the registry plus the shared cache counters."""
+        now = time.time()
+        try:
+            workers = self.store.fleet_workers(now=now)
+        except StoreError:
+            workers = []
+        try:
+            cache = self.store.cache_stats()
+        except StoreError:
+            cache = {}
+        live = [w for w in workers if w.get("live")]
+        return {
+            "schema": "repro.fleet/v1",
+            "worker": self.worker_id,
+            "host": self.host,
+            "draining": self._draining,
+            "store": {"kind": self.store.kind,
+                      "url": getattr(self.store, "url", None)},
+            "workers": workers,
+            "live": len(live),
+            "draining_count": sum(1 for w in live
+                                  if w.get("state") == "draining"),
+            "cache": cache,
+        }
 
     # -- submission / control ------------------------------------------
     def submit(self, spec: JobSpec) -> Job:
@@ -307,7 +433,10 @@ class Scheduler:
             self.metrics.counter("serve.jobs_submitted",
                                  "jobs admitted to the queue").inc()
             self._set_gauges_locked()
-            self._cv.notify()
+            # notify_all, not notify: the housekeeping thread waits on
+            # the same condition and a single notify it swallows would
+            # leave a free slot asleep for a whole poll interval
+            self._cv.notify_all()
             return job
 
     def get(self, job_id: str) -> Job:
@@ -407,7 +536,7 @@ class Scheduler:
             else:
                 job.state = "queued"
             self._set_gauges_locked()
-            self._cv.notify()
+            self._cv.notify_all()
         return job
 
     def wait(self, job_id: str,
@@ -508,7 +637,10 @@ class Scheduler:
     def _claim_next_locked(self) -> Optional[Job]:
         """Best queued job under priority -> store-wide fair share ->
         FIFO, claimed by CAS (first success wins; a lost race just
-        moves to the next candidate)."""
+        moves to the next candidate).  A draining worker claims
+        nothing."""
+        if self._draining:
+            return None
         try:
             docs = self.store.list()
         except StoreError as e:
@@ -596,8 +728,9 @@ class Scheduler:
                 self._cv.notify_all()
 
     def _housekeeping_loop(self) -> None:
-        """Heartbeats for owned jobs, takeover of expired claims,
-        gauge refresh -- the store-side metronome of every worker."""
+        """Heartbeats for owned jobs *and* this worker's registry
+        row, takeover of expired claims, gauge refresh -- the
+        store-side metronome of every worker."""
         while True:
             with self._cv:
                 if self._cv.wait_for(lambda: self._stopping,
@@ -643,10 +776,39 @@ class Scheduler:
                 logger.info("re-queued %d expired claim(s): %s",
                             len(requeued), ", ".join(requeued))
             try:
+                if not self.store.fleet_heartbeat(
+                        self.worker_id, now=now, ttl=self.claim_ttl,
+                        state=("draining" if self._draining
+                               else "up")) and not self._draining:
+                    # TTL lapsed (or the store was rebuilt): rejoin
+                    self.store.fleet_register(self._fleet_doc(),
+                                              now=now,
+                                              ttl=self.claim_ttl)
+                summary = self.store.fleet_summary(now=now)
+                self.metrics.gauge(
+                    "fleet.workers_live",
+                    "registry rows with a fresh heartbeat").set(
+                    summary["live"])
+                self.metrics.gauge(
+                    "fleet.workers_draining",
+                    "live workers currently draining").set(
+                    summary["draining"])
+            except StoreError as e:
+                logger.warning("fleet heartbeat failed: %s", e)
+            try:
+                cstats = self.store.cache_stats()
                 self.metrics.gauge(
                     "serve.cache_entries",
                     "content-addressed result-cache entries").set(
-                    self.store.cache_stats()["entries"])
+                    cstats["entries"])
+                self.metrics.gauge(
+                    "serve.cache_bytes",
+                    "bytes held by the result cache").set(
+                    cstats.get("bytes", 0))
+                self.metrics.gauge(
+                    "serve.cache_evictions",
+                    "cache entries evicted to stay under the byte "
+                    "budget").set(cstats.get("evictions", 0))
             except StoreError:  # pragma: no cover - damaged store
                 pass
             with self._cv:

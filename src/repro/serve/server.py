@@ -27,10 +27,18 @@ DELETE   /jobs/{id}                  cancel; returns the job document
 POST     /jobs/{id}/pause            checkpoint + vacate the slot
 POST     /jobs/{id}/resume           re-queue a paused job
 GET      /healthz                    liveness + queue/lease snapshot
-                                     (+ store kind, worker id, cache)
+                                     (+ store kind, worker id, cache,
+                                     fleet membership summary)
 GET      /store                      durable-store snapshot: job counts
                                      by state, cache stats, integrity
                                      findings (``repro.store/v1``)
+GET      /fleet                      fleet membership
+                                     (``repro.fleet/v1``): registry
+                                     rows, live/draining counts, store
+                                     identity, shared-cache stats
+POST     /fleet/drain                drain this worker: stop claiming,
+                                     checkpoint + re-queue owned jobs,
+                                     deregister; returns the summary
 GET      /metrics                    Prometheus exposition of the
                                      scheduler registry (``obs.export``)
 =======  ==========================  =====================================
@@ -187,6 +195,18 @@ class Server:
         if route == ("GET", "healthz"):
             with_jobs = sched.jobs()
             queued = sum(j.state == "queued" for j in with_jobs)
+
+            def _store_view():
+                # store calls may be fleet RPCs; keep them (and any
+                # registry trouble) off the event loop and non-fatal
+                try:
+                    return (sched.store.fleet_summary(),
+                            sched.store.cache_stats())
+                except Exception:
+                    return {}, {}
+
+            fleet, cache = await asyncio.get_running_loop() \
+                .run_in_executor(None, _store_view)
             writer.write(_json_response(200, "OK", {
                 "status": "ok",
                 "jobs": len(with_jobs),
@@ -198,11 +218,26 @@ class Server:
                 "queue_depth": queued,
                 "queue_limit": sched.queue_depth,
                 "store": sched.store.kind,
+                "store_url": getattr(sched.store, "url", None),
                 "worker": sched.worker_id,
-                "cache": sched.store.cache_stats(),
+                "draining": sched.draining,
+                "fleet": fleet,
+                "cache": cache,
                 "uptime_seconds": (time.time() - self.started_at
                                    if self.started_at else 0.0),
             }))
+            return
+        if route == ("GET", "fleet"):
+            # fleet_status reads the registry -- possibly over RPC
+            status = await asyncio.get_running_loop() \
+                .run_in_executor(None, sched.fleet_status)
+            writer.write(_json_response(200, "OK", status))
+            return
+        if route == ("POST", "fleet", "drain"):
+            # drain joins worker threads mid-job; off the event loop
+            summary = await asyncio.get_running_loop() \
+                .run_in_executor(None, sched.drain)
+            writer.write(_json_response(200, "OK", summary))
             return
         if route == ("GET", "store"):
             store = sched.store
@@ -353,6 +388,7 @@ def run_server(*, host: str = "127.0.0.1", port: int = 8014,
                claim_ttl: float = 30.0,
                quota: Optional[object] = None,
                cache: bool = True,
+               cache_budget: Optional[int] = None,
                metrics: Optional[object] = None,
                tracer: Optional[object] = None) -> int:
     """Blocking entry point behind ``repro serve``.
@@ -368,6 +404,7 @@ def run_server(*, host: str = "127.0.0.1", port: int = 8014,
                       workdir=workdir, store=store,
                       worker_id=worker_id or f"{host}:{port}",
                       claim_ttl=claim_ttl, quota=quota, cache=cache,
+                      cache_budget=cache_budget,
                       metrics=metrics, tracer=tracer)
     server = Server(sched, host=host, port=port)
     try:

@@ -48,7 +48,23 @@ SHA-256 key.  A finished job's result document is stored under that
 key together with its ``state_digest``; an identical later submission
 is served from the cache without acquiring a GRAPE lease.  Entries
 are content-addressed: a cached row whose payload no longer matches
-its recorded digest is dropped and counted, never served.
+its recorded digest is dropped and counted, never served.  With a
+``cache_budget`` (bytes) the cache is LRU-bounded: inserts evict the
+least-recently-used entries until the canonical-JSON payload bytes
+fit the budget, and evictions are counted in :meth:`~JobStore.cache_stats`.
+Because the store is shared fleet-wide (directly, or through
+:class:`repro.fleet.RemoteJobStore`), a result computed on any worker
+is a byte-identical cache hit on every other worker.
+
+Worker registry
+---------------
+The fleet's membership lives next to the jobs: every worker registers a
+``fleet_register`` document (worker id, host, capabilities) with a
+heartbeat TTL, re-arms it via ``fleet_heartbeat`` (optionally flipping
+its ``state`` to ``draining``), and removes it with
+``fleet_deregister``.  ``fleet_workers`` lists every row with a
+computed ``live`` flag; rows whose TTL lapsed stay visible (a crashed
+worker is observable evidence) but count as dead.
 """
 
 from __future__ import annotations
@@ -61,6 +77,7 @@ import os
 import sqlite3
 import threading
 import time
+from collections import OrderedDict
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -201,6 +218,37 @@ class JobStore:
         raise NotImplementedError
 
     def cache_stats(self) -> Dict[str, Any]:
+        """Cache counters: ``entries``, ``hits``, ``dropped`` (damaged
+        rows), ``bytes`` (canonical payload bytes held), ``evictions``
+        (LRU removals) and ``budget`` (byte bound, ``None`` =
+        unbounded)."""
+        raise NotImplementedError
+
+    # -- worker registry -----------------------------------------------
+    def fleet_register(self, doc: Dict[str, Any], *, now: float,
+                       ttl: float) -> None:
+        """Upsert a worker-registry row.  ``doc`` must carry
+        ``worker`` (the registry key) and conventionally ``host``,
+        ``pid`` and capability fields (``slots``, ``boards``,
+        ``kinds``); ``state`` defaults to ``"up"``.  The row is live
+        until ``now + ttl``."""
+        raise NotImplementedError
+
+    def fleet_heartbeat(self, worker: str, *, now: float, ttl: float,
+                        state: Optional[str] = None) -> bool:
+        """Re-arm a worker's liveness TTL (and, with ``state``, move
+        it between ``"up"`` and ``"draining"``).  Returns whether the
+        worker is registered."""
+        raise NotImplementedError
+
+    def fleet_deregister(self, worker: str) -> bool:
+        """Remove a worker's registry row; returns whether it
+        existed."""
+        raise NotImplementedError
+
+    def fleet_workers(self, *, now: float) -> List[Dict[str, Any]]:
+        """Every registry row (worker order), each with its stored
+        document plus ``expires`` and a computed ``live`` flag."""
         raise NotImplementedError
 
     # -- integrity / lifecycle -----------------------------------------
@@ -233,25 +281,44 @@ class JobStore:
                    and d.get("state") in ("queued", "scheduled",
                                           "running", "paused"))
 
+    def fleet_summary(self, *, now: Optional[float] = None
+                      ) -> Dict[str, int]:
+        """Registry membership counts: registered ``workers``,
+        ``live`` (TTL not lapsed) and ``draining`` (live and
+        drain-flagged) -- the ``/healthz`` fleet block."""
+        workers = self.fleet_workers(now=time.time()
+                                     if now is None else now)
+        live = [w for w in workers if w.get("live")]
+        return {"workers": len(workers), "live": len(live),
+                "draining": sum(1 for w in live
+                                if w.get("state") == "draining")}
+
 
 class MemoryJobStore(JobStore):
     """Reference implementation: plain dicts under one lock.
 
     Exactly the SQLite store's semantics minus durability -- restarts
     of the *process* lose it, restarts of a scheduler object over the
-    same store instance do not.
+    same store instance do not.  ``cache_budget`` bounds the result
+    cache to that many canonical-JSON payload bytes (LRU eviction);
+    ``None`` keeps it unbounded.
     """
 
     kind = "memory"
 
-    def __init__(self) -> None:
+    def __init__(self, *, cache_budget: Optional[int] = None) -> None:
         self._lock = threading.Lock()
         self._docs: Dict[str, Dict[str, Any]] = {}
         self._claims: Dict[str, Tuple[str, float]] = {}
         self._cancel: Dict[str, bool] = {}
         self._events: Dict[str, List[Dict[str, Any]]] = {}
-        self._cache: Dict[str, Dict[str, Any]] = {}
+        self._cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         self._cache_hits = 0
+        self._cache_bytes = 0
+        self._cache_evictions = 0
+        self.cache_budget = (int(cache_budget)
+                             if cache_budget is not None else None)
+        self._workers: Dict[str, Dict[str, Any]] = {}
         self._counter = itertools.count(1)
 
     def allocate(self) -> Tuple[str, int]:
@@ -370,22 +437,76 @@ class MemoryJobStore(JobStore):
 
     def cache_put(self, key: str, digest: Optional[str],
                   result: Dict[str, Any]) -> None:
+        text = _canon(result)
         with self._lock:
+            old = self._cache.pop(key, None)
+            if old is not None:
+                self._cache_bytes -= old["size"]
             self._cache[key] = {"digest": digest,
-                                "result": json.loads(_canon(result))}
+                                "result": json.loads(text),
+                                "size": len(text)}
+            self._cache_bytes += len(text)
+            while self.cache_budget is not None and self._cache \
+                    and self._cache_bytes > self.cache_budget:
+                _, evicted = self._cache.popitem(last=False)
+                self._cache_bytes -= evicted["size"]
+                self._cache_evictions += 1
 
     def cache_get(self, key: str) -> Optional[Dict[str, Any]]:
         with self._lock:
             e = self._cache.get(key)
             if e is None:
                 return None
+            self._cache.move_to_end(key)
             self._cache_hits += 1
             return json.loads(_canon(e["result"]))
 
     def cache_stats(self) -> Dict[str, Any]:
         with self._lock:
             return {"entries": len(self._cache),
-                    "hits": self._cache_hits, "dropped": 0}
+                    "hits": self._cache_hits, "dropped": 0,
+                    "bytes": self._cache_bytes,
+                    "evictions": self._cache_evictions,
+                    "budget": self.cache_budget}
+
+    # -- worker registry -----------------------------------------------
+    def fleet_register(self, doc: Dict[str, Any], *, now: float,
+                       ttl: float) -> None:
+        worker = doc.get("worker")
+        if not worker:
+            raise StoreError("fleet_register: doc must carry 'worker'")
+        row = json.loads(_canon(doc))
+        row.setdefault("state", "up")
+        with self._lock:
+            self._workers[worker] = {"doc": row,
+                                     "expires": now + float(ttl)}
+
+    def fleet_heartbeat(self, worker: str, *, now: float, ttl: float,
+                        state: Optional[str] = None) -> bool:
+        with self._lock:
+            entry = self._workers.get(worker)
+            if entry is None:
+                return False
+            entry["expires"] = now + float(ttl)
+            entry["doc"]["last_seen"] = now
+            if state is not None:
+                entry["doc"]["state"] = state
+            return True
+
+    def fleet_deregister(self, worker: str) -> bool:
+        with self._lock:
+            return self._workers.pop(worker, None) is not None
+
+    def fleet_workers(self, *, now: float) -> List[Dict[str, Any]]:
+        with self._lock:
+            out = []
+            for worker in sorted(self._workers):
+                entry = self._workers[worker]
+                doc = json.loads(_canon(entry["doc"]))
+                doc["expires"] = entry["expires"]
+                doc["live"] = entry["expires"] >= now
+                out.append(doc)
+            return out
 
 
 class SQLiteJobStore(JobStore):
@@ -411,8 +532,11 @@ class SQLiteJobStore(JobStore):
                       "corrupt")
 
     def __init__(self, path: Union[str, Path], *,
-                 timeout: float = 10.0) -> None:
+                 timeout: float = 10.0,
+                 cache_budget: Optional[int] = None) -> None:
         self.path = Path(path)
+        self.cache_budget = (int(cache_budget)
+                             if cache_budget is not None else None)
         self.events_path = self.path.with_name(self.path.name
                                                + ".events.jsonl")
         self._lock = threading.RLock()
@@ -485,7 +609,29 @@ class SQLiteJobStore(JobStore):
                     " result TEXT NOT NULL,"
                     " sha256 TEXT NOT NULL,"
                     " hits INTEGER NOT NULL DEFAULT 0,"
-                    " created_at REAL)")
+                    " created_at REAL,"
+                    " size INTEGER NOT NULL DEFAULT 0,"
+                    " last_used REAL)")
+                # PR-8 stores predate the LRU columns; migrate in place
+                cols = {r[1] for r in self._db.execute(
+                    "PRAGMA table_info(cache)").fetchall()}
+                if "size" not in cols:
+                    self._db.execute(
+                        "ALTER TABLE cache ADD COLUMN size INTEGER"
+                        " NOT NULL DEFAULT 0")
+                    self._db.execute(
+                        "UPDATE cache SET size = LENGTH("
+                        "CAST(result AS BLOB))")
+                if "last_used" not in cols:
+                    self._db.execute(
+                        "ALTER TABLE cache ADD COLUMN last_used REAL")
+                self._db.execute(
+                    "CREATE TABLE IF NOT EXISTS workers("
+                    " worker TEXT PRIMARY KEY,"
+                    " state TEXT NOT NULL DEFAULT 'up',"
+                    " expires REAL NOT NULL,"
+                    " doc TEXT NOT NULL,"
+                    " sha256 TEXT NOT NULL)")
                 self._db.execute("COMMIT")
             except BaseException:
                 self._db.execute("ROLLBACK")
@@ -815,16 +961,59 @@ class SQLiteJobStore(JobStore):
         return [r["event"] for r in scanned if r["job"] == job_id]
 
     # -- result cache --------------------------------------------------
+    def _bump_meta_counter(self, key: str) -> None:
+        """Increment a persistent counter row in ``meta`` (called
+        inside a transaction)."""
+        self._db.execute(
+            "INSERT OR IGNORE INTO meta VALUES (?, '0')", (key,))
+        self._db.execute(
+            "UPDATE meta SET value = CAST(value AS INTEGER) + 1"
+            " WHERE key = ?", (key,))
+
+    def _evict_over_budget(self) -> None:
+        """Drop least-recently-used cache rows until the summed
+        payload bytes fit ``cache_budget`` (called inside a
+        transaction; no-op when unbounded)."""
+        if self.cache_budget is None:
+            return
+        while True:
+            total = self._db.execute(
+                "SELECT COALESCE(SUM(size), 0) FROM cache"
+                ).fetchone()[0]
+            if int(total) <= self.cache_budget:
+                return
+            row = self._db.execute(
+                "SELECT key FROM cache ORDER BY"
+                " COALESCE(last_used, created_at, 0) ASC, key ASC"
+                " LIMIT 1").fetchone()
+            if row is None:  # pragma: no cover - SUM>0 implies a row
+                return
+            self._db.execute("DELETE FROM cache WHERE key = ?",
+                             (row[0],))
+            self._bump_meta_counter("cache_evicted")
+            logger.info("cache entry %s… evicted (budget %d bytes)",
+                        row[0][:12], self.cache_budget)
+
     def cache_put(self, key: str, digest: Optional[str],
                   result: Dict[str, Any]) -> None:
         text = _canon(result)
+        now = time.time()
         with self._lock:
             try:
-                self._db.execute(
-                    "INSERT OR REPLACE INTO cache"
-                    " (key, digest, result, sha256, hits, created_at)"
-                    " VALUES (?, ?, ?, ?, 0, ?)",
-                    (key, digest, text, _doc_sha(text), time.time()))
+                self._db.execute("BEGIN IMMEDIATE")
+                try:
+                    self._db.execute(
+                        "INSERT OR REPLACE INTO cache"
+                        " (key, digest, result, sha256, hits,"
+                        " created_at, size, last_used)"
+                        " VALUES (?, ?, ?, ?, 0, ?, ?, ?)",
+                        (key, digest, text, _doc_sha(text), now,
+                         len(text), now))
+                    self._evict_over_budget()
+                    self._db.execute("COMMIT")
+                except BaseException:
+                    self._db.execute("ROLLBACK")
+                    raise
             except sqlite3.Error as e:
                 raise self._wrap(e) from e
 
@@ -843,36 +1032,110 @@ class SQLiteJobStore(JobStore):
                     # never a wrong answer
                     self._db.execute(
                         "DELETE FROM cache WHERE key = ?", (key,))
-                    self._db.execute(
-                        "INSERT OR IGNORE INTO meta VALUES"
-                        " ('cache_dropped', '0')")
-                    self._db.execute(
-                        "UPDATE meta SET value ="
-                        " CAST(value AS INTEGER) + 1"
-                        " WHERE key = 'cache_dropped'")
+                    self._bump_meta_counter("cache_dropped")
                     logger.warning("cache entry %s… dropped: payload "
                                    "digest mismatch", key[:12])
                     return None
                 self._db.execute(
-                    "UPDATE cache SET hits = hits + 1 WHERE key = ?",
-                    (key,))
+                    "UPDATE cache SET hits = hits + 1, last_used = ?"
+                    " WHERE key = ?", (time.time(), key))
                 return doc
             except sqlite3.Error as e:
                 raise self._wrap(e) from e
 
+    def _meta_counter(self, key: str) -> int:
+        row = self._db.execute(
+            "SELECT value FROM meta WHERE key = ?", (key,)).fetchone()
+        return int(row[0]) if row else 0
+
     def cache_stats(self) -> Dict[str, Any]:
         with self._lock:
             try:
-                entries, hits = self._db.execute(
-                    "SELECT COUNT(*), COALESCE(SUM(hits), 0)"
-                    " FROM cache").fetchone()
-                row = self._db.execute(
-                    "SELECT value FROM meta WHERE key = 'cache_dropped'"
-                    ).fetchone()
+                entries, hits, size = self._db.execute(
+                    "SELECT COUNT(*), COALESCE(SUM(hits), 0),"
+                    " COALESCE(SUM(size), 0) FROM cache").fetchone()
+                dropped = self._meta_counter("cache_dropped")
+                evicted = self._meta_counter("cache_evicted")
             except sqlite3.Error as e:
                 raise self._wrap(e) from e
         return {"entries": int(entries), "hits": int(hits),
-                "dropped": int(row[0]) if row else 0}
+                "dropped": dropped, "bytes": int(size),
+                "evictions": evicted, "budget": self.cache_budget}
+
+    # -- worker registry -----------------------------------------------
+    def fleet_register(self, doc: Dict[str, Any], *, now: float,
+                       ttl: float) -> None:
+        worker = doc.get("worker")
+        if not worker:
+            raise StoreError("fleet_register: doc must carry 'worker'")
+        row = json.loads(_canon(doc))
+        row.setdefault("state", "up")
+        text = _canon(row)
+        with self._lock:
+            try:
+                self._db.execute(
+                    "INSERT OR REPLACE INTO workers"
+                    " (worker, state, expires, doc, sha256)"
+                    " VALUES (?, ?, ?, ?, ?)",
+                    (worker, row["state"], now + float(ttl), text,
+                     _doc_sha(text)))
+            except sqlite3.Error as e:
+                raise self._wrap(e) from e
+
+    def fleet_heartbeat(self, worker: str, *, now: float, ttl: float,
+                        state: Optional[str] = None) -> bool:
+        with self._lock:
+            try:
+                self._db.execute("BEGIN IMMEDIATE")
+                try:
+                    row = self._db.execute(
+                        "SELECT doc, sha256 FROM workers"
+                        " WHERE worker = ?", (worker,)).fetchone()
+                    if row is None:
+                        self._db.execute("COMMIT")
+                        return False
+                    doc = self._row_doc(row)
+                    doc["last_seen"] = now
+                    if state is not None:
+                        doc["state"] = state
+                    text = _canon(doc)
+                    self._db.execute(
+                        "UPDATE workers SET state = ?, expires = ?,"
+                        " doc = ?, sha256 = ? WHERE worker = ?",
+                        (doc.get("state", "up"), now + float(ttl),
+                         text, _doc_sha(text), worker))
+                    self._db.execute("COMMIT")
+                    return True
+                except BaseException:
+                    self._db.execute("ROLLBACK")
+                    raise
+            except sqlite3.Error as e:
+                raise self._wrap(e) from e
+
+    def fleet_deregister(self, worker: str) -> bool:
+        with self._lock:
+            try:
+                cur = self._db.execute(
+                    "DELETE FROM workers WHERE worker = ?", (worker,))
+            except sqlite3.Error as e:
+                raise self._wrap(e) from e
+        return cur.rowcount > 0
+
+    def fleet_workers(self, *, now: float) -> List[Dict[str, Any]]:
+        with self._lock:
+            try:
+                rows = self._db.execute(
+                    "SELECT doc, sha256, expires FROM workers"
+                    " ORDER BY worker").fetchall()
+            except sqlite3.Error as e:
+                raise self._wrap(e) from e
+        out = []
+        for text, sha, expires in rows:
+            doc = self._row_doc((text, sha))
+            doc["expires"] = float(expires)
+            doc["live"] = float(expires) >= now
+            out.append(doc)
+        return out
 
     # -- integrity / lifecycle -----------------------------------------
     def verify(self) -> List[str]:
@@ -887,8 +1150,8 @@ class SQLiteJobStore(JobStore):
                 findings.append(str(e))
             except sqlite3.Error as e:
                 findings.append(str(self._wrap(e)))
-            for table in ("jobs", "cache"):
-                col = "doc" if table == "jobs" else "result"
+            for table in ("jobs", "cache", "workers"):
+                col = "result" if table == "cache" else "doc"
                 try:
                     rows = self._db.execute(
                         f"SELECT {col}, sha256 FROM {table}").fetchall()
@@ -914,14 +1177,23 @@ class SQLiteJobStore(JobStore):
                 pass
 
 
-def open_store(store: Union[None, str, Path, JobStore]) -> JobStore:
-    """Coerce a store argument: ``None`` -> fresh in-memory store, a
-    path -> :class:`SQLiteJobStore` (parent directory created), an
-    existing :class:`JobStore` -> itself."""
+def open_store(store: Union[None, str, Path, JobStore], *,
+               cache_budget: Optional[int] = None) -> JobStore:
+    """Coerce a store argument: ``None`` -> fresh in-memory store, an
+    ``http://host:port`` URL -> :class:`repro.fleet.RemoteJobStore`
+    (the fleet network store), any other path ->
+    :class:`SQLiteJobStore` (parent directory created), an existing
+    :class:`JobStore` -> itself.  ``cache_budget`` (bytes) bounds the
+    result cache of locally-opened stores; a remote store's budget is
+    the *server's* policy and the argument is ignored."""
     if store is None:
-        return MemoryJobStore()
+        return MemoryJobStore(cache_budget=cache_budget)
     if isinstance(store, JobStore):
         return store
+    text = str(store)
+    if text.startswith(("http://", "https://")):
+        from ..fleet.remote import RemoteJobStore
+        return RemoteJobStore(text)
     path = Path(store)
     path.parent.mkdir(parents=True, exist_ok=True)
-    return SQLiteJobStore(path)
+    return SQLiteJobStore(path, cache_budget=cache_budget)

@@ -71,6 +71,18 @@ def test_cluster_flags_are_documented(live_flags):
     assert "--hosts" in text and "--boards" in text
 
 
+def test_fleet_surface_is_documented(live_flags):
+    """The PR-10 fleet surface is both live and documented."""
+    assert "--cache-budget" in live_flags
+    text = (REPO / "docs" / "fleet.md").read_text()
+    assert "--cache-budget" in text
+    for verb in ("store serve", "store verify", "fleet status",
+                 "fleet workers", "fleet drain"):
+        assert verb in text, f"fleet.md does not mention 'repro {verb}'"
+    # the store URL form workers consume must be shown somewhere
+    assert "http://" in text and "repro.fleet-rpc/v1" in text
+
+
 def test_allowlist_is_not_stale(live_flags):
     """_EXTERNAL must never shadow a real repro flag."""
     assert not (_EXTERNAL & live_flags)

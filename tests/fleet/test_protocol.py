@@ -1,0 +1,97 @@
+"""The ``repro.fleet-rpc/v1`` envelope: sealing, digest checking,
+typed error round-trips -- pure protocol, no sockets."""
+
+import json
+
+import pytest
+
+from repro.fleet import PayloadCorrupt, ProtocolError, RPC_OPS, \
+    RPC_SCHEMA
+from repro.fleet.protocol import (pack_error, pack_request,
+                                  pack_result, unpack_request,
+                                  unpack_response)
+from repro.serve import JobStore, StoreCorrupt, StoreError
+
+
+class TestEnvelopes:
+    def test_request_round_trip(self):
+        raw = pack_request("claim", {"job_id": "j1", "worker": "w",
+                                     "now": 1.0, "ttl": 30.0})
+        op, args = unpack_request(raw)
+        assert op == "claim"
+        assert args == {"job_id": "j1", "worker": "w", "now": 1.0,
+                        "ttl": 30.0}
+
+    def test_result_round_trip(self):
+        raw = pack_result({"jobs": [1, 2], "ok": None})
+        assert unpack_response(raw) == {"jobs": [1, 2], "ok": None}
+
+    def test_envelope_carries_schema_and_digest(self):
+        doc = json.loads(pack_request("list", {}))
+        assert doc["schema"] == RPC_SCHEMA
+        assert len(doc["sha256"]) == 64
+
+    def test_rpc_ops_cover_the_store_contract(self):
+        """Every RPC op is a real store method, and the remote driver
+        proxies every one of them (derived queries intentionally stay
+        client-side on the base class)."""
+        from repro.fleet import RemoteJobStore
+        for op in RPC_OPS:
+            assert callable(getattr(JobStore, op, None)), op
+            assert op in RemoteJobStore.__dict__, \
+                f"RemoteJobStore does not proxy {op!r}"
+
+
+class TestDamage:
+    def test_truncation_is_payload_corrupt(self):
+        raw = pack_result([1, 2, 3])
+        with pytest.raises(PayloadCorrupt):
+            unpack_response(raw[:len(raw) // 2])
+
+    def test_bit_flip_is_payload_corrupt(self):
+        raw = bytearray(pack_result({"digest": "abc"}))
+        i = raw.index(b"abc"[0])
+        raw[i] ^= 0x01
+        with pytest.raises(PayloadCorrupt):
+            unpack_response(bytes(raw))
+
+    def test_missing_digest_is_protocol_error(self):
+        naked = (json.dumps({"schema": RPC_SCHEMA, "ok": True,
+                             "result": 1}) + "\n").encode()
+        with pytest.raises(ProtocolError):
+            unpack_response(naked)
+
+    def test_foreign_schema_is_protocol_error(self):
+        from repro.serve.store import _canon, _doc_sha
+        doc = {"schema": "someone.elses/v9", "ok": True, "result": 1}
+        doc["sha256"] = _doc_sha(_canon(doc))
+        with pytest.raises(ProtocolError):
+            unpack_response((_canon(doc) + "\n").encode())
+
+    def test_unknown_op_is_protocol_error(self):
+        from repro.serve.store import _canon, _doc_sha
+        doc = {"schema": RPC_SCHEMA, "op": "drop_tables", "args": {}}
+        doc["sha256"] = _doc_sha(_canon(doc))
+        with pytest.raises(ProtocolError):
+            unpack_request((_canon(doc) + "\n").encode())
+
+    def test_corrupt_is_a_store_corrupt_and_protocol_a_store_error(self):
+        """Typed errors slot into the existing store hierarchy, so
+        callers catching StoreError/StoreCorrupt keep working."""
+        assert issubclass(PayloadCorrupt, StoreCorrupt)
+        assert issubclass(ProtocolError, StoreError)
+
+
+class TestErrorRoundTrip:
+    @pytest.mark.parametrize("exc_cls", [StoreError, StoreCorrupt,
+                                         ProtocolError])
+    def test_server_error_class_survives_the_wire(self, exc_cls):
+        raw = pack_error(exc_cls("the message"))
+        with pytest.raises(exc_cls, match="the message"):
+            unpack_response(raw)
+
+    def test_unknown_error_type_degrades_to_store_error(self):
+        raw = pack_error(RuntimeError("weird"))
+        with pytest.raises(StoreError, match="weird") as ei:
+            unpack_response(raw)
+        assert type(ei.value) is StoreError

@@ -129,7 +129,8 @@ class TestCacheServe:
                                             params={"n": 64}))
             assert again.cache_hit is False
             assert s.store.cache_stats() == \
-                {"entries": 0, "hits": 0, "dropped": 0}
+                {"entries": 0, "hits": 0, "dropped": 0, "bytes": 0,
+                 "budget": None, "evictions": 0}
         finally:
             s.stop()
 
